@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 12: real-world datasets, the combined GPU
+//! optimization vs the baseline and vs SUPER-EGO.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simjoin::SelfJoinConfig;
+use sj_bench::{run_join_dyn, run_superego_dyn, CpuModel};
+use sjdata::DatasetSpec;
+use warpsim::CostModel;
+
+fn bench_realworld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_realworld");
+    group.sample_size(10);
+    for name in ["SW2DA", "Gaia"] {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let pts = spec.generate(8_000);
+        let eps = spec.epsilons[3];
+        group.bench_with_input(BenchmarkId::new("gpucalcglobal", name), &pts, |b, pts| {
+            b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("wq_lid_k8", name), &pts, |b, pts| {
+            b.iter(|| run_join_dyn(pts, SelfJoinConfig::optimized(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("superego", name), &pts, |b, pts| {
+            b.iter(|| run_superego_dyn(pts, eps, &CpuModel::default(), &CostModel::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_realworld);
+criterion_main!(benches);

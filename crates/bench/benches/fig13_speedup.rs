@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 13: the end-to-end configurations whose
+//! model-time ratio is the paper's headline speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simjoin::SelfJoinConfig;
+use sj_bench::{run_join_dyn, run_superego_dyn, CpuModel};
+use sjdata::DatasetSpec;
+use warpsim::CostModel;
+
+fn bench_speedup_endpoints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_speedup");
+    group.sample_size(10);
+    for name in ["Expo2D2M", "Expo6D2M", "SW2DB"] {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let pts = spec.generate(6_000);
+        let eps = spec.epsilons[3];
+        group.bench_with_input(BenchmarkId::new("baseline", name), &pts, |b, pts| {
+            b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), &pts, |b, pts| {
+            b.iter(|| run_join_dyn(pts, SelfJoinConfig::optimized(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("superego", name), &pts, |b, pts| {
+            b.iter(|| run_superego_dyn(pts, eps, &CpuModel::default(), &CostModel::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_endpoints);
+criterion_main!(benches);

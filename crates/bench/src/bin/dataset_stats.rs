@@ -1,0 +1,84 @@
+//! Dataset calibration tool: reports neighbor-count statistics per dataset
+//! and ε, used to keep the scaled sweeps in the paper's
+//! neighbors-per-point regimes.
+//!
+//! ```text
+//! dataset-stats [--scale <f>] [DATASET]...
+//! ```
+
+use epsgrid::DynPoints;
+use sj_bench::table::Table;
+use sjdata::DatasetSpec;
+
+fn neighbor_stats<const N: usize>(pts: &[[f32; N]], eps: f32) -> (f64, u64, usize) {
+    let grid = epsgrid::GridIndex::build(pts, eps).expect("grid build");
+    let stride = (pts.len() / 2000).max(1);
+    let mut total = 0u64;
+    let mut sampled = 0usize;
+    for pid in (0..pts.len()).step_by(stride) {
+        grid.for_each_candidate_of(pid, |cand| {
+            if cand != pid && epsgrid::within_epsilon(&pts[pid], &pts[cand], eps) {
+                total += 1;
+            }
+        });
+        sampled += 1;
+    }
+    let mean = total as f64 / sampled as f64;
+    let est_pairs = (mean * pts.len() as f64) as u64;
+    (mean, est_pairs, grid.num_cells())
+}
+
+fn stats_dyn(pts: &DynPoints, eps: f32) -> (f64, u64, usize) {
+    match pts.dims() {
+        2 => neighbor_stats(&pts.as_fixed::<2>().unwrap(), eps),
+        3 => neighbor_stats(&pts.as_fixed::<3>().unwrap(), eps),
+        4 => neighbor_stats(&pts.as_fixed::<4>().unwrap(), eps),
+        5 => neighbor_stats(&pts.as_fixed::<5>().unwrap(), eps),
+        6 => neighbor_stats(&pts.as_fixed::<6>().unwrap(), eps),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale <f>"),
+            other => names.push(other.to_string()),
+        }
+    }
+    let specs: Vec<DatasetSpec> = if names.is_empty() {
+        DatasetSpec::table1()
+    } else {
+        names
+            .iter()
+            .map(|n| DatasetSpec::by_name(n).unwrap_or_else(|| panic!("unknown dataset {n}")))
+            .collect()
+    };
+    let mut t = Table::new(vec![
+        "dataset",
+        "|D|",
+        "eps",
+        "mean neighbors",
+        "est. pairs",
+        "non-empty cells",
+    ]);
+    for spec in specs {
+        let n = ((spec.default_points as f64 * scale) as usize).max(500);
+        let pts = spec.generate(n);
+        for &eps in &spec.epsilons {
+            let (mean, pairs, cells) = stats_dyn(&pts, eps);
+            t.row(vec![
+                spec.name.clone(),
+                n.to_string(),
+                format!("{eps}"),
+                format!("{mean:.1}"),
+                pairs.to_string(),
+                cells.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,65 @@
+//! The experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--quick | --scale <f>] [--eps-stride <n>] [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
+//! ```
+//!
+//! With no experiment names, runs everything. Output is markdown on stdout;
+//! tee it into `EXPERIMENTS.md` material.
+
+use sj_bench::experiments::{ExperimentScale, Experiments};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [EXPERIMENT]...\n\
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = ExperimentScale::full();
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = ExperimentScale::quick(),
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale.points_scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--eps-stride" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale.eps_stride = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".into());
+    }
+    let exp = Experiments::new(scale);
+    println!(
+        "# Experiment suite (points_scale = {}, eps_stride = {})",
+        scale.points_scale, scale.eps_stride
+    );
+    for name in names {
+        match name.as_str() {
+            "all" => drop(exp.run_all()),
+            "table1" => drop(exp.table1()),
+            "fig9" => drop(exp.fig9()),
+            "table3" => drop(exp.table3()),
+            "fig10" => drop(exp.fig10()),
+            "table4" => drop(exp.table4()),
+            "fig11" => drop(exp.fig11()),
+            "table5" => drop(exp.table5()),
+            "fig12" => drop(exp.fig12()),
+            "table6" => drop(exp.table6()),
+            "fig13" => drop(exp.fig13()),
+            "ablations" => drop(exp.ablations()),
+            _ => usage(),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Dimension-erased run helpers for GPU variants and SUPER-EGO.
+
+use std::time::{Duration, Instant};
+
+use epsgrid::DynPoints;
+use simjoin::{SelfJoin, SelfJoinConfig};
+use superego::{super_ego_join, SuperEgoConfig};
+
+use crate::cpu_model::CpuModel;
+
+/// Outcome of one simulated-GPU join run.
+#[derive(Debug, Clone)]
+pub struct GpuRunResult {
+    /// Variant label (from [`SelfJoinConfig::label`]).
+    pub label: String,
+    /// End-to-end response time in model seconds.
+    pub response_s: f64,
+    /// Warp execution efficiency, `[0, 1]`.
+    pub wee: f64,
+    /// Ordered result pairs found.
+    pub pairs: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Distance calculations performed.
+    pub distance_calcs: u64,
+    /// Coefficient of variation of per-warp durations (inter-warp
+    /// imbalance).
+    pub warp_cv: f64,
+    /// Wall-clock time the *simulation* took (not a result, just harness
+    /// telemetry).
+    pub sim_wall: Duration,
+}
+
+/// Outcome of one SUPER-EGO run.
+#[derive(Debug, Clone)]
+pub struct CpuRunResult {
+    /// Model seconds under the shared cost model.
+    pub model_s: f64,
+    /// Native wall-clock seconds on the host.
+    pub wall_s: f64,
+    /// Ordered result pairs found.
+    pub pairs: usize,
+    /// Distance calculations performed.
+    pub distance_calcs: u64,
+}
+
+fn run_join_fixed<const N: usize>(points: &[[f32; N]], config: SelfJoinConfig) -> GpuRunResult {
+    let start = Instant::now();
+    let label = config.label();
+    let join = SelfJoin::new(points, config).expect("join configuration must be valid");
+    let outcome = join.run().expect("join execution must succeed");
+    let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
+    GpuRunResult {
+        label,
+        response_s: outcome.report.response_time_s(),
+        wee: outcome.report.wee(),
+        pairs: outcome.result.len(),
+        batches: outcome.report.num_batches,
+        distance_calcs: outcome.report.distance_calcs(),
+        warp_cv,
+        sim_wall: start.elapsed(),
+    }
+}
+
+/// Runs a GPU join variant on a dimension-erased dataset (2 ≤ dims ≤ 6).
+///
+/// # Panics
+/// Panics on unsupported dimensionality or invalid configuration.
+pub fn run_join_dyn(points: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
+    match points.dims() {
+        2 => run_join_fixed(&points.as_fixed::<2>().unwrap(), config),
+        3 => run_join_fixed(&points.as_fixed::<3>().unwrap(), config),
+        4 => run_join_fixed(&points.as_fixed::<4>().unwrap(), config),
+        5 => run_join_fixed(&points.as_fixed::<5>().unwrap(), config),
+        6 => run_join_fixed(&points.as_fixed::<6>().unwrap(), config),
+        d => panic!("unsupported dimensionality {d}"),
+    }
+}
+
+fn run_superego_fixed<const N: usize>(
+    points: &[[f32; N]],
+    epsilon: f32,
+    cpu: &CpuModel,
+    cost: &warpsim::CostModel,
+) -> CpuRunResult {
+    let outcome = super_ego_join(points, &SuperEgoConfig::new(epsilon));
+    CpuRunResult {
+        model_s: cpu.model_seconds(&outcome.stats, N as u32, cost),
+        wall_s: outcome.wall.as_secs_f64(),
+        pairs: outcome.pairs.len(),
+        distance_calcs: outcome.stats.distance_calcs,
+    }
+}
+
+/// Runs SUPER-EGO on a dimension-erased dataset and converts its operation
+/// counts to model seconds with the same cost table the GPU uses.
+pub fn run_superego_dyn(
+    points: &DynPoints,
+    epsilon: f32,
+    cpu: &CpuModel,
+    cost: &warpsim::CostModel,
+) -> CpuRunResult {
+    match points.dims() {
+        2 => run_superego_fixed(&points.as_fixed::<2>().unwrap(), epsilon, cpu, cost),
+        3 => run_superego_fixed(&points.as_fixed::<3>().unwrap(), epsilon, cpu, cost),
+        4 => run_superego_fixed(&points.as_fixed::<4>().unwrap(), epsilon, cpu, cost),
+        5 => run_superego_fixed(&points.as_fixed::<5>().unwrap(), epsilon, cpu, cost),
+        6 => run_superego_fixed(&points.as_fixed::<6>().unwrap(), epsilon, cpu, cost),
+        d => panic!("unsupported dimensionality {d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjdata::DatasetSpec;
+
+    #[test]
+    fn gpu_and_cpu_find_the_same_pairs() {
+        let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+        let pts = spec.generate(2_000);
+        let eps = 0.6;
+        let gpu = run_join_dyn(&pts, SelfJoinConfig::optimized(eps));
+        let cpu = run_superego_dyn(
+            &pts,
+            eps,
+            &CpuModel::default(),
+            &warpsim::CostModel::default(),
+        );
+        assert_eq!(gpu.pairs, cpu.pairs);
+        assert!(gpu.response_s > 0.0);
+        assert!(cpu.model_s > 0.0);
+    }
+
+    #[test]
+    fn all_supported_dims_run() {
+        for name in ["Unif2D2M", "Unif3D2M", "Unif4D2M", "Unif5D2M", "Unif6D2M"] {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let pts = spec.generate(800);
+            let eps = spec.epsilons[2];
+            let r = run_join_dyn(&pts, SelfJoinConfig::new(eps));
+            assert!(r.wee > 0.0 && r.wee <= 1.0, "{name}");
+        }
+    }
+}

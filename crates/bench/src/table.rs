@@ -1,0 +1,112 @@
+//! Minimal markdown table printing for experiment output.
+
+/// A markdown table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for i in 0..cols {
+                s.push(' ');
+                s.push_str(&format!("{:w$}", cells[i], w = widths[i]));
+                s.push_str(" |");
+            }
+            s
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<w$}-|", "", w = w + 1));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a model time in engineering units.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} µs", seconds * 1e6)
+    }
+}
+
+/// Formats an efficiency as a percentage.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "23"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[1].starts_with("|-"));
+        assert_eq!(lines[2].len(), lines[3].len(), "rows align");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_pct(0.755), "75.5");
+        assert_eq!(fmt_speedup(2.0), "2.00×");
+    }
+}

@@ -1,0 +1,284 @@
+//! CLI subcommands.
+
+use std::path::Path;
+
+use epsgrid::DynPoints;
+use simjoin::{AccessPattern, Balancing, SelfJoin, SelfJoinConfig};
+use sjdata::{io as dataio, DatasetSpec};
+
+use crate::args::Parsed;
+
+const USAGE: &str = "\
+simjoin — GPU-simulated similarity self-join
+
+USAGE:
+  simjoin datasets
+      List the named datasets of the paper's Table I.
+  simjoin generate --dataset <name> --n <count> --output <path>
+      Generate a dataset (.csv or binary by extension).
+  simjoin join --input <path> --eps <f> [--k <n>|--k auto]
+               [--pattern full|unicomp|lid] [--balancing none|sort|queue]
+               [--balanced-queue] [--output <pairs.csv>] [--verify]
+      Run the self-join and print the execution report. --verify checks the
+      result against the SUPER-EGO CPU join.
+  simjoin stats --input <path> --eps <f>
+      Print workload statistics (mean neighbors, cells, imbalance).
+";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(argv)?;
+    if parsed.switch("help") || parsed.positional().is_empty() {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match parsed.positional()[0].as_str() {
+        "datasets" => datasets(),
+        "generate" => generate(&parsed),
+        "join" => join(&parsed),
+        "stats" => stats(&parsed),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn datasets() -> Result<(), String> {
+    println!("{:<10} {:>4} {:>12} {:>12}  epsilons", "name", "dims", "paper |D|", "scaled |D|");
+    for spec in DatasetSpec::table1() {
+        println!(
+            "{:<10} {:>4} {:>12} {:>12}  {:?}",
+            spec.name, spec.dims, spec.paper_points, spec.default_points, spec.epsilons
+        );
+    }
+    Ok(())
+}
+
+fn generate(parsed: &Parsed) -> Result<(), String> {
+    let name = parsed.required("dataset")?;
+    let spec = DatasetSpec::by_name(name)
+        .ok_or_else(|| format!("unknown dataset `{name}` (see `simjoin datasets`)"))?;
+    let n = parsed.parse_or("n", spec.default_points)?;
+    let output = parsed.required("output")?;
+    let points = spec.generate(n);
+    dataio::write_path(Path::new(output), &points).map_err(|e| e.to_string())?;
+    println!("wrote {} points ({} dims) to {output}", points.len(), points.dims());
+    Ok(())
+}
+
+fn load(parsed: &Parsed) -> Result<DynPoints, String> {
+    let input = parsed.required("input")?;
+    dataio::read_path(Path::new(input)).map_err(|e| format!("reading {input}: {e}"))
+}
+
+fn pattern_flag(parsed: &Parsed) -> Result<AccessPattern, String> {
+    match parsed.optional("pattern").unwrap_or("lid") {
+        "full" | "gpucalcglobal" => Ok(AccessPattern::FullWindow),
+        "unicomp" => Ok(AccessPattern::Unicomp),
+        "lid" | "lid-unicomp" => Ok(AccessPattern::LidUnicomp),
+        other => Err(format!("unknown pattern `{other}` (full|unicomp|lid)")),
+    }
+}
+
+fn balancing_flag(parsed: &Parsed) -> Result<Balancing, String> {
+    match parsed.optional("balancing").unwrap_or("queue") {
+        "none" | "static" => Ok(Balancing::None),
+        "sort" | "sortbywl" => Ok(Balancing::SortByWorkload),
+        "queue" | "workqueue" => Ok(Balancing::WorkQueue),
+        other => Err(format!("unknown balancing `{other}` (none|sort|queue)")),
+    }
+}
+
+fn with_fixed<R>(
+    points: &DynPoints,
+    f: impl Fn(&dyn JoinRunner) -> Result<R, String>,
+) -> Result<R, String> {
+    macro_rules! dims {
+        ($($n:literal),*) => {
+            match points.dims() {
+                $($n => {
+                    let pts = points.as_fixed::<$n>().expect("dims checked");
+                    f(&FixedRunner::<$n> { points: pts })
+                })*
+                d => Err(format!("unsupported dimensionality {d} (2–6)")),
+            }
+        };
+    }
+    dims!(2, 3, 4, 5, 6)
+}
+
+/// Dimension-erased access to the join for the CLI.
+trait JoinRunner {
+    fn run(
+        &self,
+        config: SelfJoinConfig,
+        auto_k: bool,
+    ) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String>;
+    fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)>;
+    fn stats(&self, eps: f32) -> Result<(f64, usize, f64), String>;
+}
+
+struct FixedRunner<const N: usize> {
+    points: Vec<[f32; N]>,
+}
+
+impl<const N: usize> JoinRunner for FixedRunner<N> {
+    fn run(
+        &self,
+        mut config: SelfJoinConfig,
+        auto_k: bool,
+    ) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String> {
+        if auto_k {
+            let probe =
+                SelfJoin::new(&self.points, config.clone()).map_err(|e| e.to_string())?;
+            config.k = probe.recommended_k();
+        }
+        let k = config.k;
+        let join = SelfJoin::new(&self.points, config).map_err(|e| e.to_string())?;
+        let outcome = join.run().map_err(|e| e.to_string())?;
+        Ok((outcome.result.sorted_pairs(), outcome.report, k))
+    }
+
+    fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)> {
+        let mut pairs =
+            superego::super_ego_join(&self.points, &superego::SuperEgoConfig::new(eps)).pairs;
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn stats(&self, eps: f32) -> Result<(f64, usize, f64), String> {
+        let join =
+            SelfJoin::new(&self.points, SelfJoinConfig::new(eps)).map_err(|e| e.to_string())?;
+        let profile = simjoin::WorkloadProfile::compute(join.grid());
+        let per_point = profile.per_point();
+        let mean = per_point.iter().sum::<u64>() as f64 / per_point.len() as f64;
+        let var = per_point
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / per_point.len() as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        Ok((join.mean_candidates(), join.grid().num_cells(), cv))
+    }
+}
+
+fn join(parsed: &Parsed) -> Result<(), String> {
+    let points = load(parsed)?;
+    let eps: f32 = parsed.required_parse("eps")?;
+    let pattern = pattern_flag(parsed)?;
+    let balancing = balancing_flag(parsed)?;
+    let (auto_k, k) = match parsed.optional("k") {
+        Some("auto") => (true, 1u32),
+        Some(v) => (false, v.parse().map_err(|_| "flag --k has an invalid value")?),
+        None => (false, 1),
+    };
+    let mut config = SelfJoinConfig::new(eps)
+        .with_pattern(pattern)
+        .with_balancing(balancing)
+        .with_k(k);
+    config.batching.balanced_queue = parsed.switch("balanced-queue");
+
+    let (pairs, report, used_k) = with_fixed(&points, |runner| {
+        let (pairs, report, used_k) = runner.run(config.clone(), auto_k)?;
+        if parsed.switch("verify") {
+            let reference = runner.superego_pairs(eps);
+            if pairs != reference {
+                return Err(format!(
+                    "verification FAILED: GPU join found {} pairs, SUPER-EGO found {}",
+                    pairs.len(),
+                    reference.len()
+                ));
+            }
+            println!("verification: SUPER-EGO agrees on all {} pairs", pairs.len());
+        }
+        Ok((pairs, report, used_k))
+    })?;
+
+    println!("variant               : {} (k = {used_k})", config.with_k(used_k).label());
+    println!("pairs found           : {}", pairs.len());
+    println!("batches               : {}", report.num_batches);
+    println!("distance calculations : {}", report.distance_calcs());
+    println!("warp exec efficiency  : {:.1} %", report.wee() * 100.0);
+    println!("response time (model) : {:.6} s", report.response_time_s());
+
+    if let Some(output) = parsed.optional("output") {
+        use std::io::Write;
+        let f = std::fs::File::create(output).map_err(|e| e.to_string())?;
+        let mut w = std::io::BufWriter::new(f);
+        for (a, b) in &pairs {
+            writeln!(w, "{a},{b}").map_err(|e| e.to_string())?;
+        }
+        println!("wrote {} pairs to {output}", pairs.len());
+    }
+    Ok(())
+}
+
+fn stats(parsed: &Parsed) -> Result<(), String> {
+    let points = load(parsed)?;
+    let eps: f32 = parsed.required_parse("eps")?;
+    let (mean_candidates, cells, cv) = with_fixed(&points, |runner| runner.stats(eps))?;
+    println!("points               : {}", points.len());
+    println!("dims                 : {}", points.dims());
+    println!("non-empty cells      : {cells}");
+    println!("mean candidates/query: {mean_candidates:.1}");
+    println!("workload CV          : {cv:.3} (σ/μ of per-point candidate counts)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(dispatch(&argv(&["--help"])).is_ok());
+        assert!(dispatch(&argv(&[])).is_ok());
+    }
+
+    #[test]
+    fn datasets_lists() {
+        assert!(dispatch(&argv(&["datasets"])).is_ok());
+    }
+
+    #[test]
+    fn generate_join_stats_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("simjoin-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let pairs = dir.join("pairs.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        let pairs_s = pairs.to_str().unwrap().to_string();
+
+        dispatch(&argv(&["generate", "--dataset", "Expo2D2M", "--n", "600", "--output", &data_s]))
+            .unwrap();
+        dispatch(&argv(&[
+            "join", "--input", &data_s, "--eps", "0.5", "--k", "auto", "--verify",
+            "--output", &pairs_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["stats", "--input", &data_s, "--eps", "0.5"])).unwrap();
+
+        let written = std::fs::read_to_string(&pairs).unwrap();
+        assert!(written.lines().count() > 0);
+        assert!(written.lines().all(|l| l.split(',').count() == 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_pattern_is_reported() {
+        let p = Parsed::parse(&argv(&["--pattern", "bogus"])).unwrap();
+        assert!(pattern_flag(&p).is_err());
+        let p = Parsed::parse(&argv(&["--balancing", "bogus"])).unwrap();
+        assert!(balancing_flag(&p).is_err());
+    }
+}

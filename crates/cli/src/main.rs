@@ -1,0 +1,25 @@
+//! `simjoin` — command-line similarity self-join.
+//!
+//! ```text
+//! simjoin datasets
+//! simjoin generate --dataset Expo2D2M --n 60000 --output pts.csv
+//! simjoin join --input pts.csv --eps 0.2 [--k 8|auto] [--pattern lid]
+//!              [--balancing queue] [--balanced-queue] [--output pairs.csv] [--verify]
+//! simjoin stats --input pts.csv --eps 0.2
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

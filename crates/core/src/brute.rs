@@ -1,0 +1,77 @@
+//! Brute-force reference self-join (`O(|D|²)`), used to verify every kernel
+//! variant and the CPU comparator.
+
+use epsgrid::{within_epsilon, Point};
+
+/// Computes the self-join by comparing every pair of points.
+///
+/// Returns **ordered** pairs `(a, b)` with `a ≠ b` and `dist(a, b) ≤ ε` —
+/// both orientations of every match, matching the kernels' output
+/// convention. Self-pairs are excluded.
+pub fn brute_force_join<const N: usize>(points: &[Point<N>], epsilon: f32) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (i, a) in points.iter().enumerate() {
+        for (j, b) in points.iter().enumerate().skip(i + 1) {
+            if within_epsilon(a, b, epsilon) {
+                pairs.push((i as u32, j as u32));
+                pairs.push((j as u32, i as u32));
+            }
+        }
+    }
+    pairs
+}
+
+/// Counts each point's ε-neighbors by brute force (excluding itself).
+pub fn brute_force_neighbor_counts<const N: usize>(
+    points: &[Point<N>],
+    epsilon: f32,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; points.len()];
+    for (i, a) in points.iter().enumerate() {
+        for (j, b) in points.iter().enumerate().skip(i + 1) {
+            if within_epsilon(a, b, epsilon) {
+                counts[i] += 1;
+                counts[j] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_symmetric_pairs() {
+        let pts: Vec<Point<2>> = vec![[0.0, 0.0], [0.5, 0.0], [3.0, 3.0]];
+        let mut pairs = brute_force_join(&pts, 1.0);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn excludes_self_pairs() {
+        let pts: Vec<Point<2>> = vec![[0.0, 0.0]];
+        assert!(brute_force_join(&pts, 10.0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_join_each_other() {
+        let pts: Vec<Point<2>> = vec![[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]];
+        let pairs = brute_force_join(&pts, 0.0);
+        // 3 unordered pairs × 2 orientations
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn neighbor_counts_match_pair_list() {
+        let pts: Vec<Point<3>> =
+            vec![[0.0; 3], [0.1, 0.0, 0.0], [0.2, 0.0, 0.0], [9.0, 9.0, 9.0]];
+        let counts = brute_force_neighbor_counts(&pts, 0.15);
+        assert_eq!(counts, vec![1, 2, 1, 0]);
+        let pairs = brute_force_join(&pts, 0.15);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(pairs.len() as u64, total);
+    }
+}

@@ -1,0 +1,218 @@
+//! Self-join configuration: which kernel variant, which mitigations.
+
+use warpsim::{GpuConfig, IssueOrder};
+
+use crate::batching::BatchingConfig;
+
+/// The cell access pattern used by the range-query kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// The original `GPUCALCGLOBAL` pattern: every point compares against
+    /// every candidate in all (up to `3^n`) adjacent cells. Each in-ε pair
+    /// is therefore computed twice (once from each side).
+    FullWindow,
+    /// The `UNICOMP` pattern of Gowanlock & Karsin: cells with odd
+    /// coordinates compare "forward" along per-dimension arrows, so each
+    /// adjacent-cell pair is computed once and both orientations of a found
+    /// pair are emitted after a single distance calculation. Workload per
+    /// cell varies from 0 to `3^n - 1` neighbor cells.
+    Unicomp,
+    /// The paper's `LID-UNICOMP` pattern (§III-B): compare only to neighbor
+    /// cells with a **larger linear id** than the origin cell. Same halving
+    /// of distance calculations as `UNICOMP`, but every interior cell
+    /// compares to exactly `(3^n - 1) / 2` neighbors — balanced work.
+    LidUnicomp,
+}
+
+impl AccessPattern {
+    /// Whether the pattern computes each pair once and emits both
+    /// orientations (the unidirectional patterns) rather than computing each
+    /// direction independently.
+    pub fn is_unidirectional(&self) -> bool {
+        !matches!(self, AccessPattern::FullWindow)
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPattern::FullWindow => "GPUCALCGLOBAL",
+            AccessPattern::Unicomp => "UNICOMP",
+            AccessPattern::LidUnicomp => "LID-UNICOMP",
+        }
+    }
+}
+
+/// The load-balancing strategy applied across threads and warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Balancing {
+    /// Static strided assignment, hardware-arbitrary warp order (baseline).
+    None,
+    /// `SORTBYWL` (§III-C): each batch's points are sorted by quantified
+    /// workload so warps are packed with similar-workload threads. The warp
+    /// *execution* order remains up to the hardware scheduler.
+    SortByWorkload,
+    /// `WORKQUEUE` (§III-D): the whole dataset is sorted by workload and
+    /// threads acquire points through a global atomic counter, forcing
+    /// warps to execute in non-increasing workload order.
+    WorkQueue,
+}
+
+impl Balancing {
+    /// Short display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Balancing::None => "STATIC",
+            Balancing::SortByWorkload => "SORTBYWL",
+            Balancing::WorkQueue => "WORKQUEUE",
+        }
+    }
+}
+
+/// Full configuration of one self-join execution.
+#[derive(Debug, Clone)]
+pub struct SelfJoinConfig {
+    /// The distance threshold ε.
+    pub epsilon: f32,
+    /// Threads per query point (§III-A). Must divide the warp size.
+    pub k: u32,
+    /// Cell access pattern.
+    pub pattern: AccessPattern,
+    /// Load-balancing strategy.
+    pub balancing: Balancing,
+    /// Batching scheme parameters.
+    pub batching: BatchingConfig,
+    /// The simulated GPU.
+    pub gpu: GpuConfig,
+    /// Seed for the arbitrary hardware scheduler model.
+    pub scheduler_seed: u64,
+    /// Overrides the warp issue order implied by `balancing` (ablations
+    /// only: e.g. SORTBYWL with a forced in-order scheduler isolates the
+    /// WORKQUEUE's ordering contribution).
+    pub issue_override: Option<IssueOrder>,
+}
+
+impl SelfJoinConfig {
+    /// A baseline configuration (GPUCALCGLOBAL, `k = 1`, no balancing) with
+    /// the given ε.
+    pub fn new(epsilon: f32) -> Self {
+        Self {
+            epsilon,
+            k: 1,
+            pattern: AccessPattern::FullWindow,
+            balancing: Balancing::None,
+            batching: BatchingConfig::default(),
+            gpu: GpuConfig::default(),
+            scheduler_seed: 0xC0FFEE,
+            issue_override: None,
+        }
+    }
+
+    /// The paper's best combination: WORKQUEUE + LID-UNICOMP + `k = 8`.
+    pub fn optimized(epsilon: f32) -> Self {
+        Self {
+            k: 8,
+            pattern: AccessPattern::LidUnicomp,
+            balancing: Balancing::WorkQueue,
+            ..Self::new(epsilon)
+        }
+    }
+
+    /// Builder-style: set `k`.
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style: set the access pattern.
+    pub fn with_pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Builder-style: set the balancing strategy.
+    pub fn with_balancing(mut self, balancing: Balancing) -> Self {
+        self.balancing = balancing;
+        self
+    }
+
+    /// Builder-style: set the batching configuration.
+    pub fn with_batching(mut self, batching: BatchingConfig) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Builder-style: set the GPU model.
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// The warp issue order implied by the balancing strategy: the
+    /// WORKQUEUE forces in-order execution, everything else is at the
+    /// mercy of the (modeled) hardware scheduler. An explicit
+    /// `issue_override` wins over both.
+    pub fn issue_order(&self) -> IssueOrder {
+        if let Some(order) = self.issue_override {
+            return order;
+        }
+        match self.balancing {
+            Balancing::WorkQueue => IssueOrder::InOrder,
+            _ => IssueOrder::Arbitrary { seed: self.scheduler_seed },
+        }
+    }
+
+    /// Builder-style: force a warp issue order (ablations).
+    pub fn with_issue_override(mut self, order: IssueOrder) -> Self {
+        self.issue_override = Some(order);
+        self
+    }
+
+    /// A human-readable variant label, e.g. `"WORKQUEUE+LID-UNICOMP, k=8"`.
+    pub fn label(&self) -> String {
+        format!("{}+{}, k={}", self.balancing.name(), self.pattern.name(), self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_defaults() {
+        let c = SelfJoinConfig::new(0.5);
+        assert_eq!(c.epsilon, 0.5);
+        assert_eq!(c.k, 1);
+        assert_eq!(c.pattern, AccessPattern::FullWindow);
+        assert_eq!(c.balancing, Balancing::None);
+        assert!(matches!(c.issue_order(), IssueOrder::Arbitrary { .. }));
+    }
+
+    #[test]
+    fn optimized_matches_paper_combination() {
+        let c = SelfJoinConfig::optimized(0.5);
+        assert_eq!(c.k, 8);
+        assert_eq!(c.pattern, AccessPattern::LidUnicomp);
+        assert_eq!(c.balancing, Balancing::WorkQueue);
+        assert_eq!(c.issue_order(), IssueOrder::InOrder);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SelfJoinConfig::new(1.0)
+            .with_k(4)
+            .with_pattern(AccessPattern::Unicomp)
+            .with_balancing(Balancing::SortByWorkload);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.pattern, AccessPattern::Unicomp);
+        assert_eq!(c.balancing, Balancing::SortByWorkload);
+    }
+
+    #[test]
+    fn pattern_properties() {
+        assert!(!AccessPattern::FullWindow.is_unidirectional());
+        assert!(AccessPattern::Unicomp.is_unidirectional());
+        assert!(AccessPattern::LidUnicomp.is_unidirectional());
+        assert_eq!(AccessPattern::LidUnicomp.name(), "LID-UNICOMP");
+        assert_eq!(Balancing::WorkQueue.name(), "WORKQUEUE");
+    }
+}

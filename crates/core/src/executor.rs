@@ -1,0 +1,615 @@
+//! Host-side orchestration: index → estimate → batch plan → kernels → result.
+
+use epsgrid::{GridBuildError, GridIndex, Point};
+use warpsim::{
+    launch, BatchTiming, CoopGroups, DeviceBuffer, DeviceCounter, LaunchError, LaunchReport,
+    PipelineReport, StreamPipeline, WarpExecution, WarpStatsSummary,
+};
+
+use crate::batching::{
+    buffer_capacity_for, estimate_prefix, estimate_strided, num_batches_for, plan_queue,
+    plan_queue_balanced, plan_strided, BatchPlan, ResultEstimate,
+};
+use crate::config::{Balancing, SelfJoinConfig};
+use crate::kernels::{Assignment, JoinKernelSource, ResolvedPatterns};
+use crate::result::ResultSet;
+use crate::workload::WorkloadProfile;
+
+/// Errors from configuring or running a self-join.
+#[derive(Debug)]
+pub enum JoinError {
+    /// The grid index could not be built.
+    Grid(GridBuildError),
+    /// `k` does not partition the warp size.
+    InvalidK(warpsim::coop::CoopError),
+    /// A batch kernel overflowed its result buffer — the batch plan failed
+    /// its core guarantee (e.g. the sample under-estimated badly).
+    Launch(LaunchError),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Grid(e) => write!(f, "grid index construction failed: {e}"),
+            JoinError::InvalidK(e) => write!(f, "invalid thread granularity: {e}"),
+            JoinError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<GridBuildError> for JoinError {
+    fn from(e: GridBuildError) -> Self {
+        JoinError::Grid(e)
+    }
+}
+
+/// Per-batch execution record.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The kernel launch outcome.
+    pub launch: LaunchReport,
+    /// Result pairs produced by this batch.
+    pub pairs: usize,
+    /// Kernel time in model seconds.
+    pub kernel_s: f64,
+    /// Device-to-host transfer time in model seconds.
+    pub transfer_s: f64,
+}
+
+/// Aggregate report of a full self-join execution.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Result-size estimate that sized the batch plan.
+    pub estimate: ResultEstimate,
+    /// Number of batches executed.
+    pub num_batches: usize,
+    /// Per-batch records.
+    pub batches: Vec<BatchReport>,
+    /// Multi-stream pipeline schedule of the batches.
+    pub pipeline: PipelineReport,
+    /// Accumulated warp counters across all batches.
+    pub totals: WarpExecution,
+    /// Total result pairs.
+    pub total_pairs: usize,
+}
+
+impl JoinReport {
+    /// Warp execution efficiency across the whole join, in `[0, 1]`.
+    pub fn wee(&self) -> f64 {
+        self.totals.efficiency()
+    }
+
+    /// End-to-end response time in model seconds (kernels + exposed
+    /// transfers under the stream pipeline).
+    pub fn response_time_s(&self) -> f64 {
+        self.pipeline.total_s
+    }
+
+    /// Sum of kernel times (no transfers), model seconds.
+    pub fn kernel_time_s(&self) -> f64 {
+        self.batches.iter().map(|b| b.kernel_s).sum()
+    }
+
+    /// Total distance calculations performed.
+    pub fn distance_calcs(&self) -> u64 {
+        self.totals.lane_ops_by_kind[warpsim::OpKind::Distance.index()]
+    }
+
+    /// Per-warp duration summary pooled over all batches.
+    pub fn warp_stats(&self) -> Option<WarpStatsSummary> {
+        let all: Vec<u64> =
+            self.batches.iter().flat_map(|b| b.launch.warp_cycles.iter().copied()).collect();
+        WarpStatsSummary::from_durations(&all)
+    }
+}
+
+/// A join's outcome: the pair set and the execution report.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// The self-join result.
+    pub result: ResultSet,
+    /// Timing and efficiency report.
+    pub report: JoinReport,
+}
+
+/// A configured self-join over a dataset.
+///
+/// Construction builds the ε-grid index and resolves the access pattern;
+/// [`SelfJoin::run`] executes the batched kernels on the simulated GPU.
+#[derive(Debug)]
+pub struct SelfJoin<'a, const N: usize> {
+    points: &'a [Point<N>],
+    config: SelfJoinConfig,
+    grid: GridIndex<N>,
+    resolved: ResolvedPatterns,
+    profile: Option<WorkloadProfile>,
+}
+
+impl<'a, const N: usize> SelfJoin<'a, N> {
+    /// Indexes `points` and prepares the kernels described by `config`.
+    pub fn new(points: &'a [Point<N>], config: SelfJoinConfig) -> Result<Self, JoinError> {
+        CoopGroups::new(config.gpu.warp_size, config.k).map_err(JoinError::InvalidK)?;
+        let grid = GridIndex::build(points, config.epsilon)?;
+        let resolved = ResolvedPatterns::compute(&grid, config.pattern);
+        let profile = match config.balancing {
+            Balancing::None => None,
+            Balancing::SortByWorkload | Balancing::WorkQueue => {
+                Some(WorkloadProfile::compute(&grid))
+            }
+        };
+        Ok(Self { points, config, grid, resolved, profile })
+    }
+
+    /// The grid index (for inspection).
+    pub fn grid(&self) -> &GridIndex<N> {
+        &self.grid
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SelfJoinConfig {
+        &self.config
+    }
+
+    /// The workload profile, if the balancing strategy required one.
+    pub fn profile(&self) -> Option<&WorkloadProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Mean candidate count per query point (the average refine-step
+    /// workload).
+    pub fn mean_candidates(&self) -> f64 {
+        let total: u128 = (0..self.grid.num_cells())
+            .map(|ci| {
+                self.grid.window_candidate_count(ci) as u128
+                    * self.grid.cell_points(ci).len() as u128
+            })
+            .sum();
+        total as f64 / self.grid.num_points() as f64
+    }
+
+    /// Recommends a thread granularity `k` from the dataset's workload.
+    ///
+    /// The paper evaluates only `k = 1` vs `k = 8` and observes that high
+    /// granularity pays off when query points carry large candidate sets
+    /// (Expo2D at large ε) but wastes warps when per-point work is small
+    /// (Unif6D at any ε). This heuristic encodes that observation: the
+    /// recommended `k` grows with the mean candidate count so that each
+    /// lane still keeps a few dozen distance calculations.
+    pub fn recommended_k(&self) -> u32 {
+        let mean = self.mean_candidates();
+        if mean < 64.0 {
+            1
+        } else if mean < 192.0 {
+            2
+        } else if mean < 512.0 {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// Builds the batch plan (exposed for tests and benches).
+    pub fn plan(&self) -> (ResultEstimate, BatchPlan) {
+        self.plan_with(1)
+    }
+
+    /// Builds the batch plan with the batch count scaled by `multiplier`
+    /// (used when a previous attempt overflowed the result buffer).
+    fn plan_with(&self, multiplier: usize) -> (ResultEstimate, BatchPlan) {
+        let c = &self.config;
+        match c.balancing {
+            Balancing::None | Balancing::SortByWorkload => {
+                let estimate = estimate_strided(
+                    &self.grid,
+                    self.points,
+                    c.epsilon,
+                    c.batching.sample_fraction,
+                );
+                let nb = num_batches_for(&estimate, &c.batching) * multiplier;
+                let plan = plan_strided(self.points.len(), nb, self.profile.as_ref());
+                (estimate, plan)
+            }
+            Balancing::WorkQueue => {
+                let profile = self.profile.as_ref().expect("WorkQueue always has a profile");
+                let order = profile.sorted_dataset(&self.grid);
+                let estimate = estimate_prefix(
+                    &self.grid,
+                    self.points,
+                    c.epsilon,
+                    c.batching.sample_fraction,
+                    &order,
+                );
+                let nb = num_batches_for(&estimate, &c.batching) * multiplier;
+                let plan = if c.batching.balanced_queue {
+                    plan_queue_balanced(order, profile.per_point(), nb)
+                } else {
+                    plan_queue(order, nb)
+                };
+                (estimate, plan)
+            }
+        }
+    }
+
+    /// Executes the join.
+    ///
+    /// If a batch overflows the result buffer (the sampled estimate was too
+    /// low), the join is re-planned with twice as many batches and retried —
+    /// the host-side recovery the batching scheme needs when the 1 % sample
+    /// misses a dense region.
+    pub fn run(&self) -> Result<JoinOutcome, JoinError> {
+        let mut multiplier = 1;
+        loop {
+            match self.run_once(multiplier) {
+                Err(JoinError::Launch(LaunchError::ResultOverflow(_)))
+                    if multiplier < 64
+                        && self.config.batching.batch_result_capacity > 0 =>
+                {
+                    multiplier *= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn run_once(&self, multiplier: usize) -> Result<JoinOutcome, JoinError> {
+        let (estimate, plan) = self.plan_with(multiplier);
+        let c = &self.config;
+        let issue_order = c.issue_order();
+        let mut result = ResultSet::default();
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
+        let mut totals = WarpExecution { warp_size: c.gpu.warp_size, ..WarpExecution::default() };
+        // With the device-saturation floor enabled, the pinned buffer grows
+        // to fit the fewer, larger batches; otherwise it is exactly `b_s`.
+        let capacity = if c.batching.max_batches > 0 {
+            buffer_capacity_for(&estimate, plan.num_batches(), &c.batching)
+        } else {
+            c.batching.batch_result_capacity
+        };
+        let mut buffer = DeviceBuffer::with_capacity(capacity);
+
+        let run_batch = |assignment: Assignment<'_>,
+                             num_groups: usize,
+                             buffer: &mut DeviceBuffer<(u32, u32)>,
+                             result: &mut ResultSet,
+                             totals: &mut WarpExecution|
+         -> Result<BatchReport, JoinError> {
+            let source = JoinKernelSource {
+                grid: &self.grid,
+                points: self.points,
+                resolved: &self.resolved,
+                epsilon: c.epsilon,
+                k: c.k,
+                warp_size: c.gpu.warp_size,
+                cost: c.gpu.cost,
+                assignment,
+                num_groups,
+            };
+            let launch_report =
+                launch(&c.gpu, &source, issue_order, buffer).map_err(JoinError::Launch)?;
+            let pairs = buffer.len();
+            result.extend(buffer.as_slice());
+            buffer.clear();
+            totals.accumulate(&launch_report.totals);
+            let kernel_s = launch_report.elapsed_seconds();
+            let transfer_s = c.batching.transfer_seconds(pairs);
+            Ok(BatchReport { launch: launch_report, pairs, kernel_s, transfer_s })
+        };
+
+        match &plan {
+            BatchPlan::Strided { batches } => {
+                for queries in batches {
+                    let report = run_batch(
+                        Assignment::Static { queries },
+                        queries.len(),
+                        &mut buffer,
+                        &mut result,
+                        &mut totals,
+                    )?;
+                    batch_reports.push(report);
+                }
+            }
+            BatchPlan::Queue { order, chunks } => {
+                let counter = DeviceCounter::new();
+                let limit = order.len() as u64;
+                for chunk in chunks {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    let report = run_batch(
+                        Assignment::Queue { order, counter: &counter, limit },
+                        chunk.len(),
+                        &mut buffer,
+                        &mut result,
+                        &mut totals,
+                    )?;
+                    batch_reports.push(report);
+                }
+                debug_assert_eq!(counter.load(), limit, "queue must drain exactly");
+            }
+        }
+
+        let timings: Vec<BatchTiming> = batch_reports
+            .iter()
+            .map(|b| BatchTiming { kernel_s: b.kernel_s, transfer_s: b.transfer_s })
+            .collect();
+        let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
+        let total_pairs = result.len();
+        Ok(JoinOutcome {
+            result,
+            report: JoinReport {
+                estimate,
+                num_batches: batch_reports.len(),
+                batches: batch_reports,
+                pipeline,
+                totals,
+                total_pairs,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_join;
+    use crate::config::{AccessPattern, Balancing};
+    use warpsim::GpuConfig;
+
+    fn skewed_points(n: usize) -> Vec<Point<2>> {
+        // Half the points bunched in a dense blob, half spread out.
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n / 2 {
+            pts.push([0.2 + 0.001 * (i % 50) as f32, 0.2 + 0.0013 * (i % 37) as f32]);
+        }
+        for i in n / 2..n {
+            pts.push([3.0 + 0.17 * (i % 61) as f32, 2.0 + 0.19 * (i % 53) as f32]);
+        }
+        pts
+    }
+
+    fn reference(pts: &[Point<2>], eps: f32) -> Vec<(u32, u32)> {
+        let mut p = brute_force_join(pts, eps);
+        p.sort_unstable();
+        p
+    }
+
+    fn all_variants(eps: f32) -> Vec<SelfJoinConfig> {
+        let mut configs = Vec::new();
+        for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+            for pattern in
+                [AccessPattern::FullWindow, AccessPattern::Unicomp, AccessPattern::LidUnicomp]
+            {
+                for k in [1u32, 8] {
+                    configs.push(
+                        SelfJoinConfig::new(eps)
+                            .with_pattern(pattern)
+                            .with_balancing(balancing)
+                            .with_k(k),
+                    );
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn every_variant_matches_brute_force() {
+        let pts = skewed_points(120);
+        let eps = 0.08;
+        let expected = reference(&pts, eps);
+        for config in all_variants(eps) {
+            let label = config.label();
+            let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+            assert_eq!(outcome.result.sorted_pairs(), expected, "variant {label}");
+            outcome.result.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn batching_splits_and_preserves_results() {
+        let pts = skewed_points(200);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 3 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(small_batches);
+            let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+            assert!(
+                outcome.report.num_batches >= 2,
+                "{balancing:?}: expected multiple batches, got {}",
+                outcome.report.num_batches
+            );
+            assert_eq!(outcome.result.sorted_pairs(), expected, "{balancing:?}");
+            for batch in &outcome.report.batches {
+                assert!(batch.pairs <= small_batches.batch_result_capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn workqueue_runs_at_least_as_many_batches_as_strided() {
+        // The prefix (heaviest-first) estimator is pessimistic → more batches
+        // (§III-D).
+        let pts = skewed_points(300);
+        let eps = 0.1;
+        let batching = crate::BatchingConfig {
+            batch_result_capacity: 3_000,
+            safety_factor: 1.5,
+            ..crate::BatchingConfig::default()
+        };
+        let strided = SelfJoin::new(&pts, SelfJoinConfig::new(eps).with_batching(batching))
+            .unwrap()
+            .run()
+            .unwrap();
+        let queued = SelfJoin::new(
+            &pts,
+            SelfJoinConfig::new(eps)
+                .with_balancing(Balancing::WorkQueue)
+                .with_batching(batching),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(queued.report.num_batches >= strided.report.num_batches);
+    }
+
+    #[test]
+    fn workqueue_improves_wee_on_skewed_data() {
+        let pts = skewed_points(400);
+        let eps = 0.12;
+        let base = SelfJoin::new(&pts, SelfJoinConfig::new(eps)).unwrap().run().unwrap();
+        let wq = SelfJoin::new(
+            &pts,
+            SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(
+            wq.report.wee() > base.report.wee(),
+            "WORKQUEUE WEE {} should beat baseline WEE {}",
+            wq.report.wee(),
+            base.report.wee()
+        );
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let pts = skewed_points(10);
+        let config = SelfJoinConfig::new(0.1).with_k(5);
+        assert!(matches!(SelfJoin::new(&pts, config), Err(JoinError::InvalidK(_))));
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let pts: Vec<Point<2>> = vec![];
+        assert!(matches!(
+            SelfJoin::new(&pts, SelfJoinConfig::new(0.1)),
+            Err(JoinError::Grid(_))
+        ));
+    }
+
+    #[test]
+    fn report_invariants() {
+        let pts = skewed_points(150);
+        let outcome =
+            SelfJoin::new(&pts, SelfJoinConfig::optimized(0.1)).unwrap().run().unwrap();
+        let r = &outcome.report;
+        assert!(r.wee() > 0.0 && r.wee() <= 1.0);
+        assert_eq!(r.total_pairs, outcome.result.len());
+        assert!(r.response_time_s() >= r.kernel_time_s() - 1e-12);
+        assert!(r.distance_calcs() > 0);
+        assert_eq!(r.batches.len(), r.num_batches);
+        let stats = r.warp_stats().unwrap();
+        assert!(stats.count > 0);
+    }
+
+    #[test]
+    fn balanced_queue_tightens_per_batch_result_spread() {
+        let pts = skewed_points(500);
+        let eps = 0.15;
+        let batching = crate::BatchingConfig {
+            batch_result_capacity: 8_000,
+            safety_factor: 1.5,
+            ..crate::BatchingConfig::default()
+        };
+        let fixed = SelfJoin::new(
+            &pts,
+            SelfJoinConfig::new(eps)
+                .with_balancing(Balancing::WorkQueue)
+                .with_batching(batching),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let balanced = SelfJoin::new(
+            &pts,
+            SelfJoinConfig::new(eps)
+                .with_balancing(Balancing::WorkQueue)
+                .with_batching(crate::BatchingConfig { balanced_queue: true, ..batching }),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(balanced.result.same_pairs_as(&fixed.result));
+        let spread = |r: &crate::JoinReport| -> f64 {
+            let pairs: Vec<f64> = r.batches.iter().map(|b| b.pairs as f64).collect();
+            let mean = pairs.iter().sum::<f64>() / pairs.len() as f64;
+            if mean == 0.0 {
+                return 0.0;
+            }
+            pairs.iter().copied().fold(f64::MIN, f64::max) / mean
+        };
+        assert!(fixed.report.num_batches >= 2, "need several batches for the comparison");
+        assert!(
+            spread(&balanced.report) <= spread(&fixed.report) + 1e-9,
+            "balanced chunking must not widen the per-batch result spread \
+             (balanced {:.2} vs fixed {:.2})",
+            spread(&balanced.report),
+            spread(&fixed.report)
+        );
+    }
+
+    #[test]
+    fn recommended_k_tracks_workload() {
+        // Dense duplicate-heavy data → large candidate sets → high k.
+        let dense: Vec<Point<2>> = (0..600)
+            .map(|i| [0.001 * (i % 10) as f32, 0.001 * (i / 10) as f32])
+            .collect();
+        let join = SelfJoin::new(&dense, SelfJoinConfig::new(0.5)).unwrap();
+        assert_eq!(join.recommended_k(), 8);
+        assert!(join.mean_candidates() > 512.0);
+        // Sparse data → tiny candidate sets → k = 1.
+        let sparse: Vec<Point<2>> =
+            (0..200).map(|i| [10.0 * (i % 20) as f32, 10.0 * (i / 20) as f32]).collect();
+        let join = SelfJoin::new(&sparse, SelfJoinConfig::new(0.5)).unwrap();
+        assert_eq!(join.recommended_k(), 1);
+    }
+
+    #[test]
+    fn overflow_triggers_replan_with_more_batches() {
+        // Give the estimator a hopeless sample fraction so it undercounts,
+        // with a buffer too small for the single planned batch: the executor
+        // must recover by doubling the batch count.
+        let pts = skewed_points(300);
+        let eps = 0.12;
+        let expected = reference(&pts, eps);
+        assert!(!expected.is_empty());
+        let config = SelfJoinConfig::new(eps).with_batching(crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 4 + 64,
+            sample_fraction: 0.005,
+            safety_factor: 1.0,
+            ..crate::BatchingConfig::default()
+        });
+        let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        assert!(outcome.report.num_batches >= 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let pts = skewed_points(100);
+        let config = SelfJoinConfig::new(0.1).with_balancing(Balancing::SortByWorkload);
+        let a = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+        let b = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        assert_eq!(a.result.sorted_pairs(), b.result.sorted_pairs());
+        assert_eq!(a.report.response_time_s(), b.report.response_time_s());
+        assert_eq!(a.report.wee(), b.report.wee());
+    }
+
+    #[test]
+    fn small_gpu_config_also_works() {
+        let pts = skewed_points(60);
+        let config = SelfJoinConfig::optimized(0.1)
+            .with_gpu(GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() });
+        let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), reference(&pts, 0.1));
+    }
+}

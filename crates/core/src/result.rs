@@ -1,0 +1,163 @@
+//! Self-join result sets.
+
+/// The (ordered-pair) result set of a self-join.
+///
+/// Contains every pair `(a, b)` with `a ≠ b` and `dist(a, b) ≤ ε`, in both
+/// orientations. Pair order is implementation-defined; comparisons should go
+/// through [`ResultSet::sorted_pairs`] or [`ResultSet::same_pairs_as`].
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl ResultSet {
+    /// Wraps a pair list.
+    pub fn from_pairs(pairs: Vec<(u32, u32)>) -> Self {
+        Self { pairs }
+    }
+
+    /// Number of ordered pairs (twice the number of matching point pairs).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the join found no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pairs in their production order.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Appends pairs from a batch.
+    pub fn extend(&mut self, pairs: &[(u32, u32)]) {
+        self.pairs.extend_from_slice(pairs);
+    }
+
+    /// The pairs sorted lexicographically (for comparisons and display).
+    pub fn sorted_pairs(&self) -> Vec<(u32, u32)> {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        p
+    }
+
+    /// Whether two result sets contain the same pairs (as multisets).
+    pub fn same_pairs_as(&self, other: &ResultSet) -> bool {
+        self.sorted_pairs() == other.sorted_pairs()
+    }
+
+    /// Checks internal consistency: no self-pairs, every pair present in
+    /// both orientations, no duplicates. Returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let sorted = self.sorted_pairs();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("duplicate pair {:?}", w[0]));
+            }
+        }
+        for &(a, b) in &sorted {
+            if a == b {
+                return Err(format!("self-pair ({a}, {a})"));
+            }
+            if sorted.binary_search(&(b, a)).is_err() {
+                return Err(format!("pair ({a}, {b}) missing its mirror ({b}, {a})"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-point neighbor counts (how many `b` for each `a`).
+    pub fn neighbor_counts(&self, num_points: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_points];
+        for &(a, _) in &self.pairs {
+            counts[a as usize] += 1;
+        }
+        counts
+    }
+
+    /// Builds per-point adjacency lists — the form most consumers
+    /// (clustering, kNN post-filtering, graph construction) actually want.
+    /// Each list is sorted ascending.
+    pub fn to_neighbor_lists(&self, num_points: usize) -> Vec<Vec<u32>> {
+        let mut lists = vec![Vec::new(); num_points];
+        for &(a, b) in &self.pairs {
+            lists[a as usize].push(b);
+        }
+        for list in &mut lists {
+            list.sort_unstable();
+        }
+        lists
+    }
+
+    /// The average number of neighbors per point.
+    pub fn mean_neighbors(&self, num_points: usize) -> f64 {
+        if num_points == 0 {
+            0.0
+        } else {
+            self.pairs.len() as f64 / num_points as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_equality() {
+        let a = ResultSet::from_pairs(vec![(1, 0), (0, 1)]);
+        let b = ResultSet::from_pairs(vec![(0, 1), (1, 0)]);
+        assert!(a.same_pairs_as(&b));
+        assert_eq!(a.sorted_pairs(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_sets() {
+        let r = ResultSet::from_pairs(vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(r.validate().is_ok());
+        assert!(ResultSet::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_self_pair() {
+        let r = ResultSet::from_pairs(vec![(3, 3)]);
+        assert!(r.validate().unwrap_err().contains("self-pair"));
+    }
+
+    #[test]
+    fn validate_rejects_missing_mirror() {
+        let r = ResultSet::from_pairs(vec![(0, 1)]);
+        assert!(r.validate().unwrap_err().contains("mirror"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let r = ResultSet::from_pairs(vec![(0, 1), (0, 1), (1, 0), (1, 0)]);
+        assert!(r.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let r = ResultSet::from_pairs(vec![(0, 1), (1, 0), (0, 2), (2, 0)]);
+        assert_eq!(r.neighbor_counts(3), vec![2, 1, 1]);
+        assert!((r.mean_neighbors(3) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_and_symmetric() {
+        let r = ResultSet::from_pairs(vec![(0, 2), (2, 0), (0, 1), (1, 0), (1, 2), (2, 1)]);
+        let lists = r.to_neighbor_lists(4);
+        assert_eq!(lists[0], vec![1, 2]);
+        assert_eq!(lists[1], vec![0, 2]);
+        assert_eq!(lists[2], vec![0, 1]);
+        assert!(lists[3].is_empty());
+        for (a, list) in lists.iter().enumerate() {
+            for &b in list {
+                assert!(lists[b as usize].contains(&(a as u32)));
+            }
+        }
+    }
+}

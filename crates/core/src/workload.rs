@@ -1,0 +1,213 @@
+//! Workload quantification and workload-ordered datasets (§III-C).
+//!
+//! The paper quantifies the workload of a query point as the number of
+//! distance calculations it will perform in the refine step, i.e. the total
+//! number of candidate points in the `3^n` window around its home cell.
+//! Since all points of a cell share the same window, workload is computed
+//! **per cell** and inherited by the cell's points.
+
+use epsgrid::GridIndex;
+
+/// Workload of one non-empty cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellWorkload {
+    /// Index into the grid's non-empty cell list.
+    pub cell_idx: u32,
+    /// Candidate points in the cell's neighbor window (= distance
+    /// calculations each of the cell's points performs under FullWindow).
+    pub candidates: u64,
+    /// Points stored in the cell.
+    pub points: u32,
+}
+
+/// The workload quantification of a whole indexed dataset.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    per_cell: Vec<u64>,
+    per_point: Vec<u64>,
+}
+
+impl WorkloadProfile {
+    /// Quantifies workloads from the grid index.
+    pub fn compute<const N: usize>(grid: &GridIndex<N>) -> Self {
+        let per_cell: Vec<u64> =
+            (0..grid.num_cells()).map(|ci| grid.window_candidate_count(ci)).collect();
+        let mut per_point = vec![0u64; grid.num_points()];
+        for (ci, &w) in per_cell.iter().enumerate() {
+            for &pid in grid.cell_points(ci) {
+                per_point[pid as usize] = w;
+            }
+        }
+        Self { per_cell, per_point }
+    }
+
+    /// Workload of dataset point `pid`.
+    pub fn point_workload(&self, pid: u32) -> u64 {
+        self.per_point[pid as usize]
+    }
+
+    /// Workload of non-empty cell `cell_idx`.
+    pub fn cell_workload(&self, cell_idx: usize) -> u64 {
+        self.per_cell[cell_idx]
+    }
+
+    /// Per-point workloads, indexed by dataset id.
+    pub fn per_point(&self) -> &[u64] {
+        &self.per_point
+    }
+
+    /// Total workload over the whole dataset (total distance calculations a
+    /// FullWindow execution performs).
+    pub fn total(&self) -> u64 {
+        self.per_point.iter().sum()
+    }
+
+    /// Sorts a set of point ids by non-increasing workload (ties broken by
+    /// ascending id, keeping the order deterministic) — the SORTBYWL
+    /// transformation applied to one batch's points.
+    pub fn sort_by_workload(&self, pids: &mut [u32]) {
+        pids.sort_unstable_by(|&a, &b| {
+            self.per_point[b as usize]
+                .cmp(&self.per_point[a as usize])
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Builds the paper's `D'`: the whole dataset reordered cell-by-cell
+    /// from the heaviest-workload cell to the lightest (§III-C: "assigning
+    /// points from the cell with the greatest workload at the beginning of
+    /// a new array `D'`"). The WORKQUEUE's global counter walks this array.
+    pub fn sorted_dataset<const N: usize>(&self, grid: &GridIndex<N>) -> Vec<u32> {
+        let mut cell_order: Vec<u32> = (0..grid.num_cells() as u32).collect();
+        cell_order.sort_unstable_by(|&a, &b| {
+            self.per_cell[b as usize]
+                .cmp(&self.per_cell[a as usize])
+                .then(a.cmp(&b))
+        });
+        let mut order = Vec::with_capacity(grid.num_points());
+        for &ci in &cell_order {
+            order.extend_from_slice(grid.cell_points(ci as usize));
+        }
+        order
+    }
+
+    /// Per-cell workload summary, heaviest first.
+    pub fn cell_summary<const N: usize>(&self, grid: &GridIndex<N>) -> Vec<CellWorkload> {
+        let mut cells: Vec<CellWorkload> = (0..grid.num_cells())
+            .map(|ci| CellWorkload {
+                cell_idx: ci as u32,
+                candidates: self.per_cell[ci],
+                points: grid.cell_points(ci).len() as u32,
+            })
+            .collect();
+        cells.sort_unstable_by(|a, b| b.candidates.cmp(&a.candidates).then(a.cell_idx.cmp(&b.cell_idx)));
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epsgrid::Point;
+
+    /// Two dense clusters of different sizes plus an isolated point.
+    fn skewed_points() -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push([0.5 + 0.01 * i as f32, 0.5]);
+        }
+        for i in 0..3 {
+            pts.push([5.5 + 0.01 * i as f32, 5.5]);
+        }
+        pts.push([9.5, 9.5]);
+        pts
+    }
+
+    #[test]
+    fn workload_reflects_density() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        // Dense-cluster points have workload 8, small cluster 3, isolated 1.
+        assert_eq!(profile.point_workload(0), 8);
+        assert_eq!(profile.point_workload(8), 3);
+        assert_eq!(profile.point_workload(11), 1);
+        assert_eq!(profile.total(), 8 * 8 + 3 * 3 + 1);
+    }
+
+    #[test]
+    fn per_point_matches_home_cell() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        for pid in 0..pts.len() as u32 {
+            let home = grid.home_cell_of(pid as usize);
+            assert_eq!(profile.point_workload(pid), profile.cell_workload(home));
+        }
+    }
+
+    #[test]
+    fn sort_by_workload_is_non_increasing_permutation() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        let mut ids: Vec<u32> = (0..pts.len() as u32).collect();
+        profile.sort_by_workload(&mut ids);
+        assert_eq!(ids.len(), pts.len());
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort_unstable();
+        assert_eq!(sorted_ids, (0..pts.len() as u32).collect::<Vec<_>>());
+        for pair in ids.windows(2) {
+            assert!(profile.point_workload(pair[0]) >= profile.point_workload(pair[1]));
+        }
+    }
+
+    #[test]
+    fn sorted_dataset_is_cell_major_non_increasing() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        let order = profile.sorted_dataset(&grid);
+        assert_eq!(order.len(), pts.len());
+        for pair in order.windows(2) {
+            assert!(
+                profile.point_workload(pair[0]) >= profile.point_workload(pair[1]),
+                "D' must be non-increasing in workload"
+            );
+        }
+        // Heaviest cluster's 8 points come first.
+        assert!(order[..8].iter().all(|&pid| pid < 8));
+    }
+
+    #[test]
+    fn cell_summary_is_sorted_and_complete() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        let summary = profile.cell_summary(&grid);
+        assert_eq!(summary.len(), grid.num_cells());
+        let total_points: u32 = summary.iter().map(|c| c.points).sum();
+        assert_eq!(total_points as usize, pts.len());
+        for pair in summary.windows(2) {
+            assert!(pair[0].candidates >= pair[1].candidates);
+        }
+    }
+
+    #[test]
+    fn uniform_data_has_uniform_workloads() {
+        // A full lattice: every interior point sees the same window count.
+        let mut pts = Vec::new();
+        for x in 0..6 {
+            for y in 0..6 {
+                pts.push([x as f32 + 0.5, y as f32 + 0.5]);
+            }
+        }
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        // Interior cell (2,2) sees 9 candidates; corner (0,0) sees 4.
+        let interior = grid.find_cell(grid.shape().linear_id(&[2, 2])).unwrap();
+        let corner = grid.find_cell(grid.shape().linear_id(&[0, 0])).unwrap();
+        assert_eq!(profile.cell_workload(interior), 9);
+        assert_eq!(profile.cell_workload(corner), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: every kernel variant is an exact self-join.
+
+use proptest::prelude::*;
+use simjoin::{
+    brute_force_join, AccessPattern, Balancing, BatchingConfig, SelfJoin, SelfJoinConfig,
+};
+
+fn arb_points_2d() -> impl Strategy<Value = Vec<[f32; 2]>> {
+    prop::collection::vec(prop::array::uniform2(-20.0f32..20.0), 1..80)
+}
+
+fn arb_points_3d() -> impl Strategy<Value = Vec<[f32; 3]>> {
+    prop::collection::vec(prop::array::uniform3(-8.0f32..8.0), 1..50)
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::FullWindow),
+        Just(AccessPattern::Unicomp),
+        Just(AccessPattern::LidUnicomp),
+    ]
+}
+
+fn arb_balancing() -> impl Strategy<Value = Balancing> {
+    prop_oneof![
+        Just(Balancing::None),
+        Just(Balancing::SortByWorkload),
+        Just(Balancing::WorkQueue),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (pattern, balancing, k) combination returns exactly the
+    /// brute-force pair set — the headline correctness property.
+    #[test]
+    fn all_variants_are_exact_2d(
+        pts in arb_points_2d(),
+        eps in 0.05f32..30.0,
+        pattern in arb_pattern(),
+        balancing in arb_balancing(),
+        k in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let mut expected = brute_force_join(&pts, eps);
+        expected.sort_unstable();
+        let config = SelfJoinConfig::new(eps)
+            .with_pattern(pattern)
+            .with_balancing(balancing)
+            .with_k(k);
+        let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        prop_assert_eq!(outcome.result.sorted_pairs(), expected);
+        prop_assert!(outcome.result.validate().is_ok());
+    }
+
+    #[test]
+    fn all_variants_are_exact_3d(
+        pts in arb_points_3d(),
+        eps in 0.1f32..10.0,
+        pattern in arb_pattern(),
+        balancing in arb_balancing(),
+    ) {
+        let mut expected = brute_force_join(&pts, eps);
+        expected.sort_unstable();
+        let config = SelfJoinConfig::new(eps)
+            .with_pattern(pattern)
+            .with_balancing(balancing);
+        let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        prop_assert_eq!(outcome.result.sorted_pairs(), expected);
+    }
+
+    /// Tight batching never overflows the result buffer and never changes
+    /// the result.
+    #[test]
+    fn batching_preserves_results(
+        pts in arb_points_2d(),
+        eps in 0.5f32..30.0,
+        balancing in arb_balancing(),
+    ) {
+        let mut expected = brute_force_join(&pts, eps);
+        expected.sort_unstable();
+        // Choose a capacity that forces several batches when there are
+        // results but stays above the worst single warp's output.
+        let capacity = (expected.len() / 2).max(64 * pts.len());
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(balancing)
+            .with_batching(BatchingConfig {
+                batch_result_capacity: capacity,
+                safety_factor: 1.5,
+                ..BatchingConfig::default()
+            });
+        let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
+        prop_assert_eq!(outcome.result.sorted_pairs(), expected);
+        for b in &outcome.report.batches {
+            prop_assert!(b.pairs <= capacity);
+        }
+    }
+
+    /// WEE is a valid efficiency and response time is positive whenever any
+    /// work was done.
+    #[test]
+    fn report_sanity(pts in arb_points_2d(), eps in 0.05f32..5.0) {
+        let outcome = SelfJoin::new(&pts, SelfJoinConfig::optimized(eps))
+            .unwrap()
+            .run()
+            .unwrap();
+        let wee = outcome.report.wee();
+        prop_assert!((0.0..=1.0).contains(&wee));
+        prop_assert!(outcome.report.response_time_s() >= 0.0);
+        prop_assert_eq!(outcome.report.total_pairs, outcome.result.len());
+    }
+}

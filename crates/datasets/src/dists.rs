@@ -1,0 +1,84 @@
+//! Hand-rolled samplers for the distributions the generators need
+//! (exponential, standard normal), avoiding extra dependencies.
+
+use rand::Rng;
+
+/// Samples `Exp(lambda)` by inversion: `-ln(1 - U) / λ`.
+pub fn exp_sample<R: Rng>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / lambda
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        if r.is_finite() {
+            return r * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Samples a Laplace-style latitude in `[-90, 90]` with density
+/// `∝ exp(-|b| / scale)` (truncated), via inverse CDF on the half-range
+/// plus a random sign.
+pub fn truncated_laplace_latitude<R: Rng>(rng: &mut R, scale: f64) -> f64 {
+    debug_assert!(scale > 0.0);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let max = 90.0f64;
+    let mass = 1.0 - (-max / scale).exp();
+    let b = -scale * (1.0 - u * mass).ln();
+    if rng.gen_bool(0.5) {
+        b
+    } else {
+        -b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 40.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..10_000).all(|_| exp_sample(&mut rng, 5.0) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn latitude_stays_in_range_and_concentrates_at_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> =
+            (0..n).map(|_| truncated_laplace_latitude(&mut rng, 15.0)).collect();
+        assert!(samples.iter().all(|b| (-90.0..=90.0).contains(b)));
+        let near = samples.iter().filter(|b| b.abs() < 15.0).count();
+        let far = samples.iter().filter(|b| b.abs() > 60.0).count();
+        assert!(near > 5 * far.max(1), "density must concentrate at the equator");
+    }
+}

@@ -1,0 +1,88 @@
+//! Exponentially distributed synthetic datasets (`Expo*` in Table I).
+//!
+//! Each coordinate is drawn i.i.d. from `Exp(λ)` (the paper uses λ = 40) and
+//! scaled by `scale`. The result is a dense corner at the origin with a long
+//! sparse tail: point workloads span orders of magnitude, which is exactly
+//! the regime where intra-warp load imbalance hurts the baseline kernel.
+
+use epsgrid::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dists::exp_sample;
+
+/// Generates `n` points with `Exp(lambda) × scale` coordinates.
+pub fn exponential_points<const N: usize>(
+    n: usize,
+    lambda: f64,
+    scale: f32,
+    seed: u64,
+) -> Vec<Point<N>> {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut p = [0.0f32; N];
+            for c in &mut p {
+                *c = (exp_sample(&mut rng, lambda) as f32) * scale;
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = exponential_points::<2>(50, 40.0, 100.0, 3);
+        let b = exponential_points::<2>(50, 40.0, 100.0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coordinates_are_non_negative() {
+        let pts = exponential_points::<4>(2_000, 40.0, 100.0, 5);
+        assert!(pts.iter().all(|p| p.iter().all(|&c| c >= 0.0)));
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_origin() {
+        // With λ = 40 and scale 100, the mean coordinate is 2.5; the median
+        // is ln(2)/40 × 100 ≈ 1.73. Most points hug the origin.
+        let pts = exponential_points::<2>(20_000, 40.0, 100.0, 11);
+        let near = pts.iter().filter(|p| p[0] < 2.5 && p[1] < 2.5).count();
+        let far = pts.iter().filter(|p| p[0] > 10.0 || p[1] > 10.0).count();
+        assert!(near > pts.len() / 3, "near-origin count {near}");
+        assert!(far > 0, "the tail must exist");
+        assert!(near > 10 * far, "skew must be strong: near {near}, far {far}");
+    }
+
+    #[test]
+    fn workload_variance_exceeds_uniform() {
+        // The property the paper's evaluation relies on: exponential data
+        // has much higher neighbor-count variance than uniform data.
+        use crate::uniform::uniform_points;
+        let expo = exponential_points::<2>(3_000, 40.0, 100.0, 7);
+        let unif = uniform_points::<2>(3_000, 10.0, 7);
+        let eps = 0.5f32;
+        let cv = |pts: &[Point<2>]| {
+            let grid = epsgrid::GridIndex::build(pts, eps).unwrap();
+            let counts: Vec<f64> =
+                (0..grid.num_cells()).map(|c| grid.window_candidate_count(c) as f64).collect();
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var =
+                counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(
+            cv(&expo) > 2.0 * cv(&unif),
+            "exponential workload CV {} must dwarf uniform CV {}",
+            cv(&expo),
+            cv(&unif)
+        );
+    }
+}

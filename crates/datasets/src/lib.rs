@@ -1,0 +1,39 @@
+//! # sjdata — workload generators for similarity self-join evaluation
+//!
+//! Deterministic (seeded) generators for the dataset families of the paper's
+//! evaluation (Table I):
+//!
+//! - [`uniform`]: points uniform on `[0, extent]^n` — the `Unif*` datasets,
+//!   the no-skew control where load balancing should win nothing;
+//! - [`exponential`]: i.i.d. exponential coordinates (the paper's λ = 40) —
+//!   the `Expo*` datasets, with a dense corner and a long sparse tail, the
+//!   worst case for intra-warp balance;
+//! - [`sw`]: a clustered geospatial analogue of the proprietary SW
+//!   ionosphere datasets (lat/lon Gaussian hotspots over background noise,
+//!   plus a total-electron-content third dimension);
+//! - [`gaia`]: a sky-survey analogue of the Gaia catalog sample (stellar
+//!   density decaying exponentially with galactic latitude).
+//!
+//! The real SW and Gaia data are not redistributable; the analogues
+//! reproduce the property that drives the paper's results — heavy spatial
+//! skew and therefore heavy workload variance. See `DESIGN.md` §2.
+//!
+//! [`descriptor::DatasetSpec`] names the paper's datasets and produces
+//! scaled versions sized for the SIMT simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod dists;
+pub mod exponential;
+pub mod gaia;
+pub mod io;
+pub mod sw;
+pub mod uniform;
+
+pub use descriptor::{DatasetFamily, DatasetSpec};
+pub use exponential::exponential_points;
+pub use gaia::gaia_points;
+pub use sw::{sw_points_2d, sw_points_3d};
+pub use uniform::uniform_points;

@@ -1,0 +1,54 @@
+//! Uniformly distributed synthetic datasets (`Unif*` in Table I).
+
+use epsgrid::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` points uniform on `[0, extent]^N`, deterministically from
+/// `seed`.
+pub fn uniform_points<const N: usize>(n: usize, extent: f32, seed: u64) -> Vec<Point<N>> {
+    assert!(extent > 0.0 && extent.is_finite(), "extent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut p = [0.0f32; N];
+            for c in &mut p {
+                *c = rng.gen_range(0.0..extent);
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform_points::<3>(100, 10.0, 7);
+        let b = uniform_points::<3>(100, 10.0, 7);
+        let c = uniform_points::<3>(100, 10.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn within_bounds() {
+        let pts = uniform_points::<2>(5_000, 42.0, 1);
+        assert!(pts.iter().all(|p| p.iter().all(|&c| (0.0..42.0).contains(&c))));
+    }
+
+    #[test]
+    fn roughly_uniform_per_quadrant() {
+        let pts = uniform_points::<2>(20_000, 1.0, 99);
+        let q1 = pts.iter().filter(|p| p[0] < 0.5 && p[1] < 0.5).count();
+        assert!((4000..6000).contains(&q1), "quadrant count {q1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "extent must be positive")]
+    fn zero_extent_rejected() {
+        let _ = uniform_points::<2>(10, 0.0, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Axis-aligned bounding boxes over point sets.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box in `N` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb<const N: usize> {
+    /// Minimum coordinate in every dimension.
+    pub min: [f32; N],
+    /// Maximum coordinate in every dimension.
+    pub max: [f32; N],
+}
+
+impl<const N: usize> Aabb<N> {
+    /// Computes the bounding box of a point set.
+    ///
+    /// Returns `None` for an empty set or if any coordinate is not finite.
+    pub fn of_points(points: &[Point<N>]) -> Option<Self> {
+        let first = points.first()?;
+        let mut min = *first;
+        let mut max = *first;
+        for p in points {
+            for d in 0..N {
+                if !p[d].is_finite() {
+                    return None;
+                }
+                min[d] = min[d].min(p[d]);
+                max[d] = max[d].max(p[d]);
+            }
+        }
+        Some(Self { min, max })
+    }
+
+    /// The extent (`max - min`) in each dimension.
+    pub fn extent(&self) -> [f32; N] {
+        let mut e = [0.0f32; N];
+        for d in 0..N {
+            e[d] = self.max[d] - self.min[d];
+        }
+        e
+    }
+
+    /// Whether the point lies inside the box (inclusive on all faces).
+    pub fn contains(&self, p: &Point<N>) -> bool {
+        (0..N).all(|d| p[d] >= self.min[d] && p[d] <= self.max[d])
+    }
+
+    /// Grows the box to include `p`.
+    pub fn include(&mut self, p: &Point<N>) {
+        for d in 0..N {
+            self.min[d] = self.min[d].min(p[d]);
+            self.max[d] = self.max[d].max(p[d]);
+        }
+    }
+
+    /// The volume of the box (product of extents).
+    pub fn volume(&self) -> f64 {
+        self.extent().iter().map(|&e| e as f64).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts: Vec<Point<2>> = vec![[0.0, 5.0], [2.0, -1.0], [1.0, 3.0]];
+        let bb = Aabb::of_points(&pts).unwrap();
+        assert_eq!(bb.min, [0.0, -1.0]);
+        assert_eq!(bb.max, [2.0, 5.0]);
+        assert_eq!(bb.extent(), [2.0, 6.0]);
+        assert!((bb.volume() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_set_has_no_box() {
+        let pts: Vec<Point<2>> = vec![];
+        assert!(Aabb::of_points(&pts).is_none());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let pts: Vec<Point<2>> = vec![[0.0, f32::NAN]];
+        assert!(Aabb::of_points(&pts).is_none());
+        let pts: Vec<Point<2>> = vec![[f32::INFINITY, 0.0]];
+        assert!(Aabb::of_points(&pts).is_none());
+    }
+
+    #[test]
+    fn contains_and_include() {
+        let mut bb = Aabb { min: [0.0, 0.0], max: [1.0, 1.0] };
+        assert!(bb.contains(&[0.5, 1.0]));
+        assert!(!bb.contains(&[1.5, 0.5]));
+        bb.include(&[2.0, -1.0]);
+        assert!(bb.contains(&[1.5, 0.0]));
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate() {
+        let bb = Aabb::of_points(&[[3.0f32, 4.0, 5.0]]).unwrap();
+        assert_eq!(bb.min, bb.max);
+        assert_eq!(bb.volume(), 0.0);
+    }
+}

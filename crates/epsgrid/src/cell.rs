@@ -1,0 +1,203 @@
+//! Grid cell coordinates and linear ids.
+//!
+//! A grid of side length ε is laid over the dataset's bounding box. Each cell
+//! is identified either by its multidimensional coordinates (`CellCoords`) or
+//! by a row-major **linear id** (`LinearCellId`) — the unique id the
+//! LID-UNICOMP access pattern orders cells by.
+
+use crate::bounds::Aabb;
+use crate::point::Point;
+
+/// Multidimensional coordinates of a grid cell.
+pub type CellCoords<const N: usize> = [u32; N];
+
+/// Row-major linear id of a grid cell. Unique within a [`GridShape`].
+pub type LinearCellId = u64;
+
+/// The geometry of an ε-grid: origin, cell side length and cell counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridShape<const N: usize> {
+    /// Minimum corner of the grid (cell `[0; N]` starts here).
+    pub origin: [f32; N],
+    /// Cell side length (= ε).
+    pub cell_len: f32,
+    /// Number of cells along each dimension.
+    pub cells_per_dim: [u32; N],
+}
+
+/// Errors when constructing a [`GridShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// ε must be strictly positive and finite.
+    InvalidEpsilon,
+    /// The total number of cells overflows the linear-id space.
+    TooManyCells,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::InvalidEpsilon => write!(f, "epsilon must be positive and finite"),
+            ShapeError::TooManyCells => {
+                write!(f, "grid resolution overflows the 64-bit linear cell id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl<const N: usize> GridShape<N> {
+    /// Builds the grid geometry covering `bounds` with cells of length `epsilon`.
+    ///
+    /// One cell of padding is added past the maximum corner so that points
+    /// lying exactly on the boundary map to a valid cell.
+    pub fn covering(bounds: &Aabb<N>, epsilon: f32) -> Result<Self, ShapeError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(ShapeError::InvalidEpsilon);
+        }
+        let mut cells_per_dim = [0u32; N];
+        let mut total: u128 = 1;
+        for d in 0..N {
+            let extent = bounds.max[d] - bounds.min[d];
+            let n = (extent / epsilon).floor() as u64 + 1;
+            if n > u32::MAX as u64 {
+                return Err(ShapeError::TooManyCells);
+            }
+            cells_per_dim[d] = n as u32;
+            total = total.saturating_mul(n as u128);
+        }
+        if total > u64::MAX as u128 {
+            return Err(ShapeError::TooManyCells);
+        }
+        Ok(Self { origin: bounds.min, cell_len: epsilon, cells_per_dim })
+    }
+
+    /// Total number of cells in the (conceptual, mostly empty) grid.
+    pub fn total_cells(&self) -> u64 {
+        self.cells_per_dim.iter().map(|&c| c as u64).product()
+    }
+
+    /// The cell coordinates containing point `p`.
+    ///
+    /// Coordinates are clamped into the grid, so points marginally outside the
+    /// bounding box (e.g. from float rounding) still map to a boundary cell.
+    pub fn cell_of(&self, p: &Point<N>) -> CellCoords<N> {
+        let mut c = [0u32; N];
+        for d in 0..N {
+            let raw = ((p[d] - self.origin[d]) / self.cell_len).floor();
+            let clamped = raw.max(0.0).min((self.cells_per_dim[d] - 1) as f32);
+            c[d] = clamped as u32;
+        }
+        c
+    }
+
+    /// Row-major linear id of a cell.
+    ///
+    /// # Panics
+    /// Debug-asserts that the coordinates are in range.
+    pub fn linear_id(&self, coords: &CellCoords<N>) -> LinearCellId {
+        let mut id: u64 = 0;
+        for d in 0..N {
+            debug_assert!(coords[d] < self.cells_per_dim[d], "cell coordinate out of range");
+            id = id * self.cells_per_dim[d] as u64 + coords[d] as u64;
+        }
+        id
+    }
+
+    /// Inverse of [`Self::linear_id`].
+    pub fn coords_of(&self, mut id: LinearCellId) -> CellCoords<N> {
+        let mut coords = [0u32; N];
+        for d in (0..N).rev() {
+            let n = self.cells_per_dim[d] as u64;
+            coords[d] = (id % n) as u32;
+            id /= n;
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape2() -> GridShape<2> {
+        GridShape { origin: [0.0, 0.0], cell_len: 1.0, cells_per_dim: [4, 5] }
+    }
+
+    #[test]
+    fn linear_id_roundtrip() {
+        let s = shape2();
+        for x in 0..4 {
+            for y in 0..5 {
+                let id = s.linear_id(&[x, y]);
+                assert_eq!(s.coords_of(id), [x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_ids_are_unique_and_dense() {
+        let s = shape2();
+        let mut seen = vec![false; s.total_cells() as usize];
+        for x in 0..4 {
+            for y in 0..5 {
+                let id = s.linear_id(&[x, y]) as usize;
+                assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cell_of_maps_points() {
+        let s = shape2();
+        assert_eq!(s.cell_of(&[0.5, 0.5]), [0, 0]);
+        assert_eq!(s.cell_of(&[3.9, 4.9]), [3, 4]);
+        // boundary points clamp into the last cell
+        assert_eq!(s.cell_of(&[4.0, 5.0]), [3, 4]);
+        // slightly negative coordinates clamp into cell 0
+        assert_eq!(s.cell_of(&[-0.001, 0.0]), [0, 0]);
+    }
+
+    #[test]
+    fn covering_pads_boundary() {
+        let bb = Aabb { min: [0.0, 0.0], max: [1.0, 1.0] };
+        let s = GridShape::covering(&bb, 0.5).unwrap();
+        // extent/eps = 2 cells, +1 padding = 3
+        assert_eq!(s.cells_per_dim, [3, 3]);
+        assert!(s.cell_of(&[1.0, 1.0])[0] < 3);
+    }
+
+    #[test]
+    fn covering_rejects_bad_epsilon() {
+        let bb = Aabb { min: [0.0], max: [1.0] };
+        assert_eq!(GridShape::covering(&bb, 0.0), Err(ShapeError::InvalidEpsilon));
+        assert_eq!(GridShape::covering(&bb, -1.0), Err(ShapeError::InvalidEpsilon));
+        assert_eq!(GridShape::covering(&bb, f32::NAN), Err(ShapeError::InvalidEpsilon));
+    }
+
+    #[test]
+    fn covering_rejects_overflowing_grids() {
+        let bb = Aabb { min: [0.0f32; 4], max: [1.0e9f32; 4] };
+        assert!(GridShape::<4>::covering(&bb, 1.0e-4).is_err());
+    }
+
+    #[test]
+    fn row_major_order_matches_lexicographic_coords() {
+        // LID-UNICOMP depends on linear ids ordering cells lexicographically
+        // by coordinates, which row-major ids do.
+        let s = shape2();
+        let mut prev = None;
+        for x in 0..4 {
+            for y in 0..5 {
+                let id = s.linear_id(&[x, y]);
+                if let Some(p) = prev {
+                    assert!(id > p);
+                }
+                prev = Some(id);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Euclidean distance predicates.
+//!
+//! The self-join's *refine* step compares squared distances against ε² to
+//! avoid a square root per candidate — the same trick the GPU kernels use.
+
+use crate::point::Point;
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn euclidean_dist_sq<const N: usize>(a: &Point<N>, b: &Point<N>) -> f32 {
+    let mut acc = 0.0f32;
+    for d in 0..N {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn euclidean_dist<const N: usize>(a: &Point<N>, b: &Point<N>) -> f32 {
+    euclidean_dist_sq(a, b).sqrt()
+}
+
+/// Whether `b` lies within Euclidean distance `epsilon` of `a` (inclusive),
+/// matching the paper's predicate `dist(p, q) <= ε`.
+#[inline]
+pub fn within_epsilon<const N: usize>(a: &Point<N>, b: &Point<N>, epsilon: f32) -> bool {
+    euclidean_dist_sq(a, b) <= epsilon * epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(euclidean_dist_sq(&a, &b), 25.0);
+        assert_eq!(euclidean_dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn predicate_is_inclusive() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert!(within_epsilon(&a, &b, 5.0));
+        assert!(!within_epsilon(&a, &b, 4.999));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.0f32, -2.0, 0.5];
+        let b = [0.25f32, 7.0, -3.0];
+        assert_eq!(euclidean_dist_sq(&a, &b), euclidean_dist_sq(&b, &a));
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = [1.5f32, 2.5, 3.5, 4.5];
+        assert_eq!(euclidean_dist_sq(&a, &a), 0.0);
+        assert!(within_epsilon(&a, &a, 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # epsgrid — ε-grid spatial index for distance similarity self-joins
+//!
+//! This crate implements the grid index of Gowanlock & Karsin used by GPU
+//! self-join kernels: the space is partitioned into cells of side length ε in
+//! every dimension, and **only non-empty cells are materialized**, giving an
+//! `O(|D|)` memory footprint regardless of how sparse the data is.
+//!
+//! A range query around a query point `q` with radius ε only needs to examine
+//! the `3^n` cells adjacent to (and including) `q`'s home cell, because any
+//! point within ε of `q` must fall in that window.
+//!
+//! The index layout mirrors the arrays used on the GPU:
+//! - `cell_ids` (the paper's `B` array): sorted linear ids of non-empty cells,
+//! - `cell_ranges` (the paper's `A` array): for each non-empty cell, the range
+//!   of entries in `point_ids` belonging to it,
+//! - `point_ids`: dataset indices grouped by cell.
+//!
+//! ```
+//! use epsgrid::{GridIndex, euclidean_dist};
+//!
+//! let pts: Vec<[f32; 2]> = vec![[0.0, 0.0], [0.05, 0.02], [0.9, 0.9]];
+//! let grid = GridIndex::build(&pts, 0.1).unwrap();
+//! let mut neighbors = vec![];
+//! grid.for_each_candidate_of(0, |cand| {
+//!     if cand != 0 && euclidean_dist(&pts[0], &pts[cand]) <= 0.1 {
+//!         neighbors.push(cand);
+//!     }
+//! });
+//! assert_eq!(neighbors, vec![1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cell;
+pub mod distance;
+pub mod grid;
+pub mod neighbors;
+pub mod point;
+
+pub use bounds::Aabb;
+pub use cell::{CellCoords, GridShape, LinearCellId};
+pub use distance::{euclidean_dist, euclidean_dist_sq, within_epsilon};
+pub use grid::{GridBuildError, GridIndex, NonEmptyCell};
+pub use neighbors::{NeighborCellIter, NeighborWindow};
+pub use point::{DynPoints, Point};

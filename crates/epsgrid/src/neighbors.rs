@@ -1,0 +1,176 @@
+//! Enumeration of the `3^n` neighbor-cell window around an origin cell.
+//!
+//! Every point within ε of a query point must lie in one of the up-to-`3^n`
+//! cells adjacent to (or equal to) the query point's home cell, because cells
+//! have side length ε. [`NeighborWindow`] captures the clamped per-dimension
+//! coordinate ranges and [`NeighborCellIter`] walks the window in row-major
+//! order (ascending linear id), which the access patterns rely on.
+
+use crate::cell::{CellCoords, GridShape, LinearCellId};
+
+/// The clamped per-dimension coordinate ranges of a neighbor window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborWindow<const N: usize> {
+    /// Inclusive lower cell coordinate per dimension.
+    pub lo: CellCoords<N>,
+    /// Inclusive upper cell coordinate per dimension.
+    pub hi: CellCoords<N>,
+}
+
+impl<const N: usize> NeighborWindow<N> {
+    /// The window of cells adjacent to `origin` (including `origin` itself),
+    /// clamped to the grid boundary.
+    pub fn around(shape: &GridShape<N>, origin: &CellCoords<N>) -> Self {
+        let mut lo = [0u32; N];
+        let mut hi = [0u32; N];
+        for d in 0..N {
+            lo[d] = origin[d].saturating_sub(1);
+            hi[d] = (origin[d] + 1).min(shape.cells_per_dim[d] - 1);
+        }
+        Self { lo, hi }
+    }
+
+    /// Number of cells in the window (≤ `3^N`).
+    pub fn len(&self) -> usize {
+        (0..N).map(|d| (self.hi[d] - self.lo[d] + 1) as usize).product()
+    }
+
+    /// Whether the window is empty (never true for windows from [`Self::around`]).
+    pub fn is_empty(&self) -> bool {
+        (0..N).any(|d| self.hi[d] < self.lo[d])
+    }
+
+    /// Whether the window contains the given cell coordinates.
+    pub fn contains(&self, c: &CellCoords<N>) -> bool {
+        (0..N).all(|d| c[d] >= self.lo[d] && c[d] <= self.hi[d])
+    }
+
+    /// Iterates the window's cells in row-major (ascending linear id) order.
+    pub fn iter<'a>(&self, shape: &'a GridShape<N>) -> NeighborCellIter<'a, N> {
+        NeighborCellIter { shape: *shape, window: *self, cursor: self.lo, done: self.is_empty(), _marker: std::marker::PhantomData }
+    }
+}
+
+/// Row-major iterator over the cells of a [`NeighborWindow`].
+///
+/// Yields `(coords, linear_id)` pairs with strictly increasing linear ids.
+#[derive(Debug, Clone)]
+pub struct NeighborCellIter<'a, const N: usize> {
+    shape: GridShape<N>,
+    window: NeighborWindow<N>,
+    cursor: CellCoords<N>,
+    done: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<const N: usize> Iterator for NeighborCellIter<'_, N> {
+    type Item = (CellCoords<N>, LinearCellId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let coords = self.cursor;
+        let id = self.shape.linear_id(&coords);
+        // odometer increment, last dimension fastest (row-major order)
+        let mut d = N;
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            if self.cursor[d] < self.window.hi[d] {
+                self.cursor[d] += 1;
+                for lower in d + 1..N {
+                    self.cursor[lower] = self.window.lo[lower];
+                }
+                break;
+            }
+        }
+        Some((coords, id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            // Upper bound only; exact remaining count is not tracked.
+            let total = self.window.len();
+            (0, Some(total))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Aabb;
+
+    fn shape(cells: [u32; 2]) -> GridShape<2> {
+        GridShape { origin: [0.0, 0.0], cell_len: 1.0, cells_per_dim: cells }
+    }
+
+    #[test]
+    fn interior_cell_has_9_neighbors_in_2d() {
+        let s = shape([5, 5]);
+        let w = NeighborWindow::around(&s, &[2, 2]);
+        assert_eq!(w.len(), 9);
+        let cells: Vec<_> = w.iter(&s).collect();
+        assert_eq!(cells.len(), 9);
+        assert!(cells.iter().any(|(c, _)| *c == [2, 2]));
+    }
+
+    #[test]
+    fn corner_cell_window_is_clamped() {
+        let s = shape([5, 5]);
+        let w = NeighborWindow::around(&s, &[0, 0]);
+        assert_eq!(w.len(), 4);
+        let w = NeighborWindow::around(&s, &[4, 4]);
+        assert_eq!(w.len(), 4);
+        let w = NeighborWindow::around(&s, &[0, 2]);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_linear_id() {
+        let s = shape([7, 7]);
+        let w = NeighborWindow::around(&s, &[3, 3]);
+        let ids: Vec<_> = w.iter(&s).map(|(_, id)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "neighbor cells must come out in ascending id order");
+    }
+
+    #[test]
+    fn window_in_3d_has_27_cells() {
+        let s =
+            GridShape::<3> { origin: [0.0; 3], cell_len: 1.0, cells_per_dim: [4, 4, 4] };
+        let w = NeighborWindow::around(&s, &[1, 2, 1]);
+        assert_eq!(w.len(), 27);
+        assert_eq!(w.iter(&s).count(), 27);
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let bb = Aabb { min: [0.0, 0.0], max: [0.0, 0.0] };
+        let s = GridShape::covering(&bb, 1.0).unwrap();
+        let w = NeighborWindow::around(&s, &[0, 0]);
+        assert_eq!(w.len(), 1);
+        let cells: Vec<_> = w.iter(&s).collect();
+        assert_eq!(cells, vec![([0, 0], 0)]);
+    }
+
+    #[test]
+    fn contains_matches_iteration() {
+        let s = shape([6, 6]);
+        let w = NeighborWindow::around(&s, &[1, 4]);
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                let inside = w.iter(&s).any(|(c, _)| c == [x, y]);
+                assert_eq!(inside, w.contains(&[x, y]), "cell [{x},{y}]");
+            }
+        }
+    }
+}

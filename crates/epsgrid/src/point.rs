@@ -1,0 +1,170 @@
+//! Point representations.
+//!
+//! The core of the crate is generic over a compile-time dimensionality `N`
+//! (the paper evaluates 2 ≤ n ≤ 6), with points stored as `[f32; N]` exactly
+//! as they would live in GPU global memory. [`DynPoints`] provides a
+//! dimension-erased container for harness code that sweeps dimensionality at
+//! runtime.
+
+/// A point in `N`-dimensional space, `f32` coordinates (GPU-native precision).
+pub type Point<const N: usize> = [f32; N];
+
+/// A dimension-erased, structure-of-arrays point container.
+///
+/// Coordinates are stored interleaved (`x0 y0 x1 y1 …` for 2-D); this is the
+/// layout datasets are generated and serialized in before being viewed as
+/// `[f32; N]` slices by the fixed-dimension code paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynPoints {
+    dims: usize,
+    coords: Vec<f32>,
+}
+
+impl DynPoints {
+    /// Creates an empty container for `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be at least 1");
+        Self { dims, coords: Vec::new() }
+    }
+
+    /// Creates a container from interleaved coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` is not a multiple of `dims` or `dims == 0`.
+    pub fn from_interleaved(dims: usize, coords: Vec<f32>) -> Self {
+        assert!(dims > 0, "dimensionality must be at least 1");
+        assert_eq!(
+            coords.len() % dims,
+            0,
+            "coordinate buffer length {} is not a multiple of dims {}",
+            coords.len(),
+            dims
+        );
+        Self { dims, coords }
+    }
+
+    /// The dimensionality of the stored points.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The number of points stored.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dims
+    }
+
+    /// Whether the container holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Appends a point given as a coordinate slice.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dims()`.
+    pub fn push(&mut self, point: &[f32]) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        self.coords.extend_from_slice(point);
+    }
+
+    /// Returns the coordinates of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> &[f32] {
+        let start = i * self.dims;
+        &self.coords[start..start + self.dims]
+    }
+
+    /// The raw interleaved coordinate buffer.
+    pub fn raw(&self) -> &[f32] {
+        &self.coords
+    }
+
+    /// Consumes the container and returns the raw interleaved buffer.
+    pub fn into_raw(self) -> Vec<f32> {
+        self.coords
+    }
+
+    /// Reinterprets the container as a slice of fixed-dimension points.
+    ///
+    /// Returns `None` if `N != self.dims()`.
+    pub fn as_fixed<const N: usize>(&self) -> Option<Vec<Point<N>>> {
+        if N != self.dims {
+            return None;
+        }
+        Some(
+            self.coords
+                .chunks_exact(N)
+                .map(|c| {
+                    let mut p = [0.0f32; N];
+                    p.copy_from_slice(c);
+                    p
+                })
+                .collect(),
+        )
+    }
+
+    /// Iterates over points as coordinate slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.coords.chunks_exact(self.dims)
+    }
+}
+
+/// Converts a slice of fixed-dimension points into a [`DynPoints`] container.
+pub fn to_dyn<const N: usize>(points: &[Point<N>]) -> DynPoints {
+    let mut coords = Vec::with_capacity(points.len() * N);
+    for p in points {
+        coords.extend_from_slice(p);
+    }
+    DynPoints::from_interleaved(N, coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_dyn() {
+        let pts: Vec<Point<3>> = vec![[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        let dynp = to_dyn(&pts);
+        assert_eq!(dynp.len(), 2);
+        assert_eq!(dynp.dims(), 3);
+        assert_eq!(dynp.get(1), &[4.0, 5.0, 6.0]);
+        let back = dynp.as_fixed::<3>().unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn as_fixed_rejects_wrong_dim() {
+        let dynp = DynPoints::from_interleaved(2, vec![0.0; 8]);
+        assert!(dynp.as_fixed::<3>().is_none());
+        assert!(dynp.as_fixed::<2>().is_some());
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut dynp = DynPoints::new(2);
+        assert!(dynp.is_empty());
+        dynp.push(&[1.0, 2.0]);
+        dynp.push(&[3.0, 4.0]);
+        let pts: Vec<&[f32]> = dynp.iter().collect();
+        assert_eq!(pts, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dims_panics() {
+        let mut dynp = DynPoints::new(2);
+        dynp.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_interleaved_validates_length() {
+        let _ = DynPoints::from_interleaved(3, vec![0.0; 7]);
+    }
+}

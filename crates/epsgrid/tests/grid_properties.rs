@@ -1,0 +1,107 @@
+//! Property-based tests for the ε-grid index.
+
+use epsgrid::{within_epsilon, GridIndex, GridShape, NeighborWindow, Point};
+use proptest::prelude::*;
+
+fn arb_points_2d(max_len: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec(
+        prop::array::uniform2(-100.0f32..100.0f32),
+        1..max_len,
+    )
+}
+
+fn arb_points_4d(max_len: usize) -> impl Strategy<Value = Vec<Point<4>>> {
+    prop::collection::vec(
+        prop::array::uniform4(-10.0f32..10.0f32),
+        1..max_len,
+    )
+}
+
+proptest! {
+    /// Every in-ε pair must be reachable via the 3^n neighbor window —
+    /// the correctness invariant the whole search-and-refine scheme rests on.
+    #[test]
+    fn grid_window_is_complete_2d(pts in arb_points_2d(60), eps in 0.01f32..50.0) {
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        for (i, a) in pts.iter().enumerate() {
+            let mut found = vec![false; pts.len()];
+            grid.for_each_candidate_of(i, |cand| found[cand] = true);
+            for (j, b) in pts.iter().enumerate() {
+                if within_epsilon(a, b, eps) {
+                    prop_assert!(found[j], "in-eps pair ({},{}) not in candidate window", i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_window_is_complete_4d(pts in arb_points_4d(40), eps in 0.1f32..20.0) {
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        for (i, a) in pts.iter().enumerate() {
+            let mut found = vec![false; pts.len()];
+            grid.for_each_candidate_of(i, |cand| found[cand] = true);
+            for (j, b) in pts.iter().enumerate() {
+                if within_epsilon(a, b, eps) {
+                    prop_assert!(found[j]);
+                }
+            }
+        }
+    }
+
+    /// The index is a partition: every point appears in exactly one cell.
+    #[test]
+    fn cells_partition_points(pts in arb_points_2d(200), eps in 0.01f32..50.0) {
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        let mut seen = vec![0u32; pts.len()];
+        for ci in 0..grid.num_cells() {
+            for &pid in grid.cell_points(ci) {
+                seen[pid as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// `home_cell_of` is consistent with cell membership and geometry.
+    #[test]
+    fn home_cell_consistent(pts in arb_points_2d(100), eps in 0.01f32..50.0) {
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            let home = grid.home_cell_of(i);
+            prop_assert!(grid.cell_points(home).contains(&(i as u32)));
+            let geom = grid.shape().linear_id(&grid.shape().cell_of(p));
+            prop_assert_eq!(grid.cells()[home].linear_id, geom);
+        }
+    }
+
+    /// Linear id ↔ coordinates roundtrips for every representable cell.
+    #[test]
+    fn linear_id_roundtrip(
+        dims in prop::array::uniform3(1u32..40),
+        coords in prop::array::uniform3(0u32..40),
+    ) {
+        let shape = GridShape::<3> { origin: [0.0; 3], cell_len: 1.0, cells_per_dim: dims };
+        let c = [coords[0] % dims[0], coords[1] % dims[1], coords[2] % dims[2]];
+        let id = shape.linear_id(&c);
+        prop_assert_eq!(shape.coords_of(id), c);
+        prop_assert!(id < shape.total_cells());
+    }
+
+    /// Neighbor windows always contain the origin and at most 3^n cells,
+    /// and iteration yields strictly increasing linear ids.
+    #[test]
+    fn neighbor_window_invariants(
+        dims in prop::array::uniform2(1u32..20),
+        coords in prop::array::uniform2(0u32..20),
+    ) {
+        let shape = GridShape::<2> { origin: [0.0; 2], cell_len: 1.0, cells_per_dim: dims };
+        let origin = [coords[0] % dims[0], coords[1] % dims[1]];
+        let w = NeighborWindow::around(&shape, &origin);
+        prop_assert!(w.contains(&origin));
+        prop_assert!(w.len() <= 9);
+        let ids: Vec<_> = w.iter(&shape).map(|(_, id)| id).collect();
+        prop_assert_eq!(ids.len(), w.len());
+        for pair in ids.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+    }
+}

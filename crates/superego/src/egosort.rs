@@ -1,0 +1,125 @@
+//! EGO-sort: lexicographic ordering by ε-cell coordinates.
+
+use epsgrid::Point;
+
+/// Cell coordinates of a point on the ε grid anchored at `origin`.
+pub fn ego_cell_coords<const N: usize>(
+    p: &Point<N>,
+    origin: &[f32; N],
+    epsilon: f32,
+) -> [i64; N] {
+    let mut c = [0i64; N];
+    for d in 0..N {
+        c[d] = ((p[d] - origin[d]) / epsilon).floor() as i64;
+    }
+    c
+}
+
+/// A dataset in EGO order: points sorted lexicographically by cell
+/// coordinates, with their original ids and precomputed coordinates.
+#[derive(Debug, Clone)]
+pub struct EgoSorted<const N: usize> {
+    /// Points in EGO order.
+    pub points: Vec<Point<N>>,
+    /// Original dataset id of each sorted point.
+    pub ids: Vec<u32>,
+    /// Cell coordinates of each sorted point.
+    pub cells: Vec<[i64; N]>,
+    /// The ε used for the grid.
+    pub epsilon: f32,
+}
+
+impl<const N: usize> EgoSorted<N> {
+    /// EGO-sorts a dataset.
+    pub fn sort(points: &[Point<N>], epsilon: f32) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        let origin = {
+            let mut o = [f32::MAX; N];
+            for p in points {
+                for d in 0..N {
+                    o[d] = o[d].min(p[d]);
+                }
+            }
+            if points.is_empty() {
+                o = [0.0; N];
+            }
+            o
+        };
+        let mut keyed: Vec<(u32, [i64; N])> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, ego_cell_coords(p, &origin, epsilon)))
+            .collect();
+        keyed.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut sorted_points = Vec::with_capacity(points.len());
+        let mut ids = Vec::with_capacity(points.len());
+        let mut cells = Vec::with_capacity(points.len());
+        for (id, cell) in keyed {
+            sorted_points.push(points[id as usize]);
+            ids.push(id);
+            cells.push(cell);
+        }
+        Self { points: sorted_points, ids, cells, epsilon }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_lexicographically_by_cell() {
+        let pts: Vec<Point<2>> = vec![[2.5, 0.5], [0.5, 2.5], [0.5, 0.5], [2.5, 2.5]];
+        let sorted = EgoSorted::sort(&pts, 1.0);
+        for w in sorted.cells.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // (0.5, 0.5) has the smallest cell.
+        assert_eq!(sorted.ids[0], 2);
+    }
+
+    #[test]
+    fn ids_track_original_points() {
+        let pts: Vec<Point<3>> =
+            (0..30).map(|i| [(i * 7 % 13) as f32, (i * 5 % 11) as f32, (i % 3) as f32]).collect();
+        let sorted = EgoSorted::sort(&pts, 1.5);
+        for (i, &id) in sorted.ids.iter().enumerate() {
+            assert_eq!(sorted.points[i], pts[id as usize]);
+        }
+        let mut ids = sorted.ids.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn cell_coords_are_relative_to_origin() {
+        let p = [3.7f32, -1.2];
+        let origin = [0.0f32, -2.0];
+        assert_eq!(ego_cell_coords(&p, &origin, 1.0), [3, 0]);
+        assert_eq!(ego_cell_coords(&p, &origin, 0.5), [7, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_sorts() {
+        let pts: Vec<Point<2>> = vec![];
+        let sorted = EgoSorted::sort(&pts, 1.0);
+        assert!(sorted.is_empty());
+        assert_eq!(sorted.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let _ = EgoSorted::sort(&[[0.0f32, 0.0]], 0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The recursive EGO-join.
+
+use std::ops::Range;
+
+use epsgrid::Point;
+
+use crate::egosort::EgoSorted;
+
+/// SUPER-EGO configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuperEgoConfig {
+    /// The distance threshold ε.
+    pub epsilon: f32,
+    /// Worker threads for the parallel driver (0 → all available cores).
+    pub threads: usize,
+    /// Range pairs at or below this size fall through to the
+    /// short-circuited nested-loop join.
+    pub naive_threshold: usize,
+    /// Whether to apply the dimension-reordering phase.
+    pub reorder_dims: bool,
+}
+
+impl SuperEgoConfig {
+    /// Defaults matching the original implementation's spirit.
+    pub fn new(epsilon: f32) -> Self {
+        Self { epsilon, threads: 0, naive_threshold: 32, reorder_dims: true }
+    }
+}
+
+/// Operation counts of one join execution (the basis for model-time
+/// comparisons against the simulated GPU).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Distance computations started (including short-circuited ones).
+    pub distance_calcs: u64,
+    /// Range pairs pruned by the interval condition.
+    pub pruned: u64,
+    /// Range pairs joined at the leaves.
+    pub leaf_joins: u64,
+    /// Result pairs found (ordered, both orientations).
+    pub pairs_found: u64,
+    /// Points sorted (counts toward the sort's `n log n` model cost).
+    pub sorted_points: u64,
+}
+
+impl JoinStats {
+    /// Accumulates another execution's counters.
+    pub fn accumulate(&mut self, other: &JoinStats) {
+        self.distance_calcs += other.distance_calcs;
+        self.pruned += other.pruned;
+        self.leaf_joins += other.leaf_joins;
+        self.pairs_found += other.pairs_found;
+        self.sorted_points += other.sorted_points;
+    }
+}
+
+/// Squared distance with short-circuit: stops accumulating as soon as the
+/// partial sum exceeds ε² (most effective after dimension reordering).
+#[inline]
+fn dist_sq_short_circuit<const N: usize>(a: &Point<N>, b: &Point<N>, eps_sq: f32) -> Option<f32> {
+    let mut acc = 0.0f32;
+    for d in 0..N {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+        if acc > eps_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Per-dimension cell-coordinate bounds of a sorted range — SUPER-EGO's
+/// improved pruning state, maintained incrementally down the recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellBox<const N: usize> {
+    /// Minimum cell coordinate per dimension.
+    pub lo: [i64; N],
+    /// Maximum cell coordinate per dimension.
+    pub hi: [i64; N],
+}
+
+impl<const N: usize> CellBox<N> {
+    /// Computes the bounds of `range` by scanning its cells.
+    pub fn of(sorted: &EgoSorted<N>, range: &Range<usize>) -> Self {
+        debug_assert!(!range.is_empty());
+        let mut lo = sorted.cells[range.start];
+        let mut hi = lo;
+        for c in &sorted.cells[range.start + 1..range.end] {
+            for d in 0..N {
+                lo[d] = lo[d].min(c[d]);
+                hi[d] = hi[d].max(c[d]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Whether no pair between two boxed ranges can be within ε: some
+    /// dimension's cell intervals are more than one cell apart (a gap of two
+    /// or more cells means a coordinate distance strictly greater than ε).
+    pub fn prunable(&self, other: &Self) -> bool {
+        for d in 0..N {
+            if self.lo[d] > other.hi[d] + 1 || other.lo[d] > self.hi[d] + 1 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Public prune test for arbitrary ranges (tests, task splitting).
+pub(crate) fn ego_prunable<const N: usize>(
+    sorted: &EgoSorted<N>,
+    a: &Range<usize>,
+    b: &Range<usize>,
+) -> bool {
+    CellBox::of(sorted, a).prunable(&CellBox::of(sorted, b))
+}
+
+struct JoinCtx<'a, const N: usize> {
+    sorted: &'a EgoSorted<N>,
+    eps_sq: f32,
+    naive_threshold: usize,
+    out: Vec<(u32, u32)>,
+    stats: JoinStats,
+}
+
+impl<const N: usize> JoinCtx<'_, N> {
+    /// Nested-loop join of two disjoint ranges.
+    fn naive_cross(&mut self, a: Range<usize>, b: Range<usize>) {
+        self.stats.leaf_joins += 1;
+        for i in a {
+            for j in b.clone() {
+                self.stats.distance_calcs += 1;
+                if dist_sq_short_circuit(
+                    &self.sorted.points[i],
+                    &self.sorted.points[j],
+                    self.eps_sq,
+                )
+                .is_some()
+                {
+                    let (pi, pj) = (self.sorted.ids[i], self.sorted.ids[j]);
+                    self.out.push((pi, pj));
+                    self.out.push((pj, pi));
+                    self.stats.pairs_found += 2;
+                }
+            }
+        }
+    }
+
+    /// Nested-loop self-join of one range (each unordered pair once).
+    fn naive_self(&mut self, a: Range<usize>) {
+        self.stats.leaf_joins += 1;
+        for i in a.clone() {
+            for j in i + 1..a.end {
+                self.stats.distance_calcs += 1;
+                if dist_sq_short_circuit(
+                    &self.sorted.points[i],
+                    &self.sorted.points[j],
+                    self.eps_sq,
+                )
+                .is_some()
+                {
+                    let (pi, pj) = (self.sorted.ids[i], self.sorted.ids[j]);
+                    self.out.push((pi, pj));
+                    self.out.push((pj, pi));
+                    self.stats.pairs_found += 2;
+                }
+            }
+        }
+    }
+
+    /// Self-join of one range.
+    fn join_self(&mut self, a: Range<usize>) {
+        if a.len() <= self.naive_threshold.max(1) {
+            self.naive_self(a);
+            return;
+        }
+        let mid = a.start + a.len() / 2;
+        let (left, right) = (a.start..mid, mid..a.end);
+        let lbox = CellBox::of(self.sorted, &left);
+        let rbox = CellBox::of(self.sorted, &right);
+        self.join_self(left.clone());
+        self.join_cross(left, lbox, right.clone(), rbox);
+        self.join_self(right);
+    }
+
+    /// Join of two disjoint boxed ranges.
+    fn join_cross(
+        &mut self,
+        a: Range<usize>,
+        abox: CellBox<N>,
+        b: Range<usize>,
+        bbox: CellBox<N>,
+    ) {
+        if a.is_empty() || b.is_empty() {
+            return;
+        }
+        if abox.prunable(&bbox) {
+            self.stats.pruned += 1;
+            return;
+        }
+        if a.len() + b.len() <= self.naive_threshold.max(2) {
+            self.naive_cross(a, b);
+            return;
+        }
+        if a.len() >= b.len() {
+            let mid = a.start + a.len() / 2;
+            let (left, right) = (a.start..mid, mid..a.end);
+            let lbox = CellBox::of(self.sorted, &left);
+            let rbox = CellBox::of(self.sorted, &right);
+            self.join_cross(left, lbox, b.clone(), bbox);
+            self.join_cross(right, rbox, b, bbox);
+        } else {
+            let mid = b.start + b.len() / 2;
+            let (left, right) = (b.start..mid, mid..b.end);
+            let lbox = CellBox::of(self.sorted, &left);
+            let rbox = CellBox::of(self.sorted, &right);
+            self.join_cross(a.clone(), abox, left, lbox);
+            self.join_cross(a, abox, right, rbox);
+        }
+    }
+}
+
+/// Sequentially EGO-joins two ranges of an EGO-sorted dataset, returning the
+/// ordered pairs found and the operation counts. Used directly by tests and
+/// as the per-task worker of the parallel driver.
+pub fn ego_join_sequential<const N: usize>(
+    sorted: &EgoSorted<N>,
+    a: Range<usize>,
+    b: Range<usize>,
+    config: &SuperEgoConfig,
+) -> (Vec<(u32, u32)>, JoinStats) {
+    let mut ctx = JoinCtx {
+        sorted,
+        eps_sq: config.epsilon * config.epsilon,
+        naive_threshold: config.naive_threshold,
+        out: Vec::new(),
+        stats: JoinStats::default(),
+    };
+    if !a.is_empty() && !b.is_empty() {
+        if a == b {
+            ctx.join_self(a);
+        } else {
+            let abox = CellBox::of(sorted, &a);
+            let bbox = CellBox::of(sorted, &b);
+            ctx.join_cross(a, abox, b, bbox);
+        }
+    }
+    (ctx.out, ctx.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(pts: &[Point<2>], eps: f32) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                if epsgrid::within_epsilon(&pts[i], &pts[j], eps) {
+                    pairs.push((i as u32, j as u32));
+                    pairs.push((j as u32, i as u32));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn scattered(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 1000) as f32 / 100.0;
+                let y = ((i * 40503 + 7) % 1000) as f32 / 100.0;
+                [x, y]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_join_matches_brute_force() {
+        let pts = scattered(150);
+        let eps = 0.4;
+        let sorted = EgoSorted::sort(&pts, eps);
+        let config = SuperEgoConfig::new(eps);
+        let (mut pairs, stats) =
+            ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute(&pts, eps));
+        assert_eq!(stats.pairs_found as usize, pairs.len());
+    }
+
+    #[test]
+    fn pruning_reduces_distance_calcs() {
+        let pts = scattered(400);
+        let eps = 0.15;
+        let sorted = EgoSorted::sort(&pts, eps);
+        let config = SuperEgoConfig { naive_threshold: 8, ..SuperEgoConfig::new(eps) };
+        let (_, stats) = ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
+        let brute_calcs = (pts.len() * (pts.len() - 1) / 2) as u64;
+        assert!(stats.pruned > 0, "expected some pruning");
+        assert!(
+            stats.distance_calcs < brute_calcs / 4,
+            "EGO should prune most of the {brute_calcs} brute-force comparisons, did {}",
+            stats.distance_calcs
+        );
+    }
+
+    #[test]
+    fn prune_test_is_sound() {
+        // Exhaustively verify on a small instance: pruned range pairs truly
+        // contain no in-ε pair.
+        let pts = scattered(60);
+        let eps = 0.3;
+        let sorted = EgoSorted::sort(&pts, eps);
+        let n = pts.len();
+        for a_start in (0..n).step_by(7) {
+            for a_end in [a_start + 3, a_start + 11] {
+                for b_start in (0..n).step_by(9) {
+                    for b_end in [b_start + 4, b_start + 13] {
+                        let (a, b) = (a_start..a_end.min(n), b_start..b_end.min(n));
+                        if a.is_empty() || b.is_empty() {
+                            continue;
+                        }
+                        if ego_prunable(&sorted, &a, &b) {
+                            for i in a.clone() {
+                                for j in b.clone() {
+                                    assert!(
+                                        !epsgrid::within_epsilon(
+                                            &sorted.points[i],
+                                            &sorted.points[j],
+                                            eps
+                                        ),
+                                        "pruned ranges contained an in-eps pair"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_box_bounds_its_range() {
+        let pts = scattered(80);
+        let sorted = EgoSorted::sort(&pts, 0.5);
+        let range = 10..40;
+        let bbox = CellBox::of(&sorted, &range);
+        for i in range {
+            for d in 0..2 {
+                assert!(sorted.cells[i][d] >= bbox.lo[d]);
+                assert!(sorted.cells[i][d] <= bbox.hi[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn prunable_is_symmetric_and_respects_adjacency() {
+        let a = CellBox::<2> { lo: [0, 0], hi: [1, 1] };
+        let adjacent = CellBox::<2> { lo: [2, 0], hi: [2, 1] };
+        let far = CellBox::<2> { lo: [3, 0], hi: [4, 1] };
+        assert!(!a.prunable(&adjacent), "gap of one cell may hold in-eps pairs");
+        assert!(a.prunable(&far));
+        assert!(far.prunable(&a));
+        let far_y = CellBox::<2> { lo: [0, 3], hi: [1, 5] };
+        assert!(a.prunable(&far_y), "any single far dimension suffices");
+    }
+
+    #[test]
+    fn short_circuit_distance_agrees_with_full_distance() {
+        let a = [0.0f32, 3.0, 1.0];
+        let b = [0.5f32, 3.2, 1.1];
+        let eps_sq = 1.0f32;
+        assert!(dist_sq_short_circuit(&a, &b, eps_sq).is_some());
+        let far = [9.0f32, 3.0, 1.0];
+        assert!(dist_sq_short_circuit(&a, &far, eps_sq).is_none());
+    }
+
+    #[test]
+    fn duplicate_heavy_dataset() {
+        let mut pts: Vec<Point<2>> = vec![[1.0, 1.0]; 40];
+        pts.extend_from_slice(&[[5.0, 5.0], [5.05, 5.0]]);
+        let eps = 0.1;
+        let sorted = EgoSorted::sort(&pts, eps);
+        let (mut pairs, _) = ego_join_sequential(
+            &sorted,
+            0..pts.len(),
+            0..pts.len(),
+            &SuperEgoConfig::new(eps),
+        );
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute(&pts, eps));
+    }
+
+    #[test]
+    fn single_point_has_no_pairs() {
+        let pts: Vec<Point<2>> = vec![[0.0, 0.0]];
+        let sorted = EgoSorted::sort(&pts, 1.0);
+        let (pairs, _) =
+            ego_join_sequential(&sorted, 0..1, 0..1, &SuperEgoConfig::new(1.0));
+        assert!(pairs.is_empty());
+    }
+}

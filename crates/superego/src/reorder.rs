@@ -1,0 +1,128 @@
+//! Dimension reordering (SUPER-EGO's first phase).
+//!
+//! Euclidean distance is invariant under a permutation of coordinates, so
+//! the join may run in any dimension order. SUPER-EGO reorders dimensions so
+//! that the most *selective* ones lead: the EGO-sort then separates far
+//! points earlier, the join recursion prunes higher, and the
+//! short-circuited distance test fails sooner. We rank selectivity by the
+//! dimension's extent measured in ε cells (more cells → a random pair is
+//! less likely to collide in that dimension).
+
+use epsgrid::Point;
+
+/// A dimension permutation: `order[i]` is the source dimension stored at
+/// position `i` after reordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimOrder {
+    order: Vec<usize>,
+}
+
+impl DimOrder {
+    /// The identity permutation.
+    pub fn identity(dims: usize) -> Self {
+        Self { order: (0..dims).collect() }
+    }
+
+    /// Ranks dimensions by decreasing extent/ε (ties keep original order).
+    pub fn by_selectivity<const N: usize>(points: &[Point<N>], epsilon: f32) -> Self {
+        let mut cells_per_dim = [0u64; N];
+        if let Some(first) = points.first() {
+            let mut min = *first;
+            let mut max = *first;
+            for p in points {
+                for d in 0..N {
+                    min[d] = min[d].min(p[d]);
+                    max[d] = max[d].max(p[d]);
+                }
+            }
+            for d in 0..N {
+                cells_per_dim[d] = ((max[d] - min[d]) / epsilon.max(f32::MIN_POSITIVE))
+                    .floor()
+                    .max(0.0) as u64
+                    + 1;
+            }
+        }
+        let mut order: Vec<usize> = (0..N).collect();
+        order.sort_by(|&a, &b| cells_per_dim[b].cmp(&cells_per_dim[a]).then(a.cmp(&b)));
+        Self { order }
+    }
+
+    /// The permutation as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Applies the permutation to one point.
+    pub fn apply<const N: usize>(&self, p: &Point<N>) -> Point<N> {
+        debug_assert_eq!(self.order.len(), N);
+        let mut out = [0.0f32; N];
+        for (i, &d) in self.order.iter().enumerate() {
+            out[i] = p[d];
+        }
+        out
+    }
+
+    /// Applies the permutation to a whole dataset.
+    pub fn apply_all<const N: usize>(&self, points: &[Point<N>]) -> Vec<Point<N>> {
+        points.iter().map(|p| self.apply(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epsgrid::euclidean_dist_sq;
+
+    #[test]
+    fn identity_keeps_points() {
+        let p = [1.0f32, 2.0, 3.0];
+        let id = DimOrder::identity(3);
+        assert_eq!(id.apply(&p), p);
+    }
+
+    #[test]
+    fn widest_dimension_leads() {
+        // dim 1 spans 100 cells, dim 0 spans 1 cell.
+        let pts: Vec<Point<2>> = vec![[0.0, 0.0], [0.5, 100.0]];
+        let order = DimOrder::by_selectivity(&pts, 1.0);
+        assert_eq!(order.as_slice(), &[1, 0]);
+        assert_eq!(order.apply(&[0.5, 100.0]), [100.0, 0.5]);
+    }
+
+    #[test]
+    fn permutation_preserves_distances() {
+        let pts: Vec<Point<4>> = vec![
+            [0.1, 5.0, -2.0, 0.4],
+            [1.3, -1.0, 7.5, 2.2],
+            [0.0, 0.0, 0.0, 0.0],
+        ];
+        let order = DimOrder::by_selectivity(&pts, 0.5);
+        let permuted = order.apply_all(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let d1 = euclidean_dist_sq(&pts[i], &pts[j]);
+                let d2 = euclidean_dist_sq(&permuted[i], &permuted[j]);
+                assert!((d1 - d2).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let pts: Vec<Point<5>> =
+            (0..20).map(|i| [i as f32, (i * 3 % 7) as f32, 0.5, (i % 2) as f32, -1.0 * i as f32]).collect();
+        let order = DimOrder::by_selectivity(&pts, 0.7);
+        let mut sorted = order.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_identity_like_order() {
+        let pts: Vec<Point<3>> = vec![];
+        let order = DimOrder::by_selectivity(&pts, 1.0);
+        let mut sorted = order.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

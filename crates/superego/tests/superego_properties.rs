@@ -1,0 +1,69 @@
+//! Property-based tests: SUPER-EGO is an exact self-join under any
+//! configuration.
+
+use epsgrid::within_epsilon;
+use proptest::prelude::*;
+use superego::{super_ego_join, SuperEgoConfig};
+
+fn brute<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for i in 0..pts.len() {
+        for j in i + 1..pts.len() {
+            if within_epsilon(&pts[i], &pts[j], eps) {
+                pairs.push((i as u32, j as u32));
+                pairs.push((j as u32, i as u32));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_join_2d(
+        pts in prop::collection::vec(prop::array::uniform2(-50.0f32..50.0), 1..120),
+        eps in 0.05f32..40.0,
+        threads in 1usize..5,
+        naive_threshold in 2usize..64,
+        reorder in any::<bool>(),
+    ) {
+        let config = SuperEgoConfig {
+            epsilon: eps,
+            threads,
+            naive_threshold,
+            reorder_dims: reorder,
+        };
+        let outcome = super_ego_join(&pts, &config);
+        let mut pairs = outcome.pairs;
+        pairs.sort_unstable();
+        prop_assert_eq!(pairs, brute(&pts, eps));
+    }
+
+    #[test]
+    fn exact_join_4d(
+        pts in prop::collection::vec(prop::array::uniform4(-5.0f32..5.0), 1..60),
+        eps in 0.1f32..8.0,
+    ) {
+        let outcome = super_ego_join(&pts, &SuperEgoConfig::new(eps));
+        let mut pairs = outcome.pairs;
+        pairs.sort_unstable();
+        prop_assert_eq!(pairs, brute(&pts, eps));
+    }
+
+    /// The distance-calculation count never exceeds the brute-force count
+    /// (pruning can only remove work), and stats stay self-consistent.
+    #[test]
+    fn stats_are_consistent(
+        pts in prop::collection::vec(prop::array::uniform2(-30.0f32..30.0), 2..100),
+        eps in 0.05f32..20.0,
+    ) {
+        let outcome = super_ego_join(&pts, &SuperEgoConfig::new(eps));
+        let brute_calcs = (pts.len() * (pts.len() - 1) / 2) as u64;
+        prop_assert!(outcome.stats.distance_calcs <= brute_calcs);
+        prop_assert_eq!(outcome.stats.pairs_found as usize, outcome.pairs.len());
+        prop_assert_eq!(outcome.stats.sorted_points as usize, pts.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Cooperative thread groups (CUDA 9 `cooperative_groups` analogue).
+//!
+//! When the paper combines the WORKQUEUE with `k > 1` threads per query
+//! point, it partitions each warp into groups of `k` lanes; only the group
+//! leader (lane 0 of the group) increments the global counter, then shuffles
+//! the acquired index to its peers. [`CoopGroups`] captures that lane↔group
+//! arithmetic and validates `k`.
+
+/// Partitioning of a warp into cooperative groups of `k` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoopGroups {
+    warp_size: u32,
+    k: u32,
+}
+
+/// Errors constructing a [`CoopGroups`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoopError {
+    /// `k` must be ≥ 1.
+    ZeroK,
+    /// `k` must divide the warp size (CUDA tiled partitions require a
+    /// power-of-two divisor of 32; we require the divisor part).
+    NotADivisor {
+        /// Requested group width.
+        k: u32,
+        /// The warp size it fails to divide.
+        warp_size: u32,
+    },
+}
+
+impl std::fmt::Display for CoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoopError::ZeroK => write!(f, "cooperative group width k must be at least 1"),
+            CoopError::NotADivisor { k, warp_size } => {
+                write!(f, "cooperative group width {k} does not divide warp size {warp_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoopError {}
+
+impl CoopGroups {
+    /// Partitions a warp of `warp_size` lanes into groups of `k`.
+    pub fn new(warp_size: u32, k: u32) -> Result<Self, CoopError> {
+        if k == 0 {
+            return Err(CoopError::ZeroK);
+        }
+        if warp_size % k != 0 {
+            return Err(CoopError::NotADivisor { k, warp_size });
+        }
+        Ok(Self { warp_size, k })
+    }
+
+    /// Group width `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of groups per warp.
+    pub fn groups_per_warp(&self) -> u32 {
+        self.warp_size / self.k
+    }
+
+    /// The group a lane belongs to.
+    pub fn group_of(&self, lane: u32) -> u32 {
+        debug_assert!(lane < self.warp_size);
+        lane / self.k
+    }
+
+    /// The lane's rank within its group (`thread_rank()` in CUDA).
+    pub fn rank_in_group(&self, lane: u32) -> u32 {
+        debug_assert!(lane < self.warp_size);
+        lane % self.k
+    }
+
+    /// Whether the lane is its group's leader.
+    pub fn is_leader(&self, lane: u32) -> bool {
+        self.rank_in_group(lane) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_partitions() {
+        for k in [1u32, 2, 4, 8, 16, 32] {
+            let g = CoopGroups::new(32, k).unwrap();
+            assert_eq!(g.groups_per_warp() * k, 32);
+        }
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert_eq!(CoopGroups::new(32, 0), Err(CoopError::ZeroK));
+        assert_eq!(
+            CoopGroups::new(32, 5),
+            Err(CoopError::NotADivisor { k: 5, warp_size: 32 })
+        );
+    }
+
+    #[test]
+    fn lane_arithmetic() {
+        let g = CoopGroups::new(32, 8).unwrap();
+        assert_eq!(g.group_of(0), 0);
+        assert_eq!(g.group_of(7), 0);
+        assert_eq!(g.group_of(8), 1);
+        assert_eq!(g.group_of(31), 3);
+        assert_eq!(g.rank_in_group(13), 5);
+        assert!(g.is_leader(0));
+        assert!(g.is_leader(24));
+        assert!(!g.is_leader(25));
+    }
+
+    #[test]
+    fn every_group_has_exactly_one_leader() {
+        let g = CoopGroups::new(32, 4).unwrap();
+        for group in 0..g.groups_per_warp() {
+            let leaders = (0..32)
+                .filter(|&l| g.group_of(l) == group && g.is_leader(l))
+                .count();
+            assert_eq!(leaders, 1);
+        }
+    }
+
+    #[test]
+    fn k1_means_every_lane_leads() {
+        let g = CoopGroups::new(32, 1).unwrap();
+        assert!((0..32).all(|l| g.is_leader(l)));
+        assert_eq!(g.groups_per_warp(), 32);
+    }
+}

@@ -1,0 +1,317 @@
+//! Kernel launch: warps → lockstep micro-execution → machine makespan.
+//!
+//! A kernel is described by a [`WarpSource`], which constructs the lane
+//! programs of each warp. Construction happens **sequentially in issue
+//! order** — this is what gives the WORKQUEUE its semantics: a source that
+//! pops a [`crate::atomics::DeviceCounter`] in `make_warp` hands out work in
+//! exactly the order warps start on the device. Micro-execution of the warp
+//! bodies (the expensive part) is then parallelized across host threads,
+//! which is purely an implementation detail: every warp's execution is
+//! self-contained, so the simulation stays deterministic.
+
+use crate::config::GpuConfig;
+use crate::lane::{LaneProgram, LaneSink};
+use crate::machine::{MachineModel, MakespanReport};
+use crate::memory::{BufferOverflow, DeviceBuffer};
+use crate::metrics::WarpStatsSummary;
+use crate::scheduler::IssueOrder;
+use crate::warp::{execute_warp, WarpExecution};
+
+/// Describes the warps of one kernel launch.
+pub trait WarpSource: Sync {
+    /// The lane program type of this kernel.
+    type Lane: LaneProgram + Send;
+
+    /// Number of warps in the launch grid.
+    fn num_warps(&self) -> usize;
+
+    /// Constructs the lane programs of warp `warp_id`.
+    ///
+    /// Called exactly once per warp, sequentially, in **issue order**.
+    /// May return fewer lanes than the warp size (tail warps).
+    fn make_warp(&self, warp_id: u32) -> Vec<Self::Lane>;
+}
+
+/// Errors from [`launch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The kernel emitted more result pairs than the device buffer holds.
+    /// On real hardware this is the buffer overflow the batching scheme must
+    /// prevent; the simulator turns it into a hard error.
+    ResultOverflow(BufferOverflow),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::ResultOverflow(e) => write!(f, "kernel result overflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// The outcome of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Number of warps launched.
+    pub warps: usize,
+    /// Accumulated per-warp counters (cycles here is the *sum* of warp
+    /// durations, not elapsed time — see `makespan`).
+    pub totals: WarpExecution,
+    /// Machine-level schedule of the warps.
+    pub makespan: MakespanReport,
+    /// Per-warp serialized durations, indexed by warp id.
+    pub warp_cycles: Vec<u64>,
+    /// Result pairs emitted by this launch.
+    pub pairs_emitted: usize,
+    /// Effective model clock (derated) used for second conversions.
+    pub clock_hz: f64,
+}
+
+impl LaunchReport {
+    /// Warp execution efficiency over the whole launch, in `[0, 1]`.
+    pub fn wee(&self) -> f64 {
+        self.totals.efficiency()
+    }
+
+    /// Elapsed model cycles (machine makespan).
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.makespan.makespan
+    }
+
+    /// Elapsed model seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_cycles() as f64 / self.clock_hz
+    }
+
+    /// Summary of per-warp durations (inter-warp imbalance).
+    pub fn warp_stats(&self) -> Option<WarpStatsSummary> {
+        WarpStatsSummary::from_durations(&self.warp_cycles)
+    }
+
+    /// Total distance calculations performed (refine-step work).
+    pub fn distance_calcs(&self) -> u64 {
+        self.totals.lane_ops_by_kind[crate::op::OpKind::Distance.index()]
+    }
+}
+
+/// Launches a kernel: constructs warps in issue order, micro-executes them,
+/// appends their result pairs to `out` (in warp-id order, so output is
+/// deterministic across issue policies), and schedules their durations onto
+/// the occupancy-limited machine.
+pub fn launch<S: WarpSource>(
+    gpu: &GpuConfig,
+    source: &S,
+    order: IssueOrder,
+    out: &mut DeviceBuffer<(u32, u32)>,
+) -> Result<LaunchReport, LaunchError> {
+    let num_warps = source.num_warps();
+    let issue_order = order.permutation(num_warps, gpu.warps_per_block() as usize);
+
+    // Phase 1: construct lane programs sequentially in issue order (this is
+    // where work-queue sources pop the device counter).
+    let mut warps: Vec<(u32, Vec<S::Lane>)> = Vec::with_capacity(num_warps);
+    for &warp_id in &issue_order {
+        warps.push((warp_id, source.make_warp(warp_id)));
+    }
+
+    // Phase 2: micro-execute warp bodies, in parallel on the host.
+    let warp_size = gpu.warp_size;
+    let mut slots: Vec<Option<(u32, WarpExecution, LaneSink)>> = Vec::with_capacity(num_warps);
+    slots.resize_with(num_warps, || None);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let chunk_size = num_warps.div_ceil(workers.max(1)).max(1);
+    if num_warps > 0 {
+        crossbeam::thread::scope(|s| {
+            let mut warps_rest: &mut [(u32, Vec<S::Lane>)] = &mut warps;
+            let mut slots_rest: &mut [Option<(u32, WarpExecution, LaneSink)>] = &mut slots;
+            while !warps_rest.is_empty() {
+                let take = chunk_size.min(warps_rest.len());
+                let (w_chunk, w_tail) = warps_rest.split_at_mut(take);
+                let (s_chunk, s_tail) = slots_rest.split_at_mut(take);
+                warps_rest = w_tail;
+                slots_rest = s_tail;
+                s.spawn(move |_| {
+                    for ((warp_id, lanes), slot) in w_chunk.iter_mut().zip(s_chunk.iter_mut()) {
+                        let mut sink = LaneSink::new();
+                        let exec = execute_warp(lanes, warp_size, &mut sink);
+                        *slot = Some((*warp_id, exec, sink));
+                    }
+                });
+            }
+        })
+        .expect("warp execution worker panicked");
+    }
+
+    // Phase 3: aggregate. Durations stay in issue order for the machine
+    // model; pairs are appended in warp-id order for determinism.
+    let mut totals = WarpExecution { warp_size, ..WarpExecution::default() };
+    let mut durations_issue_order = Vec::with_capacity(num_warps);
+    let mut warp_cycles = vec![0u64; num_warps];
+    let mut by_warp_id: Vec<Option<LaneSink>> = Vec::with_capacity(num_warps);
+    by_warp_id.resize_with(num_warps, || None);
+    for slot in slots {
+        let (warp_id, exec, sink) = slot.expect("every warp slot is filled");
+        totals.accumulate(&exec);
+        totals.lanes += exec.lanes;
+        durations_issue_order.push(exec.cycles);
+        warp_cycles[warp_id as usize] = exec.cycles;
+        by_warp_id[warp_id as usize] = Some(sink);
+    }
+    let mut pairs_emitted = 0usize;
+    for sink in by_warp_id.into_iter().flatten() {
+        pairs_emitted += sink.len();
+        out.extend_from_slice(sink.pairs()).map_err(LaunchError::ResultOverflow)?;
+    }
+
+    let machine = MachineModel::new(gpu.total_warp_slots());
+    let makespan = machine.schedule(&durations_issue_order);
+
+    Ok(LaunchReport {
+        warps: num_warps,
+        totals,
+        makespan,
+        warp_cycles,
+        pairs_emitted,
+        clock_hz: gpu.effective_clock_hz(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::FixedWorkLane;
+    use crate::op::{Op, OpKind};
+
+    /// A kernel of `warps` warps where warp `w` has lanes doing `work[w]`
+    /// identical distance ops each.
+    struct UniformWarps {
+        work: Vec<u32>,
+        lanes_per_warp: u32,
+    }
+
+    impl WarpSource for UniformWarps {
+        type Lane = FixedWorkLane;
+        fn num_warps(&self) -> usize {
+            self.work.len()
+        }
+        fn make_warp(&self, warp_id: u32) -> Vec<FixedWorkLane> {
+            (0..self.lanes_per_warp)
+                .map(|_| FixedWorkLane::new(self.work[warp_id as usize], Op::new(OpKind::Distance, 10)))
+                .collect()
+        }
+    }
+
+    /// A kernel whose lanes each emit one pair.
+    struct Emitter {
+        warps: usize,
+        lanes: u32,
+    }
+
+    struct EmitLane {
+        id: u32,
+        done: bool,
+    }
+
+    impl LaneProgram for EmitLane {
+        fn step(&mut self, sink: &mut LaneSink) -> Option<Op> {
+            if self.done {
+                return None;
+            }
+            self.done = true;
+            sink.emit(self.id, self.id + 1);
+            Some(Op::new(OpKind::Emit, 8))
+        }
+    }
+
+    impl WarpSource for Emitter {
+        type Lane = EmitLane;
+        fn num_warps(&self) -> usize {
+            self.warps
+        }
+        fn make_warp(&self, warp_id: u32) -> Vec<EmitLane> {
+            (0..self.lanes)
+                .map(|l| EmitLane { id: warp_id * self.lanes + l, done: false })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn launch_reports_full_efficiency_for_uniform_work() {
+        let gpu = GpuConfig::small_test();
+        let src = UniformWarps { work: vec![5; 16], lanes_per_warp: 4 };
+        let mut out = DeviceBuffer::with_capacity(0);
+        let r = launch(&gpu, &src, IssueOrder::InOrder, &mut out).unwrap();
+        assert_eq!(r.warps, 16);
+        assert!((r.wee() - 1.0).abs() < 1e-12);
+        // 16 warps of 50 cycles on 8 slots → two rounds of 50 cycles.
+        assert_eq!(r.elapsed_cycles(), 100);
+        assert_eq!(r.distance_calcs(), 16 * 4 * 5);
+    }
+
+    #[test]
+    fn issue_order_changes_makespan_not_results() {
+        let gpu = GpuConfig::small_test();
+        // 8 slots; 15 short warps and 1 very long warp.
+        let mut work = vec![10u32; 15];
+        work.push(1000);
+        let src = UniformWarps { work, lanes_per_warp: 4 };
+        let mut out1 = DeviceBuffer::with_capacity(0);
+        let mut out2 = DeviceBuffer::with_capacity(0);
+        // In warp-id order the long warp (id 15) starts in the second wave →
+        // long tail. Reversed order starts it first → tail hidden.
+        let bad = launch(&gpu, &src, IssueOrder::InOrder, &mut out1).unwrap();
+        let good = launch(&gpu, &src, IssueOrder::Reversed, &mut out2).unwrap();
+        assert!(bad.elapsed_cycles() > good.elapsed_cycles());
+        assert_eq!(bad.distance_calcs(), good.distance_calcs());
+        assert!((bad.wee() - good.wee()).abs() < 1e-12, "WEE is order-independent");
+    }
+
+    #[test]
+    fn pairs_are_gathered_in_warp_id_order_regardless_of_issue_order() {
+        let gpu = GpuConfig::small_test();
+        let src = Emitter { warps: 6, lanes: 4 };
+        let mut out1 = DeviceBuffer::with_capacity(1000);
+        let mut out2 = DeviceBuffer::with_capacity(1000);
+        launch(&gpu, &src, IssueOrder::InOrder, &mut out1).unwrap();
+        launch(&gpu, &src, IssueOrder::Arbitrary { seed: 99 }, &mut out2).unwrap();
+        assert_eq!(out1.as_slice(), out2.as_slice());
+        assert_eq!(out1.len(), 24);
+        assert_eq!(out1.as_slice()[0], (0, 1));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let gpu = GpuConfig::small_test();
+        let src = Emitter { warps: 4, lanes: 4 };
+        let mut out = DeviceBuffer::with_capacity(3);
+        let err = launch(&gpu, &src, IssueOrder::InOrder, &mut out).unwrap_err();
+        assert!(matches!(err, LaunchError::ResultOverflow(_)));
+    }
+
+    #[test]
+    fn empty_launch_is_ok() {
+        let gpu = GpuConfig::small_test();
+        let src = UniformWarps { work: vec![], lanes_per_warp: 4 };
+        let mut out = DeviceBuffer::with_capacity(0);
+        let r = launch(&gpu, &src, IssueOrder::InOrder, &mut out).unwrap();
+        assert_eq!(r.warps, 0);
+        assert_eq!(r.elapsed_cycles(), 0);
+        assert_eq!(r.wee(), 1.0);
+    }
+
+    #[test]
+    fn launch_is_deterministic() {
+        let gpu = GpuConfig::small_test();
+        let work: Vec<u32> = (0..50).map(|i| (i * 7) % 23 + 1).collect();
+        let src = UniformWarps { work, lanes_per_warp: 4 };
+        let mut out1 = DeviceBuffer::with_capacity(0);
+        let mut out2 = DeviceBuffer::with_capacity(0);
+        let a = launch(&gpu, &src, IssueOrder::Arbitrary { seed: 5 }, &mut out1).unwrap();
+        let b = launch(&gpu, &src, IssueOrder::Arbitrary { seed: 5 }, &mut out2).unwrap();
+        assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
+        assert_eq!(a.warp_cycles, b.warp_cycles);
+        assert_eq!(a.totals, b.totals);
+    }
+}

@@ -1,0 +1,119 @@
+//! Lane programs: the per-thread instruction streams the simulator executes.
+
+use crate::op::Op;
+
+/// A resumable per-lane instruction stream.
+///
+/// Each call to [`LaneProgram::step`] performs the side effects of one SIMT
+/// op (e.g. one distance calculation, possibly recording a result pair into
+/// the [`LaneSink`]) and returns the op's descriptor, or `None` once the lane
+/// has retired. The warp executor drives all lanes of a warp in lockstep and
+/// serializes divergent steps.
+pub trait LaneProgram {
+    /// Advance the lane by one op. Returns `None` when the lane has retired.
+    fn step(&mut self, sink: &mut LaneSink) -> Option<Op>;
+}
+
+/// Collects the outputs of a warp's lanes.
+///
+/// Result pairs are buffered per warp and appended to the device result
+/// buffer in warp order by the kernel driver, mimicking the buffered global
+/// writes of the real kernels.
+#[derive(Debug, Default)]
+pub struct LaneSink {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl LaneSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a result pair `(query, neighbor)`.
+    pub fn emit(&mut self, query: u32, neighbor: u32) {
+        self.pairs.push((query, neighbor));
+    }
+
+    /// Records both orientations of a symmetric pair, as the unidirectional
+    /// access patterns do after a single distance calculation.
+    pub fn emit_symmetric(&mut self, a: u32, b: u32) {
+        self.pairs.push((a, b));
+        self.pairs.push((b, a));
+    }
+
+    /// Number of pairs recorded so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The recorded pairs.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Consumes the sink, returning the recorded pairs.
+    pub fn into_pairs(self) -> Vec<(u32, u32)> {
+        self.pairs
+    }
+}
+
+/// A trivial lane program executing a fixed number of identical ops.
+/// Used by tests and by the machine-model calibration benches.
+#[derive(Debug, Clone)]
+pub struct FixedWorkLane {
+    remaining: u32,
+    op: Op,
+}
+
+impl FixedWorkLane {
+    /// A lane that performs `count` copies of `op` and then retires.
+    pub fn new(count: u32, op: Op) -> Self {
+        Self { remaining: count, op }
+    }
+}
+
+impl LaneProgram for FixedWorkLane {
+    fn step(&mut self, _sink: &mut LaneSink) -> Option<Op> {
+        if self.remaining == 0 {
+            None
+        } else {
+            self.remaining -= 1;
+            Some(self.op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn sink_records_pairs() {
+        let mut sink = LaneSink::new();
+        assert!(sink.is_empty());
+        sink.emit(1, 2);
+        sink.emit_symmetric(3, 4);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.pairs(), &[(1, 2), (3, 4), (4, 3)]);
+        assert_eq!(sink.into_pairs().len(), 3);
+    }
+
+    #[test]
+    fn fixed_work_lane_retires_after_count() {
+        let mut lane = FixedWorkLane::new(3, Op::new(OpKind::Distance, 10));
+        let mut sink = LaneSink::new();
+        let mut steps = 0;
+        while lane.step(&mut sink).is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        assert!(lane.step(&mut sink).is_none(), "retired lanes stay retired");
+    }
+}

@@ -1,0 +1,189 @@
+//! The occupancy-limited machine model: warp durations → kernel makespan.
+//!
+//! The device is modeled as `S` concurrent warp slots (`num_sms ×
+//! warp_slots_per_sm`). Warps are taken from the pending list **in issue
+//! order** and each occupies the earliest-free slot for its serialized
+//! duration. The kernel's elapsed time is the time the last slot drains.
+//!
+//! This is a classic list-scheduling machine model: feeding it warps in
+//! non-increasing workload order is LPT scheduling, which is exactly the
+//! effect the paper's WORKQUEUE forces on the hardware scheduler, while an
+//! arbitrary order reproduces the end-of-kernel tail imbalance of the
+//! baseline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The slot machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Number of concurrent warp slots.
+    pub slots: usize,
+}
+
+/// The outcome of scheduling a kernel's warps onto the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MakespanReport {
+    /// Elapsed cycles until the last warp finished.
+    pub makespan: u64,
+    /// Sum of all warp durations (machine-busy cycles).
+    pub total_busy: u64,
+    /// Number of slots used.
+    pub slots: usize,
+    /// Busy cycles per slot.
+    pub slot_busy: Vec<u64>,
+    /// Number of warps scheduled.
+    pub warps: usize,
+}
+
+impl MakespanReport {
+    /// Fraction of slot-cycles spent idle, in `[0, 1)`.
+    ///
+    /// This is the *tail* (end-of-kernel) imbalance the WORKQUEUE targets:
+    /// idle slot time accrued while other slots still had work.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.makespan == 0 || self.slots == 0 {
+            return 0.0;
+        }
+        let capacity = self.makespan as f64 * self.slots as f64;
+        1.0 - self.total_busy as f64 / capacity
+    }
+
+    /// Ratio of makespan to the ideal (perfectly balanced) makespan.
+    /// 1.0 means no scheduling loss.
+    pub fn balance_overhead(&self) -> f64 {
+        if self.total_busy == 0 {
+            return 1.0;
+        }
+        let ideal = self.total_busy as f64 / self.slots as f64;
+        self.makespan as f64 / ideal.max(1.0)
+    }
+}
+
+impl MachineModel {
+    /// Creates a machine with the given number of concurrent warp slots.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "machine must have at least one warp slot");
+        Self { slots }
+    }
+
+    /// Schedules warps with the given durations, **in the order given**,
+    /// onto the earliest-free slot, and reports the makespan.
+    pub fn schedule(&self, durations_in_issue_order: &[u64]) -> MakespanReport {
+        let slots = self.slots.min(durations_in_issue_order.len()).max(1);
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..slots).map(|s| Reverse((0u64, s))).collect();
+        let mut slot_busy = vec![0u64; slots];
+        let mut makespan = 0u64;
+        let mut total_busy = 0u64;
+        for &d in durations_in_issue_order {
+            let Reverse((free_at, slot)) = heap.pop().expect("heap is never empty");
+            let finish = free_at + d;
+            slot_busy[slot] += d;
+            total_busy += d;
+            makespan = makespan.max(finish);
+            heap.push(Reverse((finish, slot)));
+        }
+        MakespanReport {
+            makespan,
+            total_busy,
+            slots,
+            slot_busy,
+            warps: durations_in_issue_order.len(),
+        }
+    }
+
+    /// Schedules warps following a permutation: `order[i]` is the index into
+    /// `durations` of the i-th warp to issue.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..durations.len()`.
+    pub fn schedule_permuted(&self, durations: &[u64], order: &[u32]) -> MakespanReport {
+        assert_eq!(order.len(), durations.len(), "order must cover every warp");
+        let permuted: Vec<u64> = order.iter().map(|&i| durations[i as usize]).collect();
+        self.schedule(&permuted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_serializes() {
+        let m = MachineModel::new(1);
+        let r = m.schedule(&[5, 3, 7]);
+        assert_eq!(r.makespan, 15);
+        assert_eq!(r.total_busy, 15);
+        assert_eq!(r.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn parallel_slots_overlap() {
+        let m = MachineModel::new(2);
+        let r = m.schedule(&[4, 4, 4, 4]);
+        assert_eq!(r.makespan, 8);
+        assert!((r.balance_overhead() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_order_creates_tail() {
+        // Short warps first, one long warp last → tail of 10 cycles where one
+        // slot works alone. LPT order (long first) avoids it.
+        let m = MachineModel::new(2);
+        let worst = m.schedule(&[1, 1, 1, 1, 10]);
+        let lpt = m.schedule(&[10, 1, 1, 1, 1]);
+        assert!(worst.makespan > lpt.makespan);
+        assert_eq!(lpt.makespan, 10);
+        assert_eq!(worst.makespan, 12);
+        assert!(worst.idle_fraction() > lpt.idle_fraction());
+    }
+
+    #[test]
+    fn schedule_permuted_matches_manual_permutation() {
+        let m = MachineModel::new(3);
+        let durations = [9, 2, 7, 1, 5];
+        let order = [4u32, 0, 2, 1, 3];
+        let a = m.schedule_permuted(&durations, &order);
+        let manual: Vec<u64> = order.iter().map(|&i| durations[i as usize]).collect();
+        let b = m.schedule(&manual);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fewer_warps_than_slots() {
+        let m = MachineModel::new(100);
+        let r = m.schedule(&[3, 4]);
+        assert_eq!(r.makespan, 4);
+        assert_eq!(r.slots, 2, "unused slots are not counted against idleness");
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let m = MachineModel::new(4);
+        let r = m.schedule(&[]);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.idle_fraction(), 0.0);
+        assert_eq!(r.warps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp slot")]
+    fn zero_slots_rejected() {
+        let _ = MachineModel::new(0);
+    }
+
+    #[test]
+    fn makespan_at_least_longest_warp_and_ideal() {
+        let m = MachineModel::new(3);
+        let d = [13, 2, 8, 8, 1, 1, 5];
+        let r = m.schedule(&d);
+        let longest = *d.iter().max().unwrap();
+        let ideal = d.iter().sum::<u64>().div_ceil(3);
+        assert!(r.makespan >= longest);
+        assert!(r.makespan >= ideal);
+    }
+}

@@ -1,0 +1,158 @@
+//! Capacity-bounded device buffers.
+//!
+//! The self-join's result set can exceed GPU global memory, which is why the
+//! batching scheme exists. [`DeviceBuffer`] models the per-batch pinned
+//! result buffer of size `b_s`: appends beyond capacity fail with
+//! [`BufferOverflow`] instead of silently growing, so the batch planner's
+//! "never overflow" guarantee is checkable.
+
+/// Error returned when an append would exceed the buffer capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferOverflow {
+    /// Buffer capacity in elements.
+    pub capacity: usize,
+    /// Elements stored before the failing append.
+    pub len: usize,
+    /// Elements the failing append attempted to add.
+    pub attempted: usize,
+}
+
+impl std::fmt::Display for BufferOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device buffer overflow: {} + {} elements exceeds capacity {}",
+            self.len, self.attempted, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for BufferOverflow {}
+
+/// A fixed-capacity device-side output buffer.
+#[derive(Debug, Clone)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    capacity: usize,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Allocates a buffer for at most `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::new(), capacity }
+    }
+
+    /// The buffer capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remaining free capacity.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.data.len()
+    }
+
+    /// Appends all elements of `items`, failing (without partial writes) if
+    /// they do not fit.
+    pub fn extend_from_slice(&mut self, items: &[T]) -> Result<(), BufferOverflow>
+    where
+        T: Clone,
+    {
+        if items.len() > self.remaining() {
+            return Err(BufferOverflow {
+                capacity: self.capacity,
+                len: self.data.len(),
+                attempted: items.len(),
+            });
+        }
+        self.data.extend_from_slice(items);
+        Ok(())
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, item: T) -> Result<(), BufferOverflow> {
+        if self.remaining() == 0 {
+            return Err(BufferOverflow { capacity: self.capacity, len: self.data.len(), attempted: 1 });
+        }
+        self.data.push(item);
+        Ok(())
+    }
+
+    /// The stored elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Empties the buffer (the host "transferred the batch back"), keeping
+    /// the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Consumes the buffer and returns its contents.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_capacity_accumulates() {
+        let mut b = DeviceBuffer::with_capacity(4);
+        b.extend_from_slice(&[1, 2]).unwrap();
+        b.push(3).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_is_rejected_without_partial_write() {
+        let mut b = DeviceBuffer::with_capacity(3);
+        b.extend_from_slice(&[1, 2]).unwrap();
+        let err = b.extend_from_slice(&[3, 4]).unwrap_err();
+        assert_eq!(err, BufferOverflow { capacity: 3, len: 2, attempted: 2 });
+        assert_eq!(b.as_slice(), &[1, 2], "failed append must not partially write");
+        b.push(3).unwrap();
+        assert!(b.push(4).is_err());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = DeviceBuffer::with_capacity(2);
+        b.push(1).unwrap();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+        b.extend_from_slice(&[5, 6]).unwrap();
+        assert_eq!(b.into_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_rejects_everything() {
+        let mut b: DeviceBuffer<u8> = DeviceBuffer::with_capacity(0);
+        assert!(b.push(0).is_err());
+        assert!(b.extend_from_slice(&[1]).is_err());
+        assert!(b.extend_from_slice(&[]).is_ok(), "empty append always fits");
+    }
+
+    #[test]
+    fn overflow_error_is_displayable() {
+        let e = BufferOverflow { capacity: 10, len: 8, attempted: 5 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('8') && s.contains('5'));
+    }
+}

@@ -1,0 +1,124 @@
+//! Summary statistics over per-warp durations.
+
+/// Summary of a set of warp durations (cycles), used to quantify inter-warp
+/// load imbalance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarpStatsSummary {
+    /// Number of warps summarized.
+    pub count: usize,
+    /// Shortest warp.
+    pub min: u64,
+    /// Longest warp.
+    pub max: u64,
+    /// Mean duration.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median duration.
+    pub median: u64,
+    /// 99th percentile duration (nearest-rank).
+    pub p99: u64,
+}
+
+impl WarpStatsSummary {
+    /// Summarizes a slice of durations. Returns `None` for an empty slice.
+    pub fn from_durations(durations: &[u64]) -> Option<Self> {
+        if durations.is_empty() {
+            return None;
+        }
+        let mut sorted = durations.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&d| d as u128).sum();
+        let mean = sum as f64 / count as f64;
+        let var = sorted
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - mean;
+                diff * diff
+            })
+            .sum::<f64>()
+            / count as f64;
+        let nearest_rank = |p: f64| -> u64 {
+            let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
+        Some(Self {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: nearest_rank(0.5),
+            p99: nearest_rank(0.99),
+        })
+    }
+
+    /// Coefficient of variation (σ/μ): the paper's notion of workload
+    /// variance between threads/warps, normalized.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Max-to-mean ratio: how much longer the longest warp runs than the
+    /// average — a direct proxy for the end-of-kernel tail.
+    pub fn max_over_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_has_no_summary() {
+        assert!(WarpStatsSummary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn uniform_durations_have_zero_variance() {
+        let s = WarpStatsSummary::from_durations(&[7, 7, 7, 7]).unwrap();
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = WarpStatsSummary::from_durations(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        // population variance of 1..4 = 1.25
+        assert!((s.std_dev - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        let durations: Vec<u64> = (1..=100).collect();
+        let s = WarpStatsSummary::from_durations(&durations).unwrap();
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.median, 50);
+    }
+
+    #[test]
+    fn skew_increases_cv() {
+        let balanced = WarpStatsSummary::from_durations(&[10, 10, 10, 10]).unwrap();
+        let skewed = WarpStatsSummary::from_durations(&[1, 1, 1, 37]).unwrap();
+        assert!(skewed.cv() > balanced.cv());
+        assert!(skewed.max_over_mean() > 3.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! SM occupancy: how many warps an SM can host concurrently.
+//!
+//! The paper (§III) notes that "due to hardware limitations (e.g., the
+//! number of available registers), only a limited number of warps can be
+//! executed concurrently on the GPU". This module computes that limit the
+//! way the CUDA occupancy calculator does: the binding constraint among
+//! the SM's architectural warp cap, block cap, register file and shared
+//! memory, given a kernel's per-thread/per-block resource usage.
+
+/// Per-SM architectural limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Maximum resident warps.
+    pub max_warps: u32,
+    /// Maximum resident blocks.
+    pub max_blocks: u32,
+    /// Register file size (32-bit registers).
+    pub registers: u32,
+    /// Shared memory in bytes.
+    pub shared_mem: u32,
+    /// Lanes per warp.
+    pub warp_size: u32,
+}
+
+impl SmLimits {
+    /// Pascal GP100 (the paper's Quadro GP100): 64 warps, 32 blocks,
+    /// 64 K registers, 64 KiB shared memory per SM.
+    pub fn gp100() -> Self {
+        Self {
+            max_warps: 64,
+            max_blocks: 32,
+            registers: 65_536,
+            shared_mem: 64 * 1024,
+            warp_size: 32,
+        }
+    }
+}
+
+/// A kernel's resource appetite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_mem_per_block: u32,
+    /// Threads per block.
+    pub block_size: u32,
+}
+
+impl KernelResources {
+    /// A register-light kernel (the self-join kernels use no shared memory
+    /// and modest register counts).
+    pub fn light(block_size: u32) -> Self {
+        Self { registers_per_thread: 32, shared_mem_per_block: 0, block_size }
+    }
+}
+
+/// Resident warps per SM for a kernel: the minimum over the warp cap, the
+/// block cap, the register budget and the shared-memory budget, rounded
+/// down to whole blocks (blocks are scheduled atomically).
+///
+/// Returns 0 if even a single block does not fit.
+pub fn resident_warps_per_sm(limits: &SmLimits, kernel: &KernelResources) -> u32 {
+    let warps_per_block = kernel.block_size.div_ceil(limits.warp_size).max(1);
+    let by_warps = limits.max_warps / warps_per_block;
+    let by_blocks = limits.max_blocks;
+    let regs_per_block = kernel.registers_per_thread * kernel.block_size;
+    let by_registers =
+        if regs_per_block == 0 { u32::MAX } else { limits.registers / regs_per_block };
+    let by_shared = if kernel.shared_mem_per_block == 0 {
+        u32::MAX
+    } else {
+        limits.shared_mem / kernel.shared_mem_per_block
+    };
+    let blocks = by_warps.min(by_blocks).min(by_registers).min(by_shared);
+    blocks * warps_per_block
+}
+
+/// Occupancy as a fraction of the SM's warp cap.
+pub fn occupancy(limits: &SmLimits, kernel: &KernelResources) -> f64 {
+    resident_warps_per_sm(limits, kernel) as f64 / limits.max_warps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_kernel_reaches_full_occupancy() {
+        let limits = SmLimits::gp100();
+        let kernel = KernelResources::light(256);
+        // 32 regs × 256 threads = 8192 regs/block → 8 blocks by registers,
+        // warp cap allows 64/8 = 8 blocks: full occupancy.
+        assert_eq!(resident_warps_per_sm(&limits, &kernel), 64);
+        assert_eq!(occupancy(&limits, &kernel), 1.0);
+    }
+
+    #[test]
+    fn register_pressure_cuts_occupancy() {
+        let limits = SmLimits::gp100();
+        let kernel = KernelResources {
+            registers_per_thread: 96,
+            shared_mem_per_block: 0,
+            block_size: 256,
+        };
+        // 96 × 256 = 24576 regs/block → 2 blocks → 16 warps.
+        assert_eq!(resident_warps_per_sm(&limits, &kernel), 16);
+        assert!(occupancy(&limits, &kernel) < 0.3);
+    }
+
+    #[test]
+    fn shared_memory_can_be_the_binding_constraint() {
+        let limits = SmLimits::gp100();
+        let kernel = KernelResources {
+            registers_per_thread: 16,
+            shared_mem_per_block: 48 * 1024,
+            block_size: 128,
+        };
+        // Only one 48 KiB block fits in 64 KiB → 4 warps.
+        assert_eq!(resident_warps_per_sm(&limits, &kernel), 4);
+    }
+
+    #[test]
+    fn block_cap_limits_small_blocks() {
+        let limits = SmLimits::gp100();
+        let kernel = KernelResources::light(32);
+        // 1 warp per block, max 32 blocks → 32 warps despite the 64-warp cap.
+        assert_eq!(resident_warps_per_sm(&limits, &kernel), 32);
+    }
+
+    #[test]
+    fn oversized_block_does_not_fit() {
+        let limits = SmLimits::gp100();
+        let kernel = KernelResources {
+            registers_per_thread: 255,
+            shared_mem_per_block: 0,
+            block_size: 1024,
+        };
+        // 255 × 1024 > 65536: zero blocks fit.
+        assert_eq!(resident_warps_per_sm(&limits, &kernel), 0);
+    }
+
+    #[test]
+    fn monotone_in_register_usage() {
+        let limits = SmLimits::gp100();
+        let mut prev = u32::MAX;
+        for regs in [16u32, 32, 48, 64, 96, 128, 192, 255] {
+            let kernel = KernelResources {
+                registers_per_thread: regs,
+                shared_mem_per_block: 0,
+                block_size: 256,
+            };
+            let warps = resident_warps_per_sm(&limits, &kernel);
+            assert!(warps <= prev, "occupancy must not increase with register usage");
+            prev = warps;
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! SIMT instruction descriptors.
+//!
+//! Lane programs advance one *op* at a time. An op stands for a short basic
+//! block of GPU instructions (a distance calculation, a binary-search probe,
+//! a result-buffer write, …) with a fixed cycle cost from the
+//! [`crate::config::CostModel`]. Grouping work at this granularity keeps the
+//! simulator fast while still capturing where divergence and imbalance arise.
+
+/// The category of a SIMT op. Lanes of a warp whose pending ops have
+/// different kinds (or costs) diverge and are serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Kernel prologue: thread-id computation, loading the query point,
+    /// computing its cell and neighbor ranges.
+    Setup,
+    /// Binary-search probe of the non-empty cell list for one neighbor cell.
+    CellLookup,
+    /// One point-to-point distance calculation (the refine step).
+    Distance,
+    /// Writing one result pair to the output buffer.
+    Emit,
+    /// A global atomic operation (work-queue head increment).
+    Atomic,
+    /// An intra-warp shuffle/broadcast (cooperative groups).
+    Shuffle,
+    /// A synchronization point.
+    Sync,
+    /// Anything else.
+    Other,
+}
+
+/// Number of distinct [`OpKind`] values (size of per-kind histograms).
+pub const NUM_OP_KINDS: usize = 8;
+
+impl OpKind {
+    /// Dense index of the kind, for histogram arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Setup => 0,
+            OpKind::CellLookup => 1,
+            OpKind::Distance => 2,
+            OpKind::Emit => 3,
+            OpKind::Atomic => 4,
+            OpKind::Shuffle => 5,
+            OpKind::Sync => 6,
+            OpKind::Other => 7,
+        }
+    }
+
+    /// All kinds, in index order.
+    pub fn all() -> [OpKind; NUM_OP_KINDS] {
+        [
+            OpKind::Setup,
+            OpKind::CellLookup,
+            OpKind::Distance,
+            OpKind::Emit,
+            OpKind::Atomic,
+            OpKind::Shuffle,
+            OpKind::Sync,
+            OpKind::Other,
+        ]
+    }
+}
+
+/// One SIMT op: a kind plus its cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Op {
+    /// The op's category.
+    pub kind: OpKind,
+    /// The op's cost in model cycles.
+    pub cycles: u32,
+}
+
+impl Op {
+    /// Convenience constructor.
+    pub fn new(kind: OpKind, cycles: u32) -> Self {
+        Self { kind, cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; NUM_OP_KINDS];
+        for kind in OpKind::all() {
+            let i = kind.index();
+            assert!(i < NUM_OP_KINDS);
+            assert!(!seen[i], "duplicate index for {kind:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn all_matches_index_order() {
+        for (i, kind) in OpKind::all().iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Warp issue-order policies.
+//!
+//! The CUDA hardware scheduler gives no ordering guarantee across warps: the
+//! paper's SORTBYWL section notes that even with workload-sorted data "the
+//! hardware scheduler may not execute the warps from most workload to least
+//! work". `IssueOrder::Arbitrary` models that uncertainty as a seeded
+//! shuffle at *block* granularity (hardware distributes blocks to SMs out of
+//! order, while warps inside a block start together). `IssueOrder::InOrder`
+//! models the forced order obtained with the paper's WORKQUEUE: warps
+//! acquire work through the queue head in exactly the sorted sequence.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A warp issue-order policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOrder {
+    /// Warps issue in ascending warp-id order (the WORKQUEUE's forced order).
+    InOrder,
+    /// Warps issue in descending warp-id order (adversarial; for ablations).
+    Reversed,
+    /// Blocks issue in a seeded pseudo-random order; warps within a block
+    /// keep their relative order. Models the uncontrolled hardware scheduler.
+    Arbitrary {
+        /// Shuffle seed (fixed for reproducibility).
+        seed: u64,
+    },
+}
+
+impl IssueOrder {
+    /// Produces the issue permutation for `num_warps` warps grouped into
+    /// blocks of `warps_per_block`: element `i` is the warp id of the i-th
+    /// warp to start.
+    pub fn permutation(&self, num_warps: usize, warps_per_block: usize) -> Vec<u32> {
+        assert!(warps_per_block > 0, "blocks must contain at least one warp");
+        assert!(num_warps <= u32::MAX as usize, "warp count overflows u32 ids");
+        match self {
+            IssueOrder::InOrder => (0..num_warps as u32).collect(),
+            IssueOrder::Reversed => (0..num_warps as u32).rev().collect(),
+            IssueOrder::Arbitrary { seed } => {
+                let num_blocks = num_warps.div_ceil(warps_per_block);
+                let mut blocks: Vec<usize> = (0..num_blocks).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                blocks.shuffle(&mut rng);
+                let mut order = Vec::with_capacity(num_warps);
+                for b in blocks {
+                    let start = b * warps_per_block;
+                    let end = ((b + 1) * warps_per_block).min(num_warps);
+                    order.extend((start..end).map(|w| w as u32));
+                }
+                order
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[u32], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &w in order {
+            if (w as usize) >= n || seen[w as usize] {
+                return false;
+            }
+            seen[w as usize] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn in_order_is_identity() {
+        let order = IssueOrder::InOrder.permutation(10, 4);
+        assert_eq!(order, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn reversed_is_reverse() {
+        let order = IssueOrder::Reversed.permutation(5, 2);
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn arbitrary_is_a_permutation() {
+        for n in [1usize, 7, 32, 1000] {
+            let order = IssueOrder::Arbitrary { seed: 42 }.permutation(n, 8);
+            assert!(is_permutation(&order, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_is_deterministic_per_seed() {
+        let a = IssueOrder::Arbitrary { seed: 7 }.permutation(100, 8);
+        let b = IssueOrder::Arbitrary { seed: 7 }.permutation(100, 8);
+        let c = IssueOrder::Arbitrary { seed: 8 }.permutation(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn arbitrary_preserves_intra_block_order() {
+        let order = IssueOrder::Arbitrary { seed: 3 }.permutation(64, 8);
+        // Within each contiguous run belonging to a block, ids ascend.
+        for chunk in order.chunks(8) {
+            for pair in chunk.windows(2) {
+                if pair[0] / 8 == pair[1] / 8 {
+                    assert!(pair[0] < pair[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_block_is_partial() {
+        let order = IssueOrder::Arbitrary { seed: 1 }.permutation(10, 4);
+        assert!(is_permutation(&order, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_per_block_rejected() {
+        let _ = IssueOrder::InOrder.permutation(4, 0);
+    }
+}

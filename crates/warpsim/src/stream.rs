@@ -1,0 +1,168 @@
+//! Multi-stream batch pipeline model.
+//!
+//! The batching scheme executes the self-join as a sequence of kernel
+//! invocations, each filling a pinned result buffer that is transferred back
+//! to the host. With `s` CUDA streams (the paper uses 3), a batch's
+//! device-to-host transfer overlaps with the next batches' kernels, hiding
+//! transfer time. This module reproduces that schedule analytically:
+//!
+//! - the device runs one kernel at a time (these kernels saturate the GPU);
+//! - each stream owns one pinned buffer: a batch on stream `s` cannot start
+//!   its kernel until the previous batch on `s` finished transferring;
+//! - one copy engine performs device-to-host transfers serially.
+
+/// Timing inputs of one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTiming {
+    /// Kernel execution time in model seconds.
+    pub kernel_s: f64,
+    /// Device-to-host transfer time of the batch's results, model seconds.
+    pub transfer_s: f64,
+}
+
+/// The scheduled pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// End-to-end time of the batch sequence.
+    pub total_s: f64,
+    /// Sum of kernel times.
+    pub kernel_busy_s: f64,
+    /// Sum of transfer times.
+    pub transfer_busy_s: f64,
+    /// Per-batch kernel start times.
+    pub kernel_starts: Vec<f64>,
+    /// Per-batch transfer completion times.
+    pub transfer_ends: Vec<f64>,
+    /// Number of streams used.
+    pub streams: usize,
+}
+
+impl PipelineReport {
+    /// Fraction of total transfer time hidden under kernel execution,
+    /// in `[0, 1]`. With enough streams this approaches 1.
+    pub fn transfer_hidden_fraction(&self) -> f64 {
+        if self.transfer_busy_s <= 0.0 {
+            return 1.0;
+        }
+        let exposed = (self.total_s - self.kernel_busy_s).max(0.0);
+        (1.0 - exposed / self.transfer_busy_s).clamp(0.0, 1.0)
+    }
+}
+
+/// The multi-stream pipeline scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPipeline {
+    /// Number of streams (and pinned buffers).
+    pub num_streams: usize,
+}
+
+impl StreamPipeline {
+    /// Creates a pipeline with `num_streams` streams.
+    ///
+    /// # Panics
+    /// Panics if `num_streams == 0`.
+    pub fn new(num_streams: usize) -> Self {
+        assert!(num_streams > 0, "pipeline needs at least one stream");
+        Self { num_streams }
+    }
+
+    /// Schedules the batches (assigned to streams round-robin, as the host
+    /// loop does) and reports the end-to-end timing.
+    pub fn schedule(&self, batches: &[BatchTiming]) -> PipelineReport {
+        let mut stream_buffer_free = vec![0.0f64; self.num_streams];
+        let mut device_free = 0.0f64;
+        let mut copy_engine_free = 0.0f64;
+        let mut kernel_starts = Vec::with_capacity(batches.len());
+        let mut transfer_ends = Vec::with_capacity(batches.len());
+        let mut total = 0.0f64;
+        for (i, b) in batches.iter().enumerate() {
+            assert!(
+                b.kernel_s >= 0.0 && b.transfer_s >= 0.0,
+                "batch timings must be non-negative"
+            );
+            let stream = i % self.num_streams;
+            let kernel_start = device_free.max(stream_buffer_free[stream]);
+            let kernel_end = kernel_start + b.kernel_s;
+            device_free = kernel_end;
+            let transfer_start = kernel_end.max(copy_engine_free);
+            let transfer_end = transfer_start + b.transfer_s;
+            copy_engine_free = transfer_end;
+            stream_buffer_free[stream] = transfer_end;
+            kernel_starts.push(kernel_start);
+            transfer_ends.push(transfer_end);
+            total = total.max(transfer_end);
+        }
+        PipelineReport {
+            total_s: total,
+            kernel_busy_s: batches.iter().map(|b| b.kernel_s).sum(),
+            transfer_busy_s: batches.iter().map(|b| b.transfer_s).sum(),
+            kernel_starts,
+            transfer_ends,
+            streams: self.num_streams,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(k: f64, t: f64) -> BatchTiming {
+        BatchTiming { kernel_s: k, transfer_s: t }
+    }
+
+    #[test]
+    fn single_stream_serializes_kernel_and_transfer() {
+        let p = StreamPipeline::new(1);
+        let r = p.schedule(&[batch(1.0, 0.5), batch(1.0, 0.5)]);
+        // k0 [0,1], t0 [1,1.5]; buffer busy until 1.5 → k1 [1.5,2.5], t1 [2.5,3]
+        assert!((r.total_s - 3.0).abs() < 1e-12);
+        assert!(r.transfer_hidden_fraction() < 1.0);
+    }
+
+    #[test]
+    fn multiple_streams_hide_transfers() {
+        let p = StreamPipeline::new(3);
+        let batches: Vec<_> = (0..9).map(|_| batch(1.0, 0.5)).collect();
+        let r = p.schedule(&batches);
+        // Kernels run back-to-back: 9s; last transfer adds 0.5 at the end.
+        assert!((r.total_s - 9.5).abs() < 1e-9);
+        assert!(r.transfer_hidden_fraction() > 0.85);
+    }
+
+    #[test]
+    fn kernels_never_overlap_on_device() {
+        let p = StreamPipeline::new(3);
+        let batches: Vec<_> = (0..5).map(|i| batch(1.0 + i as f64 * 0.1, 0.2)).collect();
+        let r = p.schedule(&batches);
+        for i in 1..batches.len() {
+            let prev_end = r.kernel_starts[i - 1] + batches[i - 1].kernel_s;
+            assert!(r.kernel_starts[i] >= prev_end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_pipeline() {
+        let p = StreamPipeline::new(3);
+        let r = p.schedule(&[]);
+        assert_eq!(r.total_s, 0.0);
+        assert_eq!(r.transfer_hidden_fraction(), 1.0);
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_exposes_transfers() {
+        // Tiny kernels, huge transfers: copy engine is the bottleneck and the
+        // hidden fraction collapses.
+        let p = StreamPipeline::new(3);
+        let batches: Vec<_> = (0..6).map(|_| batch(0.01, 1.0)).collect();
+        let r = p.schedule(&batches);
+        assert!(r.total_s >= 6.0);
+        assert!(r.transfer_hidden_fraction() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = StreamPipeline::new(0);
+    }
+}

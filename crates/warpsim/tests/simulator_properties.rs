@@ -1,0 +1,166 @@
+//! Property-based tests for the SIMT simulator.
+
+use proptest::prelude::*;
+use warpsim::lane::FixedWorkLane;
+use warpsim::{
+    execute_warp, launch, trace_warp, BatchTiming, DeviceBuffer, GpuConfig, IssueOrder,
+    LaneSink, MachineModel, Op, OpKind, StreamPipeline, WarpSource,
+};
+
+struct UniformWarps {
+    work: Vec<u32>,
+    lanes_per_warp: u32,
+}
+
+impl WarpSource for UniformWarps {
+    type Lane = FixedWorkLane;
+    fn num_warps(&self) -> usize {
+        self.work.len()
+    }
+    fn make_warp(&self, warp_id: u32) -> Vec<FixedWorkLane> {
+        (0..self.lanes_per_warp)
+            .map(|_| FixedWorkLane::new(self.work[warp_id as usize], Op::new(OpKind::Distance, 10)))
+            .collect()
+    }
+}
+
+proptest! {
+    /// WEE is always in [0, 1], and warp cycles equal max-lane-work when all
+    /// lanes run identical op streams.
+    #[test]
+    fn warp_execution_invariants(work in prop::collection::vec(0u32..50, 1..=8)) {
+        let mut lanes: Vec<_> = work
+            .iter()
+            .map(|&w| FixedWorkLane::new(w, Op::new(OpKind::Distance, 7)))
+            .collect();
+        let mut sink = LaneSink::new();
+        let exec = execute_warp(&mut lanes, 8, &mut sink);
+        let eff = exec.efficiency();
+        prop_assert!((0.0..=1.0).contains(&eff));
+        let max_work = *work.iter().max().unwrap() as u64;
+        prop_assert_eq!(exec.cycles, max_work * 7);
+        prop_assert_eq!(exec.issued, max_work);
+        let total: u64 = work.iter().map(|&w| w as u64).sum();
+        prop_assert_eq!(exec.total_lane_ops(), total);
+        // WEE formula: total lane ops / (issued * warp_size)
+        if exec.issued > 0 {
+            let expected = total as f64 / (exec.issued * 8) as f64;
+            prop_assert!((eff - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Machine makespan is sandwiched between the trivial lower bounds
+    /// (longest warp, ideal split) and the serial upper bound.
+    #[test]
+    fn makespan_bounds(
+        durations in prop::collection::vec(0u64..1000, 0..100),
+        slots in 1usize..64,
+    ) {
+        let m = MachineModel::new(slots);
+        let r = m.schedule(&durations);
+        let total: u64 = durations.iter().sum();
+        let longest = durations.iter().copied().max().unwrap_or(0);
+        prop_assert!(r.makespan >= longest);
+        prop_assert!(r.makespan as u128 * slots as u128 >= total as u128);
+        prop_assert!(r.makespan <= total);
+        prop_assert_eq!(r.total_busy, total);
+        prop_assert_eq!(r.slot_busy.iter().sum::<u64>(), total);
+    }
+
+    /// Graham's list-scheduling bound holds for every issue order:
+    /// `makespan * m ≤ total + (m - 1) * longest`. This is the guarantee that
+    /// keeps even the arbitrary hardware order within 2× of optimal, and the
+    /// reason WORKQUEUE's LPT-style order helps most when workloads are
+    /// heavy-tailed (longest ≫ mean).
+    #[test]
+    fn graham_bound_holds_for_any_order(
+        durations in prop::collection::vec(1u64..500, 1..80),
+        seed in 0u64..1000,
+        slots in 1usize..16,
+    ) {
+        let m = MachineModel::new(slots);
+        let order = IssueOrder::Arbitrary { seed }.permutation(durations.len(), 4);
+        let arb: Vec<u64> = order.iter().map(|&i| durations[i as usize]).collect();
+        let span = m.schedule(&arb).makespan;
+        let total: u64 = durations.iter().sum();
+        let longest = *durations.iter().max().unwrap();
+        let m_used = slots.min(durations.len()) as u64;
+        prop_assert!(
+            span * m_used <= total + (m_used - 1) * longest,
+            "Graham bound violated: span {} on {} slots, total {}, longest {}",
+            span, m_used, total, longest
+        );
+    }
+
+    /// The stream pipeline respects the physical constraints: end-to-end
+    /// time is at least the kernel-serial time and at least the copy-engine
+    /// serial time, and at most their sum; kernel starts never overlap on
+    /// the device.
+    #[test]
+    fn stream_pipeline_bounds(
+        timings in prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 0..40),
+        streams in 1usize..6,
+    ) {
+        let batches: Vec<BatchTiming> = timings
+            .iter()
+            .map(|&(k, t)| BatchTiming { kernel_s: k, transfer_s: t })
+            .collect();
+        let report = StreamPipeline::new(streams).schedule(&batches);
+        let kernel_total: f64 = timings.iter().map(|t| t.0).sum();
+        let transfer_total: f64 = timings.iter().map(|t| t.1).sum();
+        prop_assert!(report.total_s >= kernel_total - 1e-9);
+        prop_assert!(report.total_s >= transfer_total - 1e-9);
+        prop_assert!(report.total_s <= kernel_total + transfer_total + 1e-9);
+        for i in 1..batches.len() {
+            let prev_end = report.kernel_starts[i - 1] + batches[i - 1].kernel_s;
+            prop_assert!(report.kernel_starts[i] >= prev_end - 1e-9);
+        }
+        let hidden = report.transfer_hidden_fraction();
+        prop_assert!((0.0..=1.0).contains(&hidden));
+    }
+
+    /// Tracing a warp agrees exactly with executing it.
+    #[test]
+    fn trace_agrees_with_execution(work in prop::collection::vec(0u32..40, 1..=8)) {
+        let make = || -> Vec<FixedWorkLane> {
+            work.iter()
+                .map(|&w| FixedWorkLane::new(w, Op::new(OpKind::Distance, 9)))
+                .collect()
+        };
+        let (mut a, mut b) = (make(), make());
+        let exec = execute_warp(&mut a, 8, &mut LaneSink::new());
+        let trace = trace_warp(&mut b, 8, &mut LaneSink::new());
+        prop_assert_eq!(trace.cycles(), exec.cycles);
+        // Idle fraction and WEE describe the same quantity at round
+        // granularity (uniform op costs make them exactly complementary).
+        if exec.issued > 0 {
+            prop_assert!((1.0 - trace.idle_fraction() - exec.efficiency()).abs() < 1e-12);
+        }
+    }
+
+    /// Every issue policy yields a valid permutation, and the launch outcome
+    /// (results, WEE, total work) is identical across policies.
+    #[test]
+    fn issue_policies_affect_time_not_outcome(
+        work in prop::collection::vec(0u32..30, 1..40),
+        seed in 0u64..100,
+    ) {
+        let gpu = GpuConfig::small_test();
+        let src = UniformWarps { work, lanes_per_warp: 4 };
+        let mut reports = vec![];
+        for order in [
+            IssueOrder::InOrder,
+            IssueOrder::Reversed,
+            IssueOrder::Arbitrary { seed },
+        ] {
+            let mut out = DeviceBuffer::with_capacity(0);
+            reports.push(launch(&gpu, &src, order, &mut out).unwrap());
+        }
+        let base = &reports[0];
+        for r in &reports[1..] {
+            prop_assert_eq!(r.distance_calcs(), base.distance_calcs());
+            prop_assert!((r.wee() - base.wee()).abs() < 1e-12);
+            prop_assert_eq!(&r.warp_cycles, &base.warp_cycles);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Load-imbalance profiler: the paper's Table V/VI methodology as a tool.
+//!
+//! Runs every mitigation variant on one skewed dataset and prints the
+//! metrics the paper uses to argue about load balance — warp execution
+//! efficiency, per-warp duration spread, and response time — so you can see
+//! exactly which optimization buys what on *your* data shape.
+//!
+//! ```text
+//! cargo run --release -p sj-examples --bin load_balance_profile -- [--n 40000] [--eps 0.2]
+//! ```
+
+use simjoin::{AccessPattern, Balancing, SelfJoin, SelfJoinConfig};
+use sj_examples::{fmt_time, parse_n_eps};
+use sjdata::exponential::exponential_points;
+
+fn main() {
+    let (n, eps) = parse_n_eps(40_000, 0.2);
+    println!("Profiling load balance on {n} exponentially distributed points (λ = 40), ε = {eps}");
+    let points = exponential_points::<2>(n, 40.0, 100.0, 77);
+
+    let variants: Vec<(&str, SelfJoinConfig)> = vec![
+        ("GPUCALCGLOBAL (baseline)", SelfJoinConfig::new(eps)),
+        ("UNICOMP", SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp)),
+        ("LID-UNICOMP", SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp)),
+        ("k=8", SelfJoinConfig::new(eps).with_k(8)),
+        ("SORTBYWL", SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload)),
+        ("WORKQUEUE", SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue)),
+        ("WORKQUEUE+LID+k8", SelfJoinConfig::optimized(eps)),
+    ];
+
+    println!(
+        "\n{:<26} {:>11} {:>8} {:>10} {:>12} {:>9}",
+        "variant", "time", "WEE(%)", "warp cv", "dist calcs", "batches"
+    );
+    let mut reference: Option<Vec<(u32, u32)>> = None;
+    for (name, config) in variants {
+        let outcome = SelfJoin::new(&points, config).expect("config").run().expect("join");
+        let stats = outcome.report.warp_stats().expect("warps ran");
+        println!(
+            "{:<26} {:>11} {:>8.1} {:>10.3} {:>12} {:>9}",
+            name,
+            fmt_time(outcome.report.response_time_s()),
+            outcome.report.wee() * 100.0,
+            stats.cv(),
+            outcome.report.distance_calcs(),
+            outcome.report.num_batches,
+        );
+        // Every variant must return the identical pair set.
+        let sorted = outcome.result.sorted_pairs();
+        match &reference {
+            None => reference = Some(sorted),
+            Some(r) => assert_eq!(r, &sorted, "variant {name} changed the result"),
+        }
+    }
+    println!("\nAll variants returned the identical pair set ({} pairs).",
+        reference.map(|r| r.len()).unwrap_or(0));
+}

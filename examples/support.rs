@@ -1,0 +1,48 @@
+//! Shared helpers for the example binaries.
+
+/// Parses `--n <count>` / `--eps <f>` style overrides from `std::env::args`,
+/// returning `(n, eps)` with the given defaults.
+pub fn parse_n_eps(default_n: usize, default_eps: f32) -> (usize, f32) {
+    let mut n = default_n;
+    let mut eps = default_eps;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    n = v;
+                }
+            }
+            "--eps" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    eps = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    (n, eps)
+}
+
+/// Formats a model time in engineering units.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} µs", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(1.5), "1.500 s");
+        assert_eq!(fmt_time(0.0015), "1.500 ms");
+        assert_eq!(fmt_time(1.5e-6), "1.5 µs");
+    }
+}

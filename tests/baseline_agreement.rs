@@ -1,0 +1,33 @@
+//! The GPU join and the SUPER-EGO CPU comparator must agree pair-for-pair
+//! on every dataset family — the cross-implementation oracle.
+
+use simjoin::SelfJoinConfig;
+use sj_integration_support::{join_dyn, small_datasets, superego_dyn};
+
+#[test]
+fn superego_and_gpu_join_agree_on_all_families() {
+    for (name, pts, eps) in small_datasets(500) {
+        let (gpu_pairs, _) = join_dyn(&pts, SelfJoinConfig::optimized(eps));
+        let cpu_pairs = superego_dyn(&pts, eps);
+        assert_eq!(gpu_pairs, cpu_pairs, "{name} at eps {eps}");
+    }
+}
+
+#[test]
+fn agreement_holds_across_epsilon_regimes() {
+    let (_, pts, _) = small_datasets(800).remove(5); // Expo2D2M family entry
+    for eps in [0.05f32, 0.2, 1.0, 5.0] {
+        let (gpu_pairs, _) = join_dyn(&pts, SelfJoinConfig::new(eps));
+        let cpu_pairs = superego_dyn(&pts, eps);
+        assert_eq!(gpu_pairs, cpu_pairs, "eps {eps}");
+    }
+}
+
+#[test]
+fn superego_pruning_does_more_with_tighter_epsilon() {
+    let (_, pts, _) = small_datasets(1_500).remove(0); // Unif2D2M
+    let fixed = pts.as_fixed::<2>().unwrap();
+    let loose = superego::super_ego_join(&fixed, &superego::SuperEgoConfig::new(5.0));
+    let tight = superego::super_ego_join(&fixed, &superego::SuperEgoConfig::new(0.2));
+    assert!(tight.stats.distance_calcs < loose.stats.distance_calcs);
+}

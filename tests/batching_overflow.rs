@@ -1,0 +1,90 @@
+//! The batching scheme's core guarantee: result buffers never overflow, and
+//! splitting the join across batches never changes the result.
+
+use simjoin::{Balancing, BatchingConfig, SelfJoinConfig};
+use sj_integration_support::{brute_force_dyn, join_dyn};
+use sjdata::DatasetSpec;
+
+fn tight_batching(capacity: usize) -> BatchingConfig {
+    BatchingConfig { batch_result_capacity: capacity, ..BatchingConfig::default() }
+}
+
+#[test]
+fn tight_buffers_force_batches_without_changing_results() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(3_000);
+    let eps = 0.5;
+    let expected = brute_force_dyn(&pts, eps);
+    assert!(expected.len() > 1_000, "test needs a non-trivial result set");
+    for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(balancing)
+            .with_batching(tight_batching(expected.len() / 4 + 512));
+        let (pairs, report) = join_dyn(&pts, config);
+        assert!(report.num_batches >= 3, "{balancing:?}: got {} batches", report.num_batches);
+        assert_eq!(pairs, expected, "{balancing:?}");
+        for batch in &report.batches {
+            assert!(batch.pairs <= expected.len() / 4 + 512, "{balancing:?}");
+        }
+    }
+}
+
+#[test]
+fn workqueue_prefix_estimate_is_pessimistic() {
+    // §III-D: sampling the heaviest prefix of D' must estimate at least as
+    // many results as the strided sample, so the WORKQUEUE runs at least as
+    // many batches.
+    let spec = DatasetSpec::by_name("Gaia").unwrap();
+    let pts = spec.generate(6_000);
+    let eps = 2.0;
+    let capacity = 20_000;
+    let (_, strided) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_batching(tight_batching(capacity)),
+    );
+    let (_, queued) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps)
+            .with_balancing(Balancing::WorkQueue)
+            .with_batching(tight_batching(capacity)),
+    );
+    assert!(
+        queued.estimate.estimated_total >= strided.estimate.estimated_total,
+        "prefix estimate {} must be ≥ strided estimate {}",
+        queued.estimate.estimated_total,
+        strided.estimate.estimated_total
+    );
+    assert!(queued.num_batches >= strided.num_batches);
+}
+
+#[test]
+fn pathological_underestimate_recovers_by_replanning() {
+    // One hot cluster hidden between sampled points: the strided sample at a
+    // tiny fraction misses it, the planned batch overflows, and the executor
+    // must recover.
+    let spec = DatasetSpec::by_name("Unif2D2M").unwrap();
+    let mut raw = spec.generate(2_000).into_raw();
+    // Insert a dense clump of 120 coincident points.
+    for _ in 0..120 {
+        raw.extend_from_slice(&[7.77, 7.77]);
+    }
+    let pts = epsgrid::DynPoints::from_interleaved(2, raw);
+    let eps = 0.4;
+    let expected = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::new(eps).with_batching(BatchingConfig {
+        batch_result_capacity: expected.len() / 3 + 256,
+        sample_fraction: 0.002,
+        safety_factor: 1.0,
+        ..BatchingConfig::default()
+    });
+    let (pairs, _) = join_dyn(&pts, config);
+    assert_eq!(pairs, expected);
+}
+
+#[test]
+fn single_batch_when_capacity_is_ample() {
+    let spec = DatasetSpec::by_name("Unif3D2M").unwrap();
+    let pts = spec.generate(2_000);
+    let (_, report) = join_dyn(&pts, SelfJoinConfig::new(1.0));
+    assert_eq!(report.num_batches, 1);
+}

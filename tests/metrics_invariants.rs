@@ -1,0 +1,118 @@
+//! Invariants of the efficiency metrics and the paper's qualitative claims
+//! about them, checked end-to-end on generated datasets.
+
+use simjoin::{AccessPattern, Balancing, SelfJoinConfig};
+use sj_integration_support::join_dyn;
+use sjdata::DatasetSpec;
+
+#[test]
+fn wee_is_a_valid_efficiency_everywhere() {
+    for (spec, eps_ix) in DatasetSpec::table1().into_iter().zip([0usize, 2, 4].into_iter().cycle())
+    {
+        let pts = spec.generate(800);
+        let eps = spec.epsilons[eps_ix] * 1.5;
+        let (_, report) = join_dyn(&pts, SelfJoinConfig::new(eps));
+        let wee = report.wee();
+        assert!((0.0..=1.0).contains(&wee), "{}: WEE {wee}", spec.name);
+    }
+}
+
+#[test]
+fn workqueue_improves_wee_and_time_on_skewed_data() {
+    // Table V's headline claim, end-to-end on the exponential dataset.
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(8_000);
+    let eps = 0.5;
+    let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
+    let (_, wq) = join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue));
+    assert!(
+        wq.wee() > base.wee(),
+        "WORKQUEUE WEE {:.3} must beat baseline {:.3}",
+        wq.wee(),
+        base.wee()
+    );
+    assert!(
+        wq.response_time_s() < base.response_time_s() * 1.05,
+        "WORKQUEUE must not lose time on skewed data"
+    );
+}
+
+#[test]
+fn workqueue_does_not_help_uniform_data_much() {
+    // Fig. 11 (c)-(d): on uniform data, balancing buys little.
+    let spec = DatasetSpec::by_name("Unif2D2M").unwrap();
+    let pts = spec.generate(8_000);
+    let eps = spec.epsilons[4];
+    let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
+    let (_, wq) = join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue));
+    let ratio = base.response_time_s() / wq.response_time_s();
+    assert!(
+        (0.7..1.5).contains(&ratio),
+        "uniform data speedup should be near 1×, got {ratio:.2}×"
+    );
+}
+
+#[test]
+fn unidirectional_patterns_halve_distance_work() {
+    let spec = DatasetSpec::by_name("SW2DB").unwrap();
+    let pts = spec.generate(6_000);
+    let eps = 1.0;
+    let (_, full) = join_dyn(&pts, SelfJoinConfig::new(eps));
+    let (_, uni) = join_dyn(&pts, SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp));
+    let (_, lid) =
+        join_dyn(&pts, SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp));
+    assert_eq!(uni.distance_calcs(), lid.distance_calcs());
+    let ratio = full.distance_calcs() as f64 / lid.distance_calcs() as f64;
+    assert!((1.6..2.6).contains(&ratio), "halving ratio {ratio}");
+}
+
+#[test]
+fn k8_improves_wee_on_skewed_data_with_same_total_work() {
+    let spec = DatasetSpec::by_name("Expo3D2M").unwrap();
+    let pts = spec.generate(6_000);
+    let eps = 1.0;
+    let (_, k1) = join_dyn(&pts, SelfJoinConfig::new(eps));
+    let (_, k8) = join_dyn(&pts, SelfJoinConfig::new(eps).with_k(8));
+    assert_eq!(k1.distance_calcs(), k8.distance_calcs());
+    assert!(
+        k8.wee() > k1.wee(),
+        "k=8 WEE {:.3} must beat k=1 WEE {:.3}",
+        k8.wee(),
+        k1.wee()
+    );
+}
+
+#[test]
+fn pipeline_overlap_hides_transfers_with_three_streams() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(6_000);
+    // Force several batches so the stream pipeline has something to overlap.
+    let config = SelfJoinConfig::new(0.5).with_batching(simjoin::BatchingConfig {
+        batch_result_capacity: 100_000,
+        ..simjoin::BatchingConfig::default()
+    });
+    let (_, report) = join_dyn(&pts, config);
+    assert!(report.num_batches >= 3);
+    assert!(report.pipeline.transfer_hidden_fraction() > 0.5);
+    assert!(report.response_time_s() >= report.kernel_time_s());
+}
+
+#[test]
+fn warp_stats_reflect_sorting() {
+    // SORTBYWL packs similar workloads per warp: the per-warp duration CV
+    // cannot get (much) worse than the unsorted baseline.
+    let spec = DatasetSpec::by_name("Gaia").unwrap();
+    let pts = spec.generate(8_000);
+    let eps = 2.5;
+    let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
+    let (_, sorted) =
+        join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload));
+    let base_cv = base.warp_stats().unwrap().cv();
+    let sorted_cv = sorted.warp_stats().unwrap().cv();
+    // Sorting concentrates workloads: warp durations become *more* varied
+    // across warps (heavy warps first) but each warp is internally
+    // coherent → WEE must not degrade.
+    assert!(sorted.wee() >= base.wee() * 0.95, "sorted WEE {} vs base {}", sorted.wee(), base.wee());
+    // And the numbers exist and are finite.
+    assert!(base_cv.is_finite() && sorted_cv.is_finite());
+}

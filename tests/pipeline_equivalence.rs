@@ -1,0 +1,55 @@
+//! End-to-end equivalence: every kernel variant, on every dataset family,
+//! returns exactly the brute-force pair set.
+
+use simjoin::{AccessPattern, Balancing, SelfJoinConfig};
+use sj_integration_support::{brute_force_dyn, join_dyn, small_datasets};
+
+#[test]
+fn all_variants_match_brute_force_on_all_families() {
+    for (name, pts, eps) in small_datasets(400) {
+        let expected = brute_force_dyn(&pts, eps);
+        for pattern in
+            [AccessPattern::FullWindow, AccessPattern::Unicomp, AccessPattern::LidUnicomp]
+        {
+            for balancing in
+                [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue]
+            {
+                let config = SelfJoinConfig::new(eps)
+                    .with_pattern(pattern)
+                    .with_balancing(balancing);
+                let label = format!("{name}: {}", config.label());
+                let (pairs, _) = join_dyn(&pts, config);
+                assert_eq!(pairs, expected, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn k_granularity_matches_brute_force_on_all_families() {
+    for (name, pts, eps) in small_datasets(300) {
+        let expected = brute_force_dyn(&pts, eps);
+        for k in [2u32, 4, 8, 16] {
+            let config = SelfJoinConfig::optimized(eps).with_k(k);
+            let (pairs, _) = join_dyn(&pts, config);
+            assert_eq!(pairs, expected, "{name}, k = {k}");
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_degenerate_data_survive_the_pipeline() {
+    // Many coincident points (zero-extent grid dimensions) plus outliers.
+    let mut coords = Vec::new();
+    for _ in 0..50 {
+        coords.extend_from_slice(&[1.0f32, 2.0]);
+    }
+    coords.extend_from_slice(&[100.0, 2.0, 1.0, 200.0]);
+    let pts = epsgrid::DynPoints::from_interleaved(2, coords);
+    let expected = brute_force_dyn(&pts, 0.5);
+    assert_eq!(expected.len(), 50 * 49);
+    for config in [SelfJoinConfig::new(0.5), SelfJoinConfig::optimized(0.5)] {
+        let (pairs, _) = join_dyn(&pts, config);
+        assert_eq!(pairs, expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use epsgrid::DynPoints;
+use sjdata::DatasetSpec;
+
+/// Small instances of every dataset family in Table I, sized for exhaustive
+/// (brute-force-verified) integration testing.
+pub fn small_datasets(n: usize) -> Vec<(String, DynPoints, f32)> {
+    DatasetSpec::table1()
+        .into_iter()
+        .map(|spec| {
+            let pts = spec.generate(n);
+            // Use a mid-sweep ε, scaled up slightly because the test
+            // instances are sparser than the default-sized ones.
+            let eps = spec.epsilons[2] * 1.5;
+            (spec.name, pts, eps)
+        })
+        .collect()
+}
+
+/// Brute-force self-join over a dimension-erased dataset.
+pub fn brute_force_dyn(points: &DynPoints, eps: f32) -> Vec<(u32, u32)> {
+    fn brute<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
+        let mut pairs = simjoin::brute_force_join(pts, eps);
+        pairs.sort_unstable();
+        pairs
+    }
+    match points.dims() {
+        2 => brute(&points.as_fixed::<2>().unwrap(), eps),
+        3 => brute(&points.as_fixed::<3>().unwrap(), eps),
+        4 => brute(&points.as_fixed::<4>().unwrap(), eps),
+        5 => brute(&points.as_fixed::<5>().unwrap(), eps),
+        6 => brute(&points.as_fixed::<6>().unwrap(), eps),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
+/// Runs a GPU self-join variant over a dimension-erased dataset and returns
+/// `(sorted pairs, report)`.
+pub fn join_dyn(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+) -> (Vec<(u32, u32)>, simjoin::JoinReport) {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+    ) -> (Vec<(u32, u32)>, simjoin::JoinReport) {
+        let outcome =
+            simjoin::SelfJoin::new(pts, config).expect("config").run().expect("join");
+        (outcome.result.sorted_pairs(), outcome.report)
+    }
+    match points.dims() {
+        2 => run(&points.as_fixed::<2>().unwrap(), config),
+        3 => run(&points.as_fixed::<3>().unwrap(), config),
+        4 => run(&points.as_fixed::<4>().unwrap(), config),
+        5 => run(&points.as_fixed::<5>().unwrap(), config),
+        6 => run(&points.as_fixed::<6>().unwrap(), config),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
+/// Runs SUPER-EGO over a dimension-erased dataset and returns sorted pairs.
+pub fn superego_dyn(points: &DynPoints, eps: f32) -> Vec<(u32, u32)> {
+    fn run<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
+        let mut pairs =
+            superego::super_ego_join(pts, &superego::SuperEgoConfig::new(eps)).pairs;
+        pairs.sort_unstable();
+        pairs
+    }
+    match points.dims() {
+        2 => run(&points.as_fixed::<2>().unwrap(), eps),
+        3 => run(&points.as_fixed::<3>().unwrap(), eps),
+        4 => run(&points.as_fixed::<4>().unwrap(), eps),
+        5 => run(&points.as_fixed::<5>().unwrap(), eps),
+        6 => run(&points.as_fixed::<6>().unwrap(), eps),
+        d => panic!("unsupported dims {d}"),
+    }
+}
