@@ -22,13 +22,9 @@ fn bench_patterns(c: &mut Criterion) {
             ("unicomp", AccessPattern::Unicomp),
             ("lid_unicomp", AccessPattern::LidUnicomp),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &pts,
-                |b, pts| {
-                    b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps).with_pattern(pattern)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &pts, |b, pts| {
+                b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps).with_pattern(pattern)))
+            });
         }
     }
     group.finish();

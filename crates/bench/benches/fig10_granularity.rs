@@ -13,11 +13,9 @@ fn bench_granularity(c: &mut Criterion) {
         let pts = spec.generate(6_000);
         let eps = spec.epsilons[2];
         for k in [1u32, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), name),
-                &pts,
-                |b, pts| b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps).with_k(k))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), name), &pts, |b, pts| {
+                b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps).with_k(k)))
+            });
         }
     }
     group.finish();

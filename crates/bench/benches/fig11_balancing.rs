@@ -17,15 +17,9 @@ fn bench_balancing(c: &mut Criterion) {
             ("sortbywl", Balancing::SortByWorkload),
             ("workqueue", Balancing::WorkQueue),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &pts,
-                |b, pts| {
-                    b.iter(|| {
-                        run_join_dyn(pts, SelfJoinConfig::new(eps).with_balancing(balancing))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &pts, |b, pts| {
+                b.iter(|| run_join_dyn(pts, SelfJoinConfig::new(eps).with_balancing(balancing)))
+            });
         }
     }
     group.finish();

@@ -45,7 +45,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale <f>"),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale <f>")
+            }
             other => names.push(other.to_string()),
         }
     }

@@ -5,13 +5,15 @@
 //! ```
 //!
 //! With no experiment names, runs everything. Output is markdown on stdout;
-//! tee it into `EXPERIMENTS.md` material.
+//! tee it into `EXPERIMENTS.md` material. Each experiment also writes a
+//! schema-versioned telemetry document to `results/<name>_telemetry.json`
+//! (disable with `--no-telemetry`; the sink never changes results).
 
 use sj_bench::experiments::{ExperimentScale, Experiments};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [EXPERIMENT]...\n\
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--no-telemetry] [EXPERIMENT]...\n\
          experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations"
     );
     std::process::exit(2);
@@ -20,10 +22,12 @@ fn usage() -> ! {
 fn main() {
     let mut scale = ExperimentScale::full();
     let mut names: Vec<String> = Vec::new();
+    let mut telemetry = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = ExperimentScale::quick(),
+            "--no-telemetry" => telemetry = false,
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 scale.points_scale = v.parse().unwrap_or_else(|_| usage());
@@ -40,7 +44,10 @@ fn main() {
     if names.is_empty() {
         names.push("all".into());
     }
-    let exp = Experiments::new(scale);
+    let mut exp = Experiments::new(scale);
+    if telemetry {
+        exp.artifact_dir = Some("results".into());
+    }
     println!(
         "# Experiment suite (points_scale = {}, eps_stride = {})",
         scale.points_scale, scale.eps_stride

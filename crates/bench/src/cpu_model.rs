@@ -29,7 +29,12 @@ pub struct CpuModel {
 
 impl Default for CpuModel {
     fn default() -> Self {
-        Self { cores: 16, simd_lanes: 2, clock_hz: 2.1e9, sort_cost_per_cmp: 6 }
+        Self {
+            cores: 16,
+            simd_lanes: 2,
+            clock_hz: 2.1e9,
+            sort_cost_per_cmp: 6,
+        }
     }
 }
 
@@ -80,7 +85,11 @@ mod tests {
     fn throughput_scales_with_cores() {
         let cost = CostModel::default();
         let s = stats(10_000_000, 1000, 0);
-        let one = CpuModel { cores: 1, ..CpuModel::default() }.model_seconds(&s, 3, &cost);
+        let one = CpuModel {
+            cores: 1,
+            ..CpuModel::default()
+        }
+        .model_seconds(&s, 3, &cost);
         let sixteen = CpuModel::default().model_seconds(&s, 3, &cost);
         assert!((one / sixteen - 16.0).abs() < 0.01);
     }

@@ -16,13 +16,21 @@
 //! | [`Experiments::fig13`] | Fig. 13 — speedups of the combined optimization |
 //! | [`Experiments::ablations`] | DESIGN.md §5 — scheduler order, k sweep, estimator, atomic cost |
 
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use epsgrid::DynPoints;
 use simjoin::{AccessPattern, Balancing, BatchingConfig, SelfJoinConfig};
+use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
 use warpsim::{CostModel, IssueOrder};
 
 use crate::cpu_model::CpuModel;
-use crate::harness::{run_join_dyn, run_superego_dyn, GpuRunResult};
+use crate::harness::{
+    run_join_dyn, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with, CpuRunResult,
+    GpuRunResult,
+};
 use crate::table::{fmt_pct, fmt_speedup, fmt_time, Table};
 
 /// Scale knobs for the experiment suite.
@@ -37,12 +45,18 @@ pub struct ExperimentScale {
 impl ExperimentScale {
     /// Full-scale run (the numbers recorded in `EXPERIMENTS.md`).
     pub fn full() -> Self {
-        Self { points_scale: 1.0, eps_stride: 1 }
+        Self {
+            points_scale: 1.0,
+            eps_stride: 1,
+        }
     }
 
     /// Quick run for smoke-testing the suite.
     pub fn quick() -> Self {
-        Self { points_scale: 0.15, eps_stride: 2 }
+        Self {
+            points_scale: 0.15,
+            eps_stride: 2,
+        }
     }
 }
 
@@ -56,6 +70,11 @@ pub struct Experiments {
     /// Batching parameters shared by all runs (`b_s` scaled down from the
     /// paper's 10⁸ to suit simulator-scale result sets).
     pub batching: BatchingConfig,
+    /// Directory receiving one schema-versioned telemetry JSON document per
+    /// experiment (`None` disables artifact writing — runs are unaffected
+    /// either way; the sink is observation-only).
+    pub artifact_dir: Option<PathBuf>,
+    sink: RefCell<Option<Arc<JsonTelemetry>>>,
 }
 
 impl Experiments {
@@ -63,6 +82,8 @@ impl Experiments {
     pub fn new(scale: ExperimentScale) -> Self {
         Self {
             scale,
+            artifact_dir: None,
+            sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
                 batch_result_capacity: 2_000_000,
@@ -91,20 +112,95 @@ impl Experiments {
     }
 
     fn epsilons(&self, spec: &DatasetSpec) -> Vec<f32> {
-        spec.epsilons.iter().copied().step_by(self.scale.eps_stride.max(1)).collect()
+        spec.epsilons
+            .iter()
+            .copied()
+            .step_by(self.scale.eps_stride.max(1))
+            .collect()
     }
 
     fn config(&self, eps: f32) -> SelfJoinConfig {
         SelfJoinConfig::new(eps).with_batching(self.batching)
     }
 
+    /// Opens a fresh telemetry document for `name` (no-op when
+    /// `artifact_dir` is unset). Subsequent [`Self::run`] / [`Self::sego`]
+    /// calls record into it until [`Self::end_experiment`].
+    fn begin_experiment(&self, name: &str) {
+        if self.artifact_dir.is_none() {
+            return;
+        }
+        let sink = JsonTelemetry::new(name);
+        sink.record(
+            Event::new("bench", "experiment")
+                .str("name", name)
+                .f64("points_scale", self.scale.points_scale)
+                .u64("eps_stride", self.scale.eps_stride as u64),
+        );
+        *self.sink.borrow_mut() = Some(Arc::new(sink));
+    }
+
+    /// Writes the open telemetry document to
+    /// `<artifact_dir>/<name>_telemetry.json` and closes it.
+    fn end_experiment(&self, name: &str) {
+        let Some(sink) = self.sink.borrow_mut().take() else {
+            return;
+        };
+        let Some(dir) = self.artifact_dir.as_ref() else {
+            return;
+        };
+        let path = dir.join(format!("{name}_telemetry.json"));
+        match sink.write_to_file(&path) {
+            Ok(()) => {
+                println!(
+                    "[telemetry] wrote {} ({} events)",
+                    path.display(),
+                    sink.len()
+                );
+            }
+            Err(e) => eprintln!("[telemetry] failed to write {}: {e}", path.display()),
+        }
+    }
+
     fn run(&self, pts: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
-        run_join_dyn(pts, config)
+        let sink = self.sink.borrow().clone();
+        let Some(sink) = sink else {
+            return run_join_dyn(pts, config);
+        };
+        let r = run_join_dyn_with(pts, config, sink.as_ref());
+        sink.record(
+            Event::new("bench", "gpu_run")
+                .str("variant", r.label.clone())
+                .u64("pairs", r.pairs as u64)
+                .u64("batches", r.batches as u64)
+                .u64("distance_calcs", r.distance_calcs)
+                .f64("response_model_s", r.response_s)
+                .f64("wee", r.wee)
+                .f64("warp_cv", r.warp_cv)
+                .f64("sim_wall_s", r.sim_wall.as_secs_f64()),
+        );
+        r
+    }
+
+    fn sego(&self, pts: &DynPoints, eps: f32) -> CpuRunResult {
+        let sink = self.sink.borrow().clone();
+        match sink {
+            Some(s) => {
+                run_superego_dyn_with(pts, eps, &self.cpu, &CostModel::default(), s.as_ref())
+            }
+            None => run_superego_dyn(pts, eps, &self.cpu, &CostModel::default()),
+        }
     }
 
     /// Table I: the dataset inventory (paper size vs scaled size).
     pub fn table1(&self) -> String {
-        let mut t = Table::new(vec!["Dataset", "n", "|D| (paper)", "|D| (scaled)", "family"]);
+        let mut t = Table::new(vec![
+            "Dataset",
+            "n",
+            "|D| (paper)",
+            "|D| (scaled)",
+            "family",
+        ]);
         for spec in DatasetSpec::table1() {
             let n = ((spec.default_points as f64 * self.scale.points_scale) as usize).max(500);
             t.row(vec![
@@ -121,6 +217,7 @@ impl Experiments {
     /// Fig. 9: response time vs ε for the three cell access patterns
     /// (k = 1) on Expo2D/Expo6D/Unif2D/Unif6D.
     pub fn fig9(&self) -> String {
+        self.begin_experiment("fig9");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -133,10 +230,11 @@ impl Experiments {
             let (spec, pts) = self.dataset(name);
             for eps in self.epsilons(&spec) {
                 let full = self.run(&pts, self.config(eps));
-                let uni =
-                    self.run(&pts, self.config(eps).with_pattern(AccessPattern::Unicomp));
-                let lid =
-                    self.run(&pts, self.config(eps).with_pattern(AccessPattern::LidUnicomp));
+                let uni = self.run(&pts, self.config(eps).with_pattern(AccessPattern::Unicomp));
+                let lid = self.run(
+                    &pts,
+                    self.config(eps).with_pattern(AccessPattern::LidUnicomp),
+                );
                 let best = [
                     ("GPUCALCGLOBAL", full.response_s),
                     ("UNICOMP", uni.response_s),
@@ -156,12 +254,18 @@ impl Experiments {
                 ]);
             }
         }
-        emit("Fig. 9 — cell access patterns, response time vs eps (k = 1)", t.render())
+        let out = emit(
+            "Fig. 9 — cell access patterns, response time vs eps (k = 1)",
+            t.render(),
+        );
+        self.end_experiment("fig9");
+        out
     }
 
     /// Table III: WEE and response time of the three patterns at one
     /// selected ε per dataset.
     pub fn table3(&self) -> String {
+        self.begin_experiment("table3");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -177,8 +281,10 @@ impl Experiments {
             let eps = selected_eps(&spec);
             let full = self.run(&pts, self.config(eps));
             let uni = self.run(&pts, self.config(eps).with_pattern(AccessPattern::Unicomp));
-            let lid =
-                self.run(&pts, self.config(eps).with_pattern(AccessPattern::LidUnicomp));
+            let lid = self.run(
+                &pts,
+                self.config(eps).with_pattern(AccessPattern::LidUnicomp),
+            );
             t.row(vec![
                 name.to_string(),
                 format!("{eps}"),
@@ -190,13 +296,18 @@ impl Experiments {
                 fmt_time(lid.response_s),
             ]);
         }
-        emit("Table III — WEE and time of the cell access patterns", t.render())
+        let out = emit(
+            "Table III — WEE and time of the cell access patterns",
+            t.render(),
+        );
+        self.end_experiment("table3");
+        out
     }
 
     /// Fig. 10: k = 1 vs k = 8 for GPUCALCGLOBAL.
     pub fn fig10(&self) -> String {
-        let mut t =
-            Table::new(vec!["dataset", "eps", "k=1", "k=8", "k=8 speedup"]);
+        self.begin_experiment("fig10");
+        let mut t = Table::new(vec!["dataset", "eps", "k=1", "k=8", "k=8 speedup"]);
         for name in ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"] {
             let (spec, pts) = self.dataset(name);
             for eps in self.epsilons(&spec) {
@@ -211,11 +322,17 @@ impl Experiments {
                 ]);
             }
         }
-        emit("Fig. 10 — thread granularity (k = 1 vs k = 8), GPUCALCGLOBAL", t.render())
+        let out = emit(
+            "Fig. 10 — thread granularity (k = 1 vs k = 8), GPUCALCGLOBAL",
+            t.render(),
+        );
+        self.end_experiment("fig10");
+        out
     }
 
     /// Table IV: WEE and time for k = 1 vs k = 8 at one ε per dataset.
     pub fn table4(&self) -> String {
+        self.begin_experiment("table4");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -238,11 +355,14 @@ impl Experiments {
                 fmt_time(k8.response_s),
             ]);
         }
-        emit("Table IV — WEE and time, k = 1 vs k = 8", t.render())
+        let out = emit("Table IV — WEE and time, k = 1 vs k = 8", t.render());
+        self.end_experiment("table4");
+        out
     }
 
     /// Fig. 11: baseline vs SORTBYWL vs WORKQUEUE (k = 1, FullWindow).
     pub fn fig11(&self) -> String {
+        self.begin_experiment("fig11");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -255,10 +375,11 @@ impl Experiments {
             let (spec, pts) = self.dataset(name);
             for eps in self.epsilons(&spec) {
                 let base = self.run(&pts, self.config(eps));
-                let sorted = self
-                    .run(&pts, self.config(eps).with_balancing(Balancing::SortByWorkload));
-                let queued =
-                    self.run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue));
+                let sorted = self.run(
+                    &pts,
+                    self.config(eps).with_balancing(Balancing::SortByWorkload),
+                );
+                let queued = self.run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue));
                 let best = [
                     ("GPUCALCGLOBAL", base.response_s),
                     ("SORTBYWL", sorted.response_s),
@@ -278,11 +399,14 @@ impl Experiments {
                 ]);
             }
         }
-        emit("Fig. 11 — workload sorting and the work queue", t.render())
+        let out = emit("Fig. 11 — workload sorting and the work queue", t.render());
+        self.end_experiment("fig11");
+        out
     }
 
     /// Table V: WEE and time, GPUCALCGLOBAL vs WORKQUEUE with k = 8.
     pub fn table5(&self) -> String {
+        self.begin_experiment("table5");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -297,7 +421,9 @@ impl Experiments {
             let base = self.run(&pts, self.config(eps));
             let wq = self.run(
                 &pts,
-                self.config(eps).with_balancing(Balancing::WorkQueue).with_k(8),
+                self.config(eps)
+                    .with_balancing(Balancing::WorkQueue)
+                    .with_k(8),
             );
             t.row(vec![
                 name.to_string(),
@@ -308,12 +434,18 @@ impl Experiments {
                 fmt_time(wq.response_s),
             ]);
         }
-        emit("Table V — WEE and time, baseline vs WORKQUEUE (k = 8)", t.render())
+        let out = emit(
+            "Table V — WEE and time, baseline vs WORKQUEUE (k = 8)",
+            t.render(),
+        );
+        self.end_experiment("table5");
+        out
     }
 
     /// Fig. 12: the real-world datasets, all WORKQUEUE combinations vs the
     /// baseline and vs SUPER-EGO.
     pub fn fig12(&self) -> String {
+        self.begin_experiment("fig12");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -328,8 +460,7 @@ impl Experiments {
             let (spec, pts) = self.dataset(name);
             for eps in self.epsilons(&spec) {
                 let base = self.run(&pts, self.config(eps));
-                let sego =
-                    run_superego_dyn(&pts, eps, &self.cpu, &CostModel::default());
+                let sego = self.sego(&pts, eps);
                 let wq = self.run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue));
                 let wq_lid = self.run(
                     &pts,
@@ -339,7 +470,9 @@ impl Experiments {
                 );
                 let wq_k8 = self.run(
                     &pts,
-                    self.config(eps).with_balancing(Balancing::WorkQueue).with_k(8),
+                    self.config(eps)
+                        .with_balancing(Balancing::WorkQueue)
+                        .with_k(8),
                 );
                 let all = self.run(
                     &pts,
@@ -360,11 +493,17 @@ impl Experiments {
                 ]);
             }
         }
-        emit("Fig. 12 — real-world datasets, response time vs eps", t.render())
+        let out = emit(
+            "Fig. 12 — real-world datasets, response time vs eps",
+            t.render(),
+        );
+        self.end_experiment("fig12");
+        out
     }
 
     /// Table VI: WEE and time for all variants on the real-world datasets.
     pub fn table6(&self) -> String {
+        self.begin_experiment("table6");
         let mut t = Table::new(vec![
             "dataset",
             "eps",
@@ -387,8 +526,12 @@ impl Experiments {
                     .with_balancing(Balancing::WorkQueue)
                     .with_pattern(AccessPattern::LidUnicomp),
             );
-            let wq_k8 = self
-                .run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue).with_k(8));
+            let wq_k8 = self.run(
+                &pts,
+                self.config(eps)
+                    .with_balancing(Balancing::WorkQueue)
+                    .with_k(8),
+            );
             let all = self.run(
                 &pts,
                 self.config(eps)
@@ -408,27 +551,24 @@ impl Experiments {
                 fmt_time(all.response_s),
             ]);
         }
-        emit("Table VI — WEE and time on real-world datasets", t.render())
+        let out = emit("Table VI — WEE and time on real-world datasets", t.render());
+        self.end_experiment("table6");
+        out
     }
 
     /// Fig. 13: speedups of WORKQUEUE + LID-UNICOMP + k = 8 over SUPER-EGO
     /// (a) and over GPUCALCGLOBAL (b), across every dataset and ε.
     pub fn fig13(&self) -> String {
-        let mut t = Table::new(vec![
-            "dataset",
-            "eps",
-            "vs SUPER-EGO",
-            "vs GPUCALCGLOBAL",
-        ]);
+        self.begin_experiment("fig13");
+        let mut t = Table::new(vec!["dataset", "eps", "vs SUPER-EGO", "vs GPUCALCGLOBAL"]);
         let mut vs_cpu: Vec<f64> = Vec::new();
         let mut vs_gpu: Vec<f64> = Vec::new();
-        let all_names: Vec<String> =
-            DatasetSpec::table1().into_iter().map(|s| s.name).collect();
+        let all_names: Vec<String> = DatasetSpec::table1().into_iter().map(|s| s.name).collect();
         for name in &all_names {
             let (spec, pts) = self.dataset(name);
             for eps in self.epsilons(&spec) {
                 let base = self.run(&pts, self.config(eps));
-                let sego = run_superego_dyn(&pts, eps, &self.cpu, &CostModel::default());
+                let sego = self.sego(&pts, eps);
                 let best = self.run(
                     &pts,
                     self.config(eps)
@@ -464,11 +604,14 @@ impl Experiments {
             fmt_speedup(gpu_max),
             fmt_speedup(gpu_avg),
         ));
-        emit("Fig. 13 — speedup of WORKQUEUE + LID-UNICOMP + k = 8", out)
+        let out = emit("Fig. 13 — speedup of WORKQUEUE + LID-UNICOMP + k = 8", out);
+        self.end_experiment("fig13");
+        out
     }
 
     /// Ablations from DESIGN.md §5.
     pub fn ablations(&self) -> String {
+        self.begin_experiment("ablations");
         let mut out = String::new();
 
         // (a) Warp issue order under SORTBYWL: isolates the WORKQUEUE's
@@ -501,7 +644,10 @@ impl Experiments {
                 fmt_pct(r.wee),
             ]);
         }
-        out.push_str(&emit("Ablation A — warp issue order under SORTBYWL (Expo2D)", t.render()));
+        out.push_str(&emit(
+            "Ablation A — warp issue order under SORTBYWL (Expo2D)",
+            t.render(),
+        ));
 
         // (b) k sweep beyond the paper's 1-vs-8.
         let mut t = Table::new(vec!["k", "time", "WEE(%)", "warps cv"]);
@@ -514,13 +660,22 @@ impl Experiments {
                 format!("{:.3}", r.warp_cv),
             ]);
         }
-        out.push_str(&emit("Ablation B — thread granularity sweep (Expo2D)", t.render()));
+        out.push_str(&emit(
+            "Ablation B — thread granularity sweep (Expo2D)",
+            t.render(),
+        ));
 
         // (c) Estimator strategy: strided vs heaviest-prefix sampling.
-        let mut t = Table::new(vec!["strategy", "estimated pairs", "batches", "actual pairs"]);
-        for (label, balancing) in
-            [("strided (baseline)", Balancing::None), ("prefix (workqueue)", Balancing::WorkQueue)]
-        {
+        let mut t = Table::new(vec![
+            "strategy",
+            "estimated pairs",
+            "batches",
+            "actual pairs",
+        ]);
+        for (label, balancing) in [
+            ("strided (baseline)", Balancing::None),
+            ("prefix (workqueue)", Balancing::WorkQueue),
+        ] {
             let cfg = self.config(eps).with_balancing(balancing);
             let (estimate, plan) = {
                 let fixed = pts.as_fixed::<2>().unwrap();
@@ -535,7 +690,10 @@ impl Experiments {
                 r.pairs.to_string(),
             ]);
         }
-        out.push_str(&emit("Ablation C — result-size estimator strategies (Expo2D)", t.render()));
+        out.push_str(&emit(
+            "Ablation C — result-size estimator strategies (Expo2D)",
+            t.render(),
+        ));
 
         // (d) Atomic-cost sensitivity of the WORKQUEUE.
         let mut t = Table::new(vec!["atomic cost (cycles)", "time", "WEE(%)"]);
@@ -543,7 +701,11 @@ impl Experiments {
             let mut cfg = self.config(eps).with_balancing(Balancing::WorkQueue);
             cfg.gpu.cost.atomic = atomic;
             let r = self.run(&pts, cfg);
-            t.row(vec![atomic.to_string(), fmt_time(r.response_s), fmt_pct(r.wee)]);
+            t.row(vec![
+                atomic.to_string(),
+                fmt_time(r.response_s),
+                fmt_pct(r.wee),
+            ]);
         }
         out.push_str(&emit(
             "Ablation D — work-queue atomic cost sensitivity (Expo2D)",
@@ -552,12 +714,7 @@ impl Experiments {
 
         // (e) Fixed vs workload-balanced queue chunking (paper §V future
         // work): per-batch result spread and total time.
-        let mut t = Table::new(vec![
-            "chunking",
-            "batches",
-            "max/mean batch pairs",
-            "time",
-        ]);
+        let mut t = Table::new(vec!["chunking", "batches", "max/mean batch pairs", "time"]);
         let tight = BatchingConfig {
             batch_result_capacity: 500_000,
             ..self.batching
@@ -566,12 +723,21 @@ impl Experiments {
             let cfg = self
                 .config(eps)
                 .with_balancing(Balancing::WorkQueue)
-                .with_batching(BatchingConfig { balanced_queue: balanced, ..tight });
+                .with_batching(BatchingConfig {
+                    balanced_queue: balanced,
+                    ..tight
+                });
             let fixed_pts = pts.as_fixed::<2>().unwrap();
-            let outcome =
-                simjoin::SelfJoin::new(&fixed_pts, cfg).unwrap().run().unwrap();
-            let batch_pairs: Vec<f64> =
-                outcome.report.batches.iter().map(|b| b.pairs as f64).collect();
+            let outcome = simjoin::SelfJoin::new(&fixed_pts, cfg)
+                .unwrap()
+                .run()
+                .unwrap();
+            let batch_pairs: Vec<f64> = outcome
+                .report
+                .batches
+                .iter()
+                .map(|b| b.pairs as f64)
+                .collect();
             let mean = batch_pairs.iter().sum::<f64>() / batch_pairs.len().max(1) as f64;
             let max = batch_pairs.iter().copied().fold(0.0f64, f64::max);
             t.row(vec![
@@ -585,6 +751,7 @@ impl Experiments {
             "Ablation E — fixed vs workload-balanced queue chunking (Expo2D)",
             t.render(),
         ));
+        self.end_experiment("ablations");
         out
     }
 
@@ -623,7 +790,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Experiments {
-        Experiments::new(ExperimentScale { points_scale: 0.02, eps_stride: 6 })
+        Experiments::new(ExperimentScale {
+            points_scale: 0.02,
+            eps_stride: 6,
+        })
     }
 
     #[test]
@@ -645,7 +815,13 @@ mod tests {
     #[test]
     fn ablations_cover_all_four() {
         let out = tiny().ablations();
-        for marker in ["Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation E"] {
+        for marker in [
+            "Ablation A",
+            "Ablation B",
+            "Ablation C",
+            "Ablation D",
+            "Ablation E",
+        ] {
             assert!(out.contains(marker), "missing {marker}");
         }
     }

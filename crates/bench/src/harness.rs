@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use epsgrid::DynPoints;
 use simjoin::{SelfJoin, SelfJoinConfig};
-use superego::{super_ego_join, SuperEgoConfig};
+use sj_telemetry::Telemetry;
+use superego::{super_ego_join_with, SuperEgoConfig};
 
 use crate::cpu_model::CpuModel;
 
@@ -44,10 +45,16 @@ pub struct CpuRunResult {
     pub distance_calcs: u64,
 }
 
-fn run_join_fixed<const N: usize>(points: &[[f32; N]], config: SelfJoinConfig) -> GpuRunResult {
+fn run_join_fixed<const N: usize>(
+    points: &[[f32; N]],
+    config: SelfJoinConfig,
+    telemetry: &dyn Telemetry,
+) -> GpuRunResult {
     let start = Instant::now();
     let label = config.label();
-    let join = SelfJoin::new(points, config).expect("join configuration must be valid");
+    let join = SelfJoin::new(points, config)
+        .expect("join configuration must be valid")
+        .with_telemetry(telemetry);
     let outcome = join.run().expect("join execution must succeed");
     let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
     GpuRunResult {
@@ -67,12 +74,21 @@ fn run_join_fixed<const N: usize>(points: &[[f32; N]], config: SelfJoinConfig) -
 /// # Panics
 /// Panics on unsupported dimensionality or invalid configuration.
 pub fn run_join_dyn(points: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
+    run_join_dyn_with(points, config, &sj_telemetry::NULL)
+}
+
+/// [`run_join_dyn`] recording executor and kernel telemetry to `telemetry`.
+pub fn run_join_dyn_with(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    telemetry: &dyn Telemetry,
+) -> GpuRunResult {
     match points.dims() {
-        2 => run_join_fixed(&points.as_fixed::<2>().unwrap(), config),
-        3 => run_join_fixed(&points.as_fixed::<3>().unwrap(), config),
-        4 => run_join_fixed(&points.as_fixed::<4>().unwrap(), config),
-        5 => run_join_fixed(&points.as_fixed::<5>().unwrap(), config),
-        6 => run_join_fixed(&points.as_fixed::<6>().unwrap(), config),
+        2 => run_join_fixed(&points.as_fixed::<2>().unwrap(), config, telemetry),
+        3 => run_join_fixed(&points.as_fixed::<3>().unwrap(), config, telemetry),
+        4 => run_join_fixed(&points.as_fixed::<4>().unwrap(), config, telemetry),
+        5 => run_join_fixed(&points.as_fixed::<5>().unwrap(), config, telemetry),
+        6 => run_join_fixed(&points.as_fixed::<6>().unwrap(), config, telemetry),
         d => panic!("unsupported dimensionality {d}"),
     }
 }
@@ -82,10 +98,21 @@ fn run_superego_fixed<const N: usize>(
     epsilon: f32,
     cpu: &CpuModel,
     cost: &warpsim::CostModel,
+    telemetry: &dyn Telemetry,
 ) -> CpuRunResult {
-    let outcome = super_ego_join(points, &SuperEgoConfig::new(epsilon));
+    let outcome = super_ego_join_with(points, &SuperEgoConfig::new(epsilon), telemetry);
+    let model_s = cpu.model_seconds(&outcome.stats, N as u32, cost);
+    if telemetry.is_enabled() {
+        telemetry.record(
+            sj_telemetry::Event::new("superego", "run_summary")
+                .u64("pairs", outcome.pairs.len() as u64)
+                .u64("threads", outcome.threads as u64)
+                .f64("model_s", model_s)
+                .f64("host_wall_s", outcome.wall.as_secs_f64()),
+        );
+    }
     CpuRunResult {
-        model_s: cpu.model_seconds(&outcome.stats, N as u32, cost),
+        model_s,
         wall_s: outcome.wall.as_secs_f64(),
         pairs: outcome.pairs.len(),
         distance_calcs: outcome.stats.distance_calcs,
@@ -100,12 +127,53 @@ pub fn run_superego_dyn(
     cpu: &CpuModel,
     cost: &warpsim::CostModel,
 ) -> CpuRunResult {
+    run_superego_dyn_with(points, epsilon, cpu, cost, &sj_telemetry::NULL)
+}
+
+/// [`run_superego_dyn`] recording SUPER-EGO phase telemetry to `telemetry`.
+pub fn run_superego_dyn_with(
+    points: &DynPoints,
+    epsilon: f32,
+    cpu: &CpuModel,
+    cost: &warpsim::CostModel,
+    telemetry: &dyn Telemetry,
+) -> CpuRunResult {
     match points.dims() {
-        2 => run_superego_fixed(&points.as_fixed::<2>().unwrap(), epsilon, cpu, cost),
-        3 => run_superego_fixed(&points.as_fixed::<3>().unwrap(), epsilon, cpu, cost),
-        4 => run_superego_fixed(&points.as_fixed::<4>().unwrap(), epsilon, cpu, cost),
-        5 => run_superego_fixed(&points.as_fixed::<5>().unwrap(), epsilon, cpu, cost),
-        6 => run_superego_fixed(&points.as_fixed::<6>().unwrap(), epsilon, cpu, cost),
+        2 => run_superego_fixed(
+            &points.as_fixed::<2>().unwrap(),
+            epsilon,
+            cpu,
+            cost,
+            telemetry,
+        ),
+        3 => run_superego_fixed(
+            &points.as_fixed::<3>().unwrap(),
+            epsilon,
+            cpu,
+            cost,
+            telemetry,
+        ),
+        4 => run_superego_fixed(
+            &points.as_fixed::<4>().unwrap(),
+            epsilon,
+            cpu,
+            cost,
+            telemetry,
+        ),
+        5 => run_superego_fixed(
+            &points.as_fixed::<5>().unwrap(),
+            epsilon,
+            cpu,
+            cost,
+            telemetry,
+        ),
+        6 => run_superego_fixed(
+            &points.as_fixed::<6>().unwrap(),
+            epsilon,
+            cpu,
+            cost,
+            telemetry,
+        ),
         d => panic!("unsupported dimensionality {d}"),
     }
 }

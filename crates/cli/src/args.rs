@@ -63,7 +63,9 @@ impl Parsed {
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.optional(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag --{name} has an invalid value")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} has an invalid value")),
         }
     }
 

@@ -4,6 +4,7 @@ use std::path::Path;
 
 use epsgrid::DynPoints;
 use simjoin::{AccessPattern, Balancing, SelfJoin, SelfJoinConfig};
+use sj_telemetry::{JsonTelemetry, Telemetry, Value};
 use sjdata::{io as dataio, DatasetSpec};
 
 use crate::args::Parsed;
@@ -23,6 +24,11 @@ USAGE:
       result against the SUPER-EGO CPU join.
   simjoin stats --input <path> --eps <f>
       Print workload statistics (mean neighbors, cells, imbalance).
+  simjoin profile --input <path> --eps <f> [join flags] [--output <telemetry.json>]
+      Run the self-join with the JSON telemetry sink attached, print a
+      per-phase breakdown, and write the sj-telemetry/v1 document
+      (default: telemetry.json). The sink is observation-only: pair sets,
+      cycle counts and model seconds are identical with or without it.
 ";
 
 /// Dispatches a parsed command line.
@@ -37,12 +43,16 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&parsed),
         "join" => join(&parsed),
         "stats" => stats(&parsed),
+        "profile" => profile(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
 
 fn datasets() -> Result<(), String> {
-    println!("{:<10} {:>4} {:>12} {:>12}  epsilons", "name", "dims", "paper |D|", "scaled |D|");
+    println!(
+        "{:<10} {:>4} {:>12} {:>12}  epsilons",
+        "name", "dims", "paper |D|", "scaled |D|"
+    );
     for spec in DatasetSpec::table1() {
         println!(
             "{:<10} {:>4} {:>12} {:>12}  {:?}",
@@ -60,7 +70,11 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
     let output = parsed.required("output")?;
     let points = spec.generate(n);
     dataio::write_path(Path::new(output), &points).map_err(|e| e.to_string())?;
-    println!("wrote {} points ({} dims) to {output}", points.len(), points.dims());
+    println!(
+        "wrote {} points ({} dims) to {output}",
+        points.len(),
+        points.dims()
+    );
     Ok(())
 }
 
@@ -105,13 +119,13 @@ fn with_fixed<R>(
     dims!(2, 3, 4, 5, 6)
 }
 
+/// What a join run hands back to the CLI: the pairs, the report, and the
+/// `k` that was actually used (relevant under `--auto-k`).
+type RunOutput = Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String>;
+
 /// Dimension-erased access to the join for the CLI.
 trait JoinRunner {
-    fn run(
-        &self,
-        config: SelfJoinConfig,
-        auto_k: bool,
-    ) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String>;
+    fn run(&self, config: SelfJoinConfig, auto_k: bool, telemetry: &dyn Telemetry) -> RunOutput;
     fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)>;
     fn stats(&self, eps: f32) -> Result<(f64, usize, f64), String>;
 }
@@ -125,14 +139,16 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
         &self,
         mut config: SelfJoinConfig,
         auto_k: bool,
-    ) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String> {
+        telemetry: &dyn Telemetry,
+    ) -> RunOutput {
         if auto_k {
-            let probe =
-                SelfJoin::new(&self.points, config.clone()).map_err(|e| e.to_string())?;
+            let probe = SelfJoin::new(&self.points, config.clone()).map_err(|e| e.to_string())?;
             config.k = probe.recommended_k();
         }
         let k = config.k;
-        let join = SelfJoin::new(&self.points, config).map_err(|e| e.to_string())?;
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry);
         let outcome = join.run().map_err(|e| e.to_string())?;
         Ok((outcome.result.sorted_pairs(), outcome.report, k))
     }
@@ -170,7 +186,10 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     let balancing = balancing_flag(parsed)?;
     let (auto_k, k) = match parsed.optional("k") {
         Some("auto") => (true, 1u32),
-        Some(v) => (false, v.parse().map_err(|_| "flag --k has an invalid value")?),
+        Some(v) => (
+            false,
+            v.parse().map_err(|_| "flag --k has an invalid value")?,
+        ),
         None => (false, 1),
     };
     let mut config = SelfJoinConfig::new(eps)
@@ -180,7 +199,7 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     config.batching.balanced_queue = parsed.switch("balanced-queue");
 
     let (pairs, report, used_k) = with_fixed(&points, |runner| {
-        let (pairs, report, used_k) = runner.run(config.clone(), auto_k)?;
+        let (pairs, report, used_k) = runner.run(config.clone(), auto_k, &sj_telemetry::NULL)?;
         if parsed.switch("verify") {
             let reference = runner.superego_pairs(eps);
             if pairs != reference {
@@ -190,12 +209,18 @@ fn join(parsed: &Parsed) -> Result<(), String> {
                     reference.len()
                 ));
             }
-            println!("verification: SUPER-EGO agrees on all {} pairs", pairs.len());
+            println!(
+                "verification: SUPER-EGO agrees on all {} pairs",
+                pairs.len()
+            );
         }
         Ok((pairs, report, used_k))
     })?;
 
-    println!("variant               : {} (k = {used_k})", config.with_k(used_k).label());
+    println!(
+        "variant               : {} (k = {used_k})",
+        config.with_k(used_k).label()
+    );
     println!("pairs found           : {}", pairs.len());
     println!("batches               : {}", report.num_batches);
     println!("distance calculations : {}", report.distance_calcs());
@@ -211,6 +236,75 @@ fn join(parsed: &Parsed) -> Result<(), String> {
         }
         println!("wrote {} pairs to {output}", pairs.len());
     }
+    Ok(())
+}
+
+fn profile(parsed: &Parsed) -> Result<(), String> {
+    let points = load(parsed)?;
+    let eps: f32 = parsed.required_parse("eps")?;
+    let pattern = pattern_flag(parsed)?;
+    let balancing = balancing_flag(parsed)?;
+    let (auto_k, k) = match parsed.optional("k") {
+        Some("auto") => (true, 1u32),
+        Some(v) => (
+            false,
+            v.parse().map_err(|_| "flag --k has an invalid value")?,
+        ),
+        None => (false, 1),
+    };
+    let mut config = SelfJoinConfig::new(eps)
+        .with_pattern(pattern)
+        .with_balancing(balancing)
+        .with_k(k);
+    config.batching.balanced_queue = parsed.switch("balanced-queue");
+
+    let sink = JsonTelemetry::new(format!(
+        "simjoin profile eps={eps} pattern={pattern:?} balancing={balancing:?}"
+    ));
+    let (pairs, report, used_k) =
+        with_fixed(&points, |runner| runner.run(config.clone(), auto_k, &sink))?;
+
+    println!(
+        "variant               : {} (k = {used_k})",
+        config.clone().with_k(used_k).label()
+    );
+    println!("pairs found           : {}", pairs.len());
+    println!("batches               : {}", report.num_batches);
+    println!("warp exec efficiency  : {:.1} %", report.wee() * 100.0);
+    println!("response time (model) : {:.6} s", report.response_time_s());
+
+    let events = sink.events();
+    println!("\nhost-side phases:");
+    for event in &events {
+        if event.scope == "executor.phase" {
+            let ns = match event.field("host_ns") {
+                Some(Value::U64(n)) => *n,
+                _ => 0,
+            };
+            println!("  {:<20} {:>10.3} ms", event.name, ns as f64 / 1e6);
+        }
+    }
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for event in &events {
+        let key = format!("{}/{}", event.scope, event.name);
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    println!("\nevents recorded:");
+    for (key, count) in &counts {
+        println!("  {key:<32} x{count}");
+    }
+
+    let output = parsed.optional("output").unwrap_or("telemetry.json");
+    sink.write_to_file(Path::new(output))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\nwrote {} events ({}) to {output}",
+        sink.len(),
+        sj_telemetry::SCHEMA_VERSION
+    );
     Ok(())
 }
 
@@ -259,11 +353,19 @@ mod tests {
         let data_s = data.to_str().unwrap().to_string();
         let pairs_s = pairs.to_str().unwrap().to_string();
 
-        dispatch(&argv(&["generate", "--dataset", "Expo2D2M", "--n", "600", "--output", &data_s]))
-            .unwrap();
         dispatch(&argv(&[
-            "join", "--input", &data_s, "--eps", "0.5", "--k", "auto", "--verify",
-            "--output", &pairs_s,
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "600",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "join", "--input", &data_s, "--eps", "0.5", "--k", "auto", "--verify", "--output",
+            &pairs_s,
         ]))
         .unwrap();
         dispatch(&argv(&["stats", "--input", &data_s, "--eps", "0.5"])).unwrap();
@@ -271,6 +373,23 @@ mod tests {
         let written = std::fs::read_to_string(&pairs).unwrap();
         assert!(written.lines().count() > 0);
         assert!(written.lines().all(|l| l.split(',').count() == 2));
+
+        let telemetry = dir.join("telemetry.json");
+        let telemetry_s = telemetry.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "profile",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--output",
+            &telemetry_s,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&telemetry).unwrap();
+        assert!(doc.contains(sj_telemetry::SCHEMA_VERSION));
+        assert!(doc.contains("\"scope\": \"warpsim.launch\""));
+        assert!(doc.contains("\"scope\": \"executor.phase\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

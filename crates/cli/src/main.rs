@@ -6,6 +6,7 @@
 //! simjoin join --input pts.csv --eps 0.2 [--k 8|auto] [--pattern lid]
 //!              [--balancing queue] [--balanced-queue] [--output pairs.csv] [--verify]
 //! simjoin stats --input pts.csv --eps 0.2
+//! simjoin profile --input pts.csv --eps 0.2 --output telemetry.json
 //! ```
 
 mod args;

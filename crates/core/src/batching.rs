@@ -96,9 +96,7 @@ pub fn count_neighbors_of<const N: usize>(
     for &pid in sample {
         let p = &points[pid as usize];
         grid.for_each_candidate_of(pid as usize, |cand| {
-            if cand != pid as usize
-                && epsgrid::euclidean_dist_sq(p, &points[cand]) <= eps_sq
-            {
+            if cand != pid as usize && epsgrid::euclidean_dist_sq(p, &points[cand]) <= eps_sq {
                 total += 1;
             }
         });
@@ -114,7 +112,10 @@ pub fn estimate_strided<const N: usize>(
     sample_fraction: f64,
 ) -> ResultEstimate {
     let stride = (1.0 / sample_fraction.clamp(1e-6, 1.0)).round().max(1.0) as usize;
-    let sample: Vec<u32> = (0..points.len()).step_by(stride).map(|i| i as u32).collect();
+    let sample: Vec<u32> = (0..points.len())
+        .step_by(stride)
+        .map(|i| i as u32)
+        .collect();
     finish_estimate(grid, points, epsilon, &sample, points.len())
 }
 
@@ -144,7 +145,11 @@ fn finish_estimate<const N: usize>(
     } else {
         (sampled_pairs as f64 * total_points as f64 / sample.len() as f64).ceil() as u64
     };
-    ResultEstimate { sampled_points: sample.len(), sampled_pairs, estimated_total }
+    ResultEstimate {
+        sampled_points: sample.len(),
+        sampled_pairs,
+        estimated_total,
+    }
 }
 
 /// The query-point composition of every batch.
@@ -207,7 +212,9 @@ pub fn buffer_capacity_for(
 ) -> usize {
     let padded = (estimate.estimated_total as f64 * config.safety_factor).ceil() as u64;
     let per_batch = padded.div_ceil(num_batches.max(1) as u64);
-    config.batch_result_capacity.max((per_batch as usize).saturating_mul(2))
+    config
+        .batch_result_capacity
+        .max((per_batch as usize).saturating_mul(2))
 }
 
 /// Builds the strided plan: point `i` goes to batch `i mod nb` (the paper's
@@ -256,8 +263,10 @@ pub fn plan_queue_balanced(
     num_batches: usize,
 ) -> BatchPlan {
     let nb = num_batches.max(1);
-    let total: u128 =
-        order.iter().map(|&pid| per_point_workload[pid as usize] as u128).sum();
+    let total: u128 = order
+        .iter()
+        .map(|&pid| per_point_workload[pid as usize] as u128)
+        .sum();
     if total == 0 || nb == 1 {
         return plan_queue(order, nb);
     }
@@ -285,7 +294,9 @@ mod tests {
     use crate::brute::brute_force_neighbor_counts;
 
     fn blob(n: usize) -> Vec<Point<2>> {
-        (0..n).map(|i| [0.01 * (i % 37) as f32, 0.013 * (i % 29) as f32]).collect()
+        (0..n)
+            .map(|i| [0.01 * (i % 37) as f32, 0.013 * (i % 29) as f32])
+            .collect()
     }
 
     #[test]
@@ -339,7 +350,11 @@ mod tests {
             safety_factor: 1.0,
             ..BatchingConfig::default()
         };
-        let est = |total| ResultEstimate { sampled_points: 1, sampled_pairs: 1, estimated_total: total };
+        let est = |total| ResultEstimate {
+            sampled_points: 1,
+            sampled_pairs: 1,
+            estimated_total: total,
+        };
         assert_eq!(num_batches_for(&est(0), &config), 1);
         assert_eq!(num_batches_for(&est(999), &config), 1);
         assert_eq!(num_batches_for(&est(1000), &config), 1);
@@ -355,15 +370,24 @@ mod tests {
             max_batches: 4,
             ..BatchingConfig::default()
         };
-        let est =
-            ResultEstimate { sampled_points: 1, sampled_pairs: 1, estimated_total: 20_000 };
+        let est = ResultEstimate {
+            sampled_points: 1,
+            sampled_pairs: 1,
+            estimated_total: 20_000,
+        };
         let nb = num_batches_for(&est, &config);
         assert_eq!(nb, 4, "would be 20 uncapped");
         let cap = buffer_capacity_for(&est, nb, &config);
-        assert!(cap >= 20_000 / 4, "buffer must hold a quarter of the estimate");
+        assert!(
+            cap >= 20_000 / 4,
+            "buffer must hold a quarter of the estimate"
+        );
         assert!(cap >= config.batch_result_capacity);
         // Without the floor, the cap stays at b_s.
-        let uncapped = BatchingConfig { max_batches: 0, ..config };
+        let uncapped = BatchingConfig {
+            max_batches: 0,
+            ..config
+        };
         assert_eq!(num_batches_for(&est, &uncapped), 20);
     }
 
@@ -374,8 +398,15 @@ mod tests {
             safety_factor: 1.0,
             ..BatchingConfig::default()
         };
-        let padded = BatchingConfig { safety_factor: 2.0, ..base };
-        let est = ResultEstimate { sampled_points: 1, sampled_pairs: 1, estimated_total: 1500 };
+        let padded = BatchingConfig {
+            safety_factor: 2.0,
+            ..base
+        };
+        let est = ResultEstimate {
+            sampled_points: 1,
+            sampled_pairs: 1,
+            estimated_total: 1500,
+        };
         assert_eq!(num_batches_for(&est, &base), 2);
         assert_eq!(num_batches_for(&est, &padded), 3);
     }
@@ -383,7 +414,9 @@ mod tests {
     #[test]
     fn strided_plan_partitions_points() {
         let plan = plan_strided(10, 3, None);
-        let BatchPlan::Strided { batches } = &plan else { panic!() };
+        let BatchPlan::Strided { batches } = &plan else {
+            panic!()
+        };
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0], vec![0, 3, 6, 9]);
         assert_eq!(batches[1], vec![1, 4, 7]);
@@ -395,7 +428,9 @@ mod tests {
     fn queue_plan_chunks_cover_order() {
         let order: Vec<u32> = (0..10).collect();
         let plan = plan_queue(order, 4);
-        let BatchPlan::Queue { chunks, order } = &plan else { panic!() };
+        let BatchPlan::Queue { chunks, order } = &plan else {
+            panic!()
+        };
         assert_eq!(order.len(), 10);
         // chunks: 3 + 3 + 3 + 1, contiguous and covering
         assert_eq!(chunks.len(), 4);
@@ -420,7 +455,9 @@ mod tests {
         let workload: Vec<u64> = vec![100, 50, 25, 25, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
         let order: Vec<u32> = (0..workload.len() as u32).collect();
         let plan = plan_queue_balanced(order, &workload, 4);
-        let BatchPlan::Queue { chunks, order } = &plan else { panic!() };
+        let BatchPlan::Queue { chunks, order } = &plan else {
+            panic!()
+        };
         // Coverage: contiguous, disjoint, complete.
         let mut expected_start = 0;
         for c in chunks {
@@ -436,14 +473,26 @@ mod tests {
         };
         let loads: Vec<u64> = chunks.iter().map(chunk_load).collect();
         let max = *loads.iter().max().unwrap();
-        assert!(max <= 100, "no chunk should exceed the single heaviest point by much");
+        assert!(
+            max <= 100,
+            "no chunk should exceed the single heaviest point by much"
+        );
         let fixed = plan_queue((0..workload.len() as u32).collect(), 4);
-        let BatchPlan::Queue { chunks: fixed_chunks, order: fixed_order } = &fixed else {
+        let BatchPlan::Queue {
+            chunks: fixed_chunks,
+            order: fixed_order,
+        } = &fixed
+        else {
             panic!()
         };
         let fixed_loads: Vec<u64> = fixed_chunks
             .iter()
-            .map(|c| fixed_order[c.clone()].iter().map(|&p| workload[p as usize]).sum())
+            .map(|c| {
+                fixed_order[c.clone()]
+                    .iter()
+                    .map(|&p| workload[p as usize])
+                    .sum()
+            })
             .collect();
         assert!(fixed_loads[0] > 2 * max || fixed_loads[0] >= 175);
     }

@@ -22,10 +22,7 @@ pub fn brute_force_join<const N: usize>(points: &[Point<N>], epsilon: f32) -> Ve
 }
 
 /// Counts each point's ε-neighbors by brute force (excluding itself).
-pub fn brute_force_neighbor_counts<const N: usize>(
-    points: &[Point<N>],
-    epsilon: f32,
-) -> Vec<u64> {
+pub fn brute_force_neighbor_counts<const N: usize>(points: &[Point<N>], epsilon: f32) -> Vec<u64> {
     let mut counts = vec![0u64; points.len()];
     for (i, a) in points.iter().enumerate() {
         for (j, b) in points.iter().enumerate().skip(i + 1) {
@@ -66,8 +63,7 @@ mod tests {
 
     #[test]
     fn neighbor_counts_match_pair_list() {
-        let pts: Vec<Point<3>> =
-            vec![[0.0; 3], [0.1, 0.0, 0.0], [0.2, 0.0, 0.0], [9.0, 9.0, 9.0]];
+        let pts: Vec<Point<3>> = vec![[0.0; 3], [0.1, 0.0, 0.0], [0.2, 0.0, 0.0], [9.0, 9.0, 9.0]];
         let counts = brute_force_neighbor_counts(&pts, 0.15);
         assert_eq!(counts, vec![1, 2, 1, 0]);
         let pairs = brute_force_join(&pts, 0.15);

@@ -157,7 +157,9 @@ impl SelfJoinConfig {
         }
         match self.balancing {
             Balancing::WorkQueue => IssueOrder::InOrder,
-            _ => IssueOrder::Arbitrary { seed: self.scheduler_seed },
+            _ => IssueOrder::Arbitrary {
+                seed: self.scheduler_seed,
+            },
         }
     }
 
@@ -169,7 +171,12 @@ impl SelfJoinConfig {
 
     /// A human-readable variant label, e.g. `"WORKQUEUE+LID-UNICOMP, k=8"`.
     pub fn label(&self) -> String {
-        format!("{}+{}, k={}", self.balancing.name(), self.pattern.name(), self.k)
+        format!(
+            "{}+{}, k={}",
+            self.balancing.name(),
+            self.pattern.name(),
+            self.k
+        )
     }
 }
 

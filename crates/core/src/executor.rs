@@ -1,9 +1,12 @@
 //! Host-side orchestration: index → estimate → batch plan → kernels → result.
 
+use std::cell::Cell;
+
 use epsgrid::{GridBuildError, GridIndex, Point};
+use sj_telemetry::{Event, Stopwatch, Telemetry};
 use warpsim::{
-    launch, BatchTiming, CoopGroups, DeviceBuffer, DeviceCounter, LaunchError, LaunchReport,
-    PipelineReport, StreamPipeline, WarpExecution, WarpStatsSummary,
+    launch_with, BatchTiming, CoopGroups, DeviceBuffer, DeviceCounter, LaunchError, LaunchOptions,
+    LaunchReport, PipelineReport, StreamPipeline, WarpExecution, WarpStatsSummary,
 };
 
 use crate::batching::{
@@ -99,8 +102,11 @@ impl JoinReport {
 
     /// Per-warp duration summary pooled over all batches.
     pub fn warp_stats(&self) -> Option<WarpStatsSummary> {
-        let all: Vec<u64> =
-            self.batches.iter().flat_map(|b| b.launch.warp_cycles.iter().copied()).collect();
+        let all: Vec<u64> = self
+            .batches
+            .iter()
+            .flat_map(|b| b.launch.warp_cycles.iter().copied())
+            .collect();
         WarpStatsSummary::from_durations(&all)
     }
 }
@@ -118,28 +124,64 @@ pub struct JoinOutcome {
 ///
 /// Construction builds the ε-grid index and resolves the access pattern;
 /// [`SelfJoin::run`] executes the batched kernels on the simulated GPU.
-#[derive(Debug)]
 pub struct SelfJoin<'a, const N: usize> {
     points: &'a [Point<N>],
     config: SelfJoinConfig,
     grid: GridIndex<N>,
     resolved: ResolvedPatterns,
     profile: Option<WorkloadProfile>,
+    telemetry: &'a dyn Telemetry,
+    index_build_ns: u64,
+    profile_ns: u64,
+}
+
+impl<const N: usize> std::fmt::Debug for SelfJoin<'_, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelfJoin")
+            .field("points", &self.points.len())
+            .field("config", &self.config)
+            .field("grid", &self.grid)
+            .field("resolved", &self.resolved)
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, const N: usize> SelfJoin<'a, N> {
     /// Indexes `points` and prepares the kernels described by `config`.
     pub fn new(points: &'a [Point<N>], config: SelfJoinConfig) -> Result<Self, JoinError> {
         CoopGroups::new(config.gpu.warp_size, config.k).map_err(JoinError::InvalidK)?;
+        let sw_index = Stopwatch::start();
         let grid = GridIndex::build(points, config.epsilon)?;
         let resolved = ResolvedPatterns::compute(&grid, config.pattern);
+        let index_build_ns = sw_index.elapsed_ns();
+        let sw_profile = Stopwatch::start();
         let profile = match config.balancing {
             Balancing::None => None,
             Balancing::SortByWorkload | Balancing::WorkQueue => {
                 Some(WorkloadProfile::compute(&grid))
             }
         };
-        Ok(Self { points, config, grid, resolved, profile })
+        let profile_ns = sw_profile.elapsed_ns();
+        Ok(Self {
+            points,
+            config,
+            grid,
+            resolved,
+            profile,
+            telemetry: &sj_telemetry::NULL,
+            index_build_ns,
+            profile_ns,
+        })
+    }
+
+    /// Attaches a telemetry sink receiving the executor's phase timers,
+    /// estimator-accuracy and overflow-recovery events, plus the per-launch
+    /// spans from `warpsim`. Observation only: the sink never changes pair
+    /// sets, cycle counts, or model seconds.
+    pub fn with_telemetry(mut self, telemetry: &'a dyn Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The grid index (for inspection).
@@ -212,7 +254,10 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 (estimate, plan)
             }
             Balancing::WorkQueue => {
-                let profile = self.profile.as_ref().expect("WorkQueue always has a profile");
+                let profile = self
+                    .profile
+                    .as_ref()
+                    .expect("WorkQueue always has a profile");
                 let order = profile.sorted_dataset(&self.grid);
                 let estimate = estimate_prefix(
                     &self.grid,
@@ -243,9 +288,15 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         loop {
             match self.run_once(multiplier) {
                 Err(JoinError::Launch(LaunchError::ResultOverflow(_)))
-                    if multiplier < 64
-                        && self.config.batching.batch_result_capacity > 0 =>
+                    if multiplier < 64 && self.config.batching.batch_result_capacity > 0 =>
                 {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.record(
+                            Event::new("executor", "overflow_recovery")
+                                .u64("failed_multiplier", multiplier as u64)
+                                .u64("retry_multiplier", (multiplier * 2) as u64),
+                        );
+                    }
                     multiplier *= 2;
                 }
                 other => return other,
@@ -254,12 +305,44 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     }
 
     fn run_once(&self, multiplier: usize) -> Result<JoinOutcome, JoinError> {
+        let telemetry_on = self.telemetry.is_enabled();
+        if telemetry_on && multiplier == 1 {
+            // Index build and workload profiling happened in `new()`; their
+            // host durations were captured there and are reported once.
+            self.telemetry.record(
+                Event::new("executor.phase", "index_build")
+                    .u64("points", self.grid.num_points() as u64)
+                    .u64("cells", self.grid.num_cells() as u64)
+                    .u64("host_ns", self.index_build_ns),
+            );
+            self.telemetry.record(
+                Event::new("executor.phase", "workload_profile")
+                    .bool("profiled", self.profile.is_some())
+                    .str("balancing", format!("{:?}", self.config.balancing))
+                    .u64("host_ns", self.profile_ns),
+            );
+        }
+        let sw_plan = Stopwatch::start();
         let (estimate, plan) = self.plan_with(multiplier);
+        if telemetry_on {
+            self.telemetry.record(
+                Event::new("executor.phase", "estimate_and_plan")
+                    .u64("multiplier", multiplier as u64)
+                    .u64("sampled_points", estimate.sampled_points as u64)
+                    .u64("sampled_pairs", estimate.sampled_pairs)
+                    .u64("estimated_total", estimate.estimated_total)
+                    .u64("num_batches", plan.num_batches() as u64)
+                    .u64("host_ns", sw_plan.elapsed_ns()),
+            );
+        }
         let c = &self.config;
         let issue_order = c.issue_order();
         let mut result = ResultSet::default();
         let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
-        let mut totals = WarpExecution { warp_size: c.gpu.warp_size, ..WarpExecution::default() };
+        let mut totals = WarpExecution {
+            warp_size: c.gpu.warp_size,
+            ..WarpExecution::default()
+        };
         // With the device-saturation floor enabled, the pinned buffer grows
         // to fit the fewer, larger batches; otherwise it is exactly `b_s`.
         let capacity = if c.batching.max_batches > 0 {
@@ -268,12 +351,14 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             c.batching.batch_result_capacity
         };
         let mut buffer = DeviceBuffer::with_capacity(capacity);
+        let batch_index = Cell::new(0u64);
+        let gather_ns = Cell::new(0u64);
 
         let run_batch = |assignment: Assignment<'_>,
-                             num_groups: usize,
-                             buffer: &mut DeviceBuffer<(u32, u32)>,
-                             result: &mut ResultSet,
-                             totals: &mut WarpExecution|
+                         num_groups: usize,
+                         buffer: &mut DeviceBuffer<(u32, u32)>,
+                         result: &mut ResultSet,
+                         totals: &mut WarpExecution|
          -> Result<BatchReport, JoinError> {
             let source = JoinKernelSource {
                 grid: &self.grid,
@@ -286,15 +371,33 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 assignment,
                 num_groups,
             };
-            let launch_report =
-                launch(&c.gpu, &source, issue_order, buffer).map_err(JoinError::Launch)?;
+            let opts = LaunchOptions::with_telemetry(self.telemetry);
+            let launch_report = launch_with(&c.gpu, &source, issue_order, buffer, &opts)
+                .map_err(JoinError::Launch)?;
             let pairs = buffer.len();
+            let sw_gather = Stopwatch::start();
             result.extend(buffer.as_slice());
             buffer.clear();
+            gather_ns.set(gather_ns.get() + sw_gather.elapsed_ns());
             totals.accumulate(&launch_report.totals);
             let kernel_s = launch_report.elapsed_seconds();
             let transfer_s = c.batching.transfer_seconds(pairs);
-            Ok(BatchReport { launch: launch_report, pairs, kernel_s, transfer_s })
+            if telemetry_on {
+                self.telemetry.record(
+                    Event::new("executor", "batch")
+                        .u64("index", batch_index.get())
+                        .u64("pairs", pairs as u64)
+                        .f64("kernel_model_s", kernel_s)
+                        .f64("transfer_model_s", transfer_s),
+                );
+            }
+            batch_index.set(batch_index.get() + 1);
+            Ok(BatchReport {
+                launch: launch_report,
+                pairs,
+                kernel_s,
+                transfer_s,
+            })
         };
 
         match &plan {
@@ -318,7 +421,11 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                         continue;
                     }
                     let report = run_batch(
-                        Assignment::Queue { order, counter: &counter, limit },
+                        Assignment::Queue {
+                            order,
+                            counter: &counter,
+                            limit,
+                        },
                         chunk.len(),
                         &mut buffer,
                         &mut result,
@@ -332,10 +439,43 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
 
         let timings: Vec<BatchTiming> = batch_reports
             .iter()
-            .map(|b| BatchTiming { kernel_s: b.kernel_s, transfer_s: b.transfer_s })
+            .map(|b| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
             .collect();
         let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
         let total_pairs = result.len();
+        if telemetry_on {
+            self.telemetry
+                .record(Event::new("executor.phase", "gather").u64("host_ns", gather_ns.get()));
+            // How well the 1 % sample predicted the true result size — the
+            // quantity that decides whether the batch plan over- or
+            // under-provisions the result buffers (§III-D).
+            let ratio = if total_pairs > 0 {
+                estimate.estimated_total as f64 / total_pairs as f64
+            } else {
+                f64::NAN
+            };
+            self.telemetry.record(
+                Event::new("executor", "estimator_accuracy")
+                    .u64("estimated_total", estimate.estimated_total)
+                    .u64("actual_total", total_pairs as u64)
+                    .f64("estimate_over_actual", ratio),
+            );
+            self.telemetry.record(
+                Event::new("executor", "join_summary")
+                    .str("config", c.label())
+                    .u64("num_batches", batch_reports.len() as u64)
+                    .u64("total_pairs", total_pairs as u64)
+                    .f64("response_model_s", pipeline.total_s)
+                    .f64("wee", totals.efficiency())
+                    .u64(
+                        "distance_calcs",
+                        totals.lane_ops_by_kind[warpsim::OpKind::Distance.index()],
+                    ),
+            );
+        }
         Ok(JoinOutcome {
             result,
             report: JoinReport {
@@ -361,7 +501,10 @@ mod tests {
         // Half the points bunched in a dense blob, half spread out.
         let mut pts = Vec::with_capacity(n);
         for i in 0..n / 2 {
-            pts.push([0.2 + 0.001 * (i % 50) as f32, 0.2 + 0.0013 * (i % 37) as f32]);
+            pts.push([
+                0.2 + 0.001 * (i % 50) as f32,
+                0.2 + 0.0013 * (i % 37) as f32,
+            ]);
         }
         for i in n / 2..n {
             pts.push([3.0 + 0.17 * (i % 61) as f32, 2.0 + 0.19 * (i % 53) as f32]);
@@ -377,10 +520,16 @@ mod tests {
 
     fn all_variants(eps: f32) -> Vec<SelfJoinConfig> {
         let mut configs = Vec::new();
-        for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
-            for pattern in
-                [AccessPattern::FullWindow, AccessPattern::Unicomp, AccessPattern::LidUnicomp]
-            {
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            for pattern in [
+                AccessPattern::FullWindow,
+                AccessPattern::Unicomp,
+                AccessPattern::LidUnicomp,
+            ] {
                 for k in [1u32, 8] {
                     configs.push(
                         SelfJoinConfig::new(eps)
@@ -403,7 +552,10 @@ mod tests {
             let label = config.label();
             let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
             assert_eq!(outcome.result.sorted_pairs(), expected, "variant {label}");
-            outcome.result.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+            outcome
+                .result
+                .validate()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
         }
     }
 
@@ -416,7 +568,11 @@ mod tests {
             batch_result_capacity: expected.len() / 3 + 8,
             ..crate::BatchingConfig::default()
         };
-        for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
             let config = SelfJoinConfig::new(eps)
                 .with_balancing(balancing)
                 .with_batching(small_batches);
@@ -464,7 +620,10 @@ mod tests {
     fn workqueue_improves_wee_on_skewed_data() {
         let pts = skewed_points(400);
         let eps = 0.12;
-        let base = SelfJoin::new(&pts, SelfJoinConfig::new(eps)).unwrap().run().unwrap();
+        let base = SelfJoin::new(&pts, SelfJoinConfig::new(eps))
+            .unwrap()
+            .run()
+            .unwrap();
         let wq = SelfJoin::new(
             &pts,
             SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue),
@@ -484,7 +643,10 @@ mod tests {
     fn invalid_k_is_rejected() {
         let pts = skewed_points(10);
         let config = SelfJoinConfig::new(0.1).with_k(5);
-        assert!(matches!(SelfJoin::new(&pts, config), Err(JoinError::InvalidK(_))));
+        assert!(matches!(
+            SelfJoin::new(&pts, config),
+            Err(JoinError::InvalidK(_))
+        ));
     }
 
     #[test]
@@ -499,8 +661,10 @@ mod tests {
     #[test]
     fn report_invariants() {
         let pts = skewed_points(150);
-        let outcome =
-            SelfJoin::new(&pts, SelfJoinConfig::optimized(0.1)).unwrap().run().unwrap();
+        let outcome = SelfJoin::new(&pts, SelfJoinConfig::optimized(0.1))
+            .unwrap()
+            .run()
+            .unwrap();
         let r = &outcome.report;
         assert!(r.wee() > 0.0 && r.wee() <= 1.0);
         assert_eq!(r.total_pairs, outcome.result.len());
@@ -533,7 +697,10 @@ mod tests {
             &pts,
             SelfJoinConfig::new(eps)
                 .with_balancing(Balancing::WorkQueue)
-                .with_batching(crate::BatchingConfig { balanced_queue: true, ..batching }),
+                .with_batching(crate::BatchingConfig {
+                    balanced_queue: true,
+                    ..batching
+                }),
         )
         .unwrap()
         .run()
@@ -547,7 +714,10 @@ mod tests {
             }
             pairs.iter().copied().fold(f64::MIN, f64::max) / mean
         };
-        assert!(fixed.report.num_batches >= 2, "need several batches for the comparison");
+        assert!(
+            fixed.report.num_batches >= 2,
+            "need several batches for the comparison"
+        );
         assert!(
             spread(&balanced.report) <= spread(&fixed.report) + 1e-9,
             "balanced chunking must not widen the per-batch result spread \
@@ -567,8 +737,9 @@ mod tests {
         assert_eq!(join.recommended_k(), 8);
         assert!(join.mean_candidates() > 512.0);
         // Sparse data → tiny candidate sets → k = 1.
-        let sparse: Vec<Point<2>> =
-            (0..200).map(|i| [10.0 * (i % 20) as f32, 10.0 * (i / 20) as f32]).collect();
+        let sparse: Vec<Point<2>> = (0..200)
+            .map(|i| [10.0 * (i % 20) as f32, 10.0 * (i / 20) as f32])
+            .collect();
         let join = SelfJoin::new(&sparse, SelfJoinConfig::new(0.5)).unwrap();
         assert_eq!(join.recommended_k(), 1);
     }
@@ -607,8 +778,11 @@ mod tests {
     #[test]
     fn small_gpu_config_also_works() {
         let pts = skewed_points(60);
-        let config = SelfJoinConfig::optimized(0.1)
-            .with_gpu(GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() });
+        let config = SelfJoinConfig::optimized(0.1).with_gpu(GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        });
         let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
         assert_eq!(outcome.result.sorted_pairs(), reference(&pts, 0.1));
     }

@@ -63,7 +63,10 @@ impl ResolvedPatterns {
                 pos_in_cell[pid as usize] = pos as u32;
             }
         }
-        Self { per_cell, pos_in_cell }
+        Self {
+            per_cell,
+            pos_in_cell,
+        }
     }
 }
 
@@ -298,7 +301,11 @@ impl<'a, const N: usize> WarpSource for JoinKernelSource<'a, N> {
         let slots = gpw.min(self.num_groups.saturating_sub(g_lo));
         let assigned: Vec<u32> = match self.assignment {
             Assignment::Static { queries } => queries[g_lo..g_lo + slots].to_vec(),
-            Assignment::Queue { order, counter, limit } => {
+            Assignment::Queue {
+                order,
+                counter,
+                limit,
+            } => {
                 if slots == 0 {
                     Vec::new()
                 } else {
@@ -373,7 +380,11 @@ mod tests {
         let grid = GridIndex::build(pts, eps).unwrap();
         let resolved = ResolvedPatterns::compute(&grid, pattern);
         let queries: Vec<u32> = (0..pts.len() as u32).collect();
-        let gpu = GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() };
+        let gpu = GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        };
         let src = JoinKernelSource {
             grid: &grid,
             points: pts,
@@ -423,9 +434,11 @@ mod tests {
     fn k_split_matches_brute_force_for_all_k() {
         let pts = clustered_points();
         for k in [1u32, 2, 4, 8] {
-            for pattern in
-                [AccessPattern::FullWindow, AccessPattern::Unicomp, AccessPattern::LidUnicomp]
-            {
+            for pattern in [
+                AccessPattern::FullWindow,
+                AccessPattern::Unicomp,
+                AccessPattern::LidUnicomp,
+            ] {
                 let (pairs, _) = run_kernel(&pts, 0.12, pattern, k);
                 assert_eq!(pairs, reference(&pts, 0.12), "pattern {pattern:?}, k={k}");
             }
@@ -444,7 +457,10 @@ mod tests {
         assert!(lid.distance_calcs() < full.distance_calcs());
         assert_eq!(uni.distance_calcs(), lid.distance_calcs());
         let ratio = full.distance_calcs() as f64 / uni.distance_calcs() as f64;
-        assert!(ratio > 1.7 && ratio < 2.6, "expected roughly half, got ratio {ratio}");
+        assert!(
+            ratio > 1.7 && ratio < 2.6,
+            "expected roughly half, got ratio {ratio}"
+        );
     }
 
     #[test]
@@ -455,7 +471,11 @@ mod tests {
         let resolved = ResolvedPatterns::compute(&grid, AccessPattern::LidUnicomp);
         let order: Vec<u32> = (0..pts.len() as u32).rev().collect();
         let counter = DeviceCounter::new();
-        let gpu = GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() };
+        let gpu = GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        };
         let src = JoinKernelSource {
             grid: &grid,
             points: &pts,
@@ -487,7 +507,11 @@ mod tests {
         let resolved = ResolvedPatterns::compute(&grid, AccessPattern::FullWindow);
         let order: Vec<u32> = (0..pts.len() as u32).collect();
         let counter = DeviceCounter::new();
-        let gpu = GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() };
+        let gpu = GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        };
         // Launch more group slots than the limit allows.
         let src = JoinKernelSource {
             grid: &grid,
@@ -497,7 +521,11 @@ mod tests {
             k: 1,
             warp_size: gpu.warp_size,
             cost: gpu.cost,
-            assignment: Assignment::Queue { order: &order, counter: &counter, limit: 4 },
+            assignment: Assignment::Queue {
+                order: &order,
+                counter: &counter,
+                limit: 4,
+            },
             num_groups: pts.len(),
         };
         let mut out = DeviceBuffer::with_capacity(1_000_000);
@@ -535,7 +563,11 @@ mod tests {
         let grid = GridIndex::build(&pts, eps).unwrap();
         let resolved = ResolvedPatterns::compute(&grid, AccessPattern::FullWindow);
         let queries: Vec<u32> = (0..pts.len() as u32).collect();
-        let gpu = GpuConfig { warp_size: 8, block_size: 16, ..GpuConfig::small_test() };
+        let gpu = GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        };
         let src = JoinKernelSource {
             grid: &grid,
             points: &pts,

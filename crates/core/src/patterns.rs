@@ -69,11 +69,12 @@ pub fn probes_for<const N: usize>(
         if linear_id == origin_id {
             let relation = match pattern {
                 AccessPattern::FullWindow => ProbeRelation::AllBidirectional,
-                AccessPattern::Unicomp | AccessPattern::LidUnicomp => {
-                    ProbeRelation::OwnCellForward
-                }
+                AccessPattern::Unicomp | AccessPattern::LidUnicomp => ProbeRelation::OwnCellForward,
             };
-            probes.push(CellProbe { linear_id, relation });
+            probes.push(CellProbe {
+                linear_id,
+                relation,
+            });
             continue;
         }
         let include = match pattern {
@@ -99,7 +100,10 @@ pub fn probes_for<const N: usize>(
             } else {
                 ProbeRelation::AllSymmetric
             };
-            probes.push(CellProbe { linear_id, relation });
+            probes.push(CellProbe {
+                linear_id,
+                relation,
+            });
         }
     }
     probes
@@ -171,7 +175,10 @@ mod tests {
         let probes = probes_for(AccessPattern::FullWindow, &grid, center);
         assert_eq!(probes.len(), 9);
         assert_eq!(
-            probes.iter().filter(|p| p.relation == ProbeRelation::AllBidirectional).count(),
+            probes
+                .iter()
+                .filter(|p| p.relation == ProbeRelation::AllBidirectional)
+                .count(),
             9
         );
     }
@@ -185,8 +192,10 @@ mod tests {
         // own cell + 4 higher-id neighbors (paper Figure 5: interior cells
         // compare to 4 neighbor cells in 2-D)
         assert_eq!(probes.len(), 5);
-        let own: Vec<_> =
-            probes.iter().filter(|p| p.relation == ProbeRelation::OwnCellForward).collect();
+        let own: Vec<_> = probes
+            .iter()
+            .filter(|p| p.relation == ProbeRelation::OwnCellForward)
+            .collect();
         assert_eq!(own.len(), 1);
         assert_eq!(own[0].linear_id, own_id);
         for p in &probes {
@@ -211,7 +220,10 @@ mod tests {
         for coords in [[0u32, 0], [1, 2], [3, 3]] {
             assert_eq!(interior_probe_count(AccessPattern::LidUnicomp, &coords), 4);
         }
-        assert_eq!(interior_probe_count::<3>(AccessPattern::LidUnicomp, &[1, 1, 1]), 13);
+        assert_eq!(
+            interior_probe_count::<3>(AccessPattern::LidUnicomp, &[1, 1, 1]),
+            13
+        );
     }
 
     /// Exhaustive pair-coverage check: on a dense grid, every unordered
@@ -245,7 +257,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(cover.len(), expected_pairs, "{pattern:?} must cover every adjacent pair");
+        assert_eq!(
+            cover.len(),
+            expected_pairs,
+            "{pattern:?} must cover every adjacent pair"
+        );
         for (pair, count) in cover {
             assert_eq!(
                 count, expected_per_pair,

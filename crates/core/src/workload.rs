@@ -30,15 +30,19 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// Quantifies workloads from the grid index.
     pub fn compute<const N: usize>(grid: &GridIndex<N>) -> Self {
-        let per_cell: Vec<u64> =
-            (0..grid.num_cells()).map(|ci| grid.window_candidate_count(ci)).collect();
+        let per_cell: Vec<u64> = (0..grid.num_cells())
+            .map(|ci| grid.window_candidate_count(ci))
+            .collect();
         let mut per_point = vec![0u64; grid.num_points()];
         for (ci, &w) in per_cell.iter().enumerate() {
             for &pid in grid.cell_points(ci) {
                 per_point[pid as usize] = w;
             }
         }
-        Self { per_cell, per_point }
+        Self {
+            per_cell,
+            per_point,
+        }
     }
 
     /// Workload of dataset point `pid`.
@@ -100,7 +104,11 @@ impl WorkloadProfile {
                 points: grid.cell_points(ci).len() as u32,
             })
             .collect();
-        cells.sort_unstable_by(|a, b| b.candidates.cmp(&a.candidates).then(a.cell_idx.cmp(&b.cell_idx)));
+        cells.sort_unstable_by(|a, b| {
+            b.candidates
+                .cmp(&a.candidates)
+                .then(a.cell_idx.cmp(&b.cell_idx))
+        });
         cells
     }
 }

@@ -10,7 +10,6 @@
 
 use epsgrid::point::to_dyn;
 use epsgrid::DynPoints;
-use serde::{Deserialize, Serialize};
 
 use crate::exponential::exponential_points;
 use crate::gaia::gaia_points;
@@ -18,7 +17,7 @@ use crate::sw::{sw_points_2d, sw_points_3d, SwParams};
 use crate::uniform::uniform_points;
 
 /// The generator family of a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DatasetFamily {
     /// Uniform on `[0, extent]^dims`.
     Uniform {
@@ -44,7 +43,7 @@ pub enum DatasetFamily {
 }
 
 /// A named dataset of the paper's evaluation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// Table I name (e.g. `"Expo2D2M"`).
     pub name: String,
@@ -111,7 +110,10 @@ impl DatasetSpec {
                 dims,
                 paper_points: 2_000_000,
                 default_points: synth_n,
-                family: DatasetFamily::Exponential { lambda: 40.0, scale: 100.0 },
+                family: DatasetFamily::Exponential {
+                    lambda: 40.0,
+                    scale: 100.0,
+                },
                 epsilons,
                 seed: 0x5EED_1000 + dims as u64,
             });
@@ -157,7 +159,9 @@ impl DatasetSpec {
             dims: 2,
             paper_points: 50_000_000,
             default_points: 120_000,
-            family: DatasetFamily::Gaia { scale_height_deg: 12.0 },
+            family: DatasetFamily::Gaia {
+                scale_height_deg: 12.0,
+            },
             epsilons: vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2],
             seed: 0x5EED_3001,
         });
@@ -210,9 +214,14 @@ mod tests {
     fn table1_matches_paper_inventory() {
         let specs = DatasetSpec::table1();
         assert_eq!(specs.len(), 15);
-        let synth: Vec<_> = specs.iter().filter(|s| s.paper_points == 2_000_000).collect();
+        let synth: Vec<_> = specs
+            .iter()
+            .filter(|s| s.paper_points == 2_000_000)
+            .collect();
         assert_eq!(synth.len(), 10);
-        assert!(specs.iter().any(|s| s.name == "Gaia" && s.paper_points == 50_000_000));
+        assert!(specs
+            .iter()
+            .any(|s| s.name == "Gaia" && s.paper_points == 50_000_000));
         assert!(specs.iter().any(|s| s.name == "SW3DB" && s.dims == 3));
     }
 
@@ -250,9 +259,7 @@ mod tests {
         let mut neighbors = 0u64;
         for pid in (0..n).step_by(40) {
             grid.for_each_candidate_of(pid, |cand| {
-                if cand != pid
-                    && epsgrid::within_epsilon(&pts[pid], &pts[cand], 1.0)
-                {
+                if cand != pid && epsgrid::within_epsilon(&pts[pid], &pts[cand], 1.0) {
                     neighbors += 1;
                 }
             });

@@ -74,11 +74,15 @@ mod tests {
     fn latitude_stays_in_range_and_concentrates_at_zero() {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 20_000;
-        let samples: Vec<f64> =
-            (0..n).map(|_| truncated_laplace_latitude(&mut rng, 15.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| truncated_laplace_latitude(&mut rng, 15.0))
+            .collect();
         assert!(samples.iter().all(|b| (-90.0..=90.0).contains(b)));
         let near = samples.iter().filter(|b| b.abs() < 15.0).count();
         let far = samples.iter().filter(|b| b.abs() > 60.0).count();
-        assert!(near > 5 * far.max(1), "density must concentrate at the equator");
+        assert!(
+            near > 5 * far.max(1),
+            "density must concentrate at the equator"
+        );
     }
 }

@@ -58,7 +58,10 @@ mod tests {
         let far = pts.iter().filter(|p| p[0] > 10.0 || p[1] > 10.0).count();
         assert!(near > pts.len() / 3, "near-origin count {near}");
         assert!(far > 0, "the tail must exist");
-        assert!(near > 10 * far, "skew must be strong: near {near}, far {far}");
+        assert!(
+            near > 10 * far,
+            "skew must be strong: near {near}, far {far}"
+        );
     }
 
     #[test]
@@ -71,8 +74,9 @@ mod tests {
         let eps = 0.5f32;
         let cv = |pts: &[Point<2>]| {
             let grid = epsgrid::GridIndex::build(pts, eps).unwrap();
-            let counts: Vec<f64> =
-                (0..grid.num_cells()).map(|c| grid.window_candidate_count(c) as f64).collect();
+            let counts: Vec<f64> = (0..grid.num_cells())
+                .map(|c| grid.window_candidate_count(c) as f64)
+                .collect();
             let mean = counts.iter().sum::<f64>() / counts.len() as f64;
             let var =
                 counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;

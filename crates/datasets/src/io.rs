@@ -36,17 +36,27 @@ pub fn read_csv<R: Read>(reader: R) -> io::Result<DynPoints> {
         }
         let row: Result<Vec<f32>, _> = trimmed.split(',').map(|t| t.trim().parse()).collect();
         let row = row.map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
         })?;
         if dims == 0 {
             dims = row.len();
             if dims == 0 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "empty first row"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "empty first row",
+                ));
             }
         } else if row.len() != dims {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected {dims} coordinates, got {}", lineno + 1, row.len()),
+                format!(
+                    "line {}: expected {dims} coordinates, got {}",
+                    lineno + 1,
+                    row.len()
+                ),
             ));
         }
         coords.extend(row);
@@ -87,7 +97,10 @@ pub fn read_binary<R: Read>(reader: R) -> io::Result<DynPoints> {
     r.read_exact(&mut count_buf)?;
     let count = u64::from_le_bytes(count_buf) as usize;
     if dims == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimensionality"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero dimensionality",
+        ));
     }
     let total = count
         .checked_mul(dims)

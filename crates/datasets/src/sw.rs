@@ -32,7 +32,12 @@ pub struct SwParams {
 
 impl Default for SwParams {
     fn default() -> Self {
-        Self { hotspots: 24, hotspot_fraction: 0.75, lon_extent: 360.0, lat_extent: 180.0 }
+        Self {
+            hotspots: 24,
+            hotspot_fraction: 0.75,
+            lon_extent: 360.0,
+            lat_extent: 180.0,
+        }
     }
 }
 
@@ -59,11 +64,7 @@ fn make_hotspots(params: &SwParams, rng: &mut StdRng) -> Vec<Hotspot> {
     spots
 }
 
-fn sample_lonlat(
-    params: &SwParams,
-    spots: &[Hotspot],
-    rng: &mut StdRng,
-) -> (f64, f64) {
+fn sample_lonlat(params: &SwParams, spots: &[Hotspot], rng: &mut StdRng) -> (f64, f64) {
     if rng.gen_bool(params.hotspot_fraction) {
         // Pick a hotspot by weight.
         let mut u: f64 = rng.gen_range(0.0..1.0);
@@ -75,14 +76,17 @@ fn sample_lonlat(
             }
             u -= h.weight;
         }
-        let lon = (chosen.lon + normal_sample(rng) * chosen.sigma)
-            .rem_euclid(params.lon_extent as f64);
+        let lon =
+            (chosen.lon + normal_sample(rng) * chosen.sigma).rem_euclid(params.lon_extent as f64);
         let half = params.lat_extent as f64 / 2.0;
         let lat = (chosen.lat + normal_sample(rng) * chosen.sigma).clamp(-half, half);
         (lon, lat)
     } else {
         let half = params.lat_extent as f64 / 2.0;
-        (rng.gen_range(0.0..params.lon_extent as f64), rng.gen_range(-half..half))
+        (
+            rng.gen_range(0.0..params.lon_extent as f64),
+            rng.gen_range(-half..half),
+        )
     }
 }
 
@@ -140,8 +144,10 @@ mod tests {
         let p = SwParams::default();
         let pts = sw_points_2d(20_000, &p, 2);
         let grid = epsgrid::GridIndex::build(&pts, 1.0).unwrap();
-        let max_cell =
-            (0..grid.num_cells()).map(|c| grid.cell_points(c).len()).max().unwrap();
+        let max_cell = (0..grid.num_cells())
+            .map(|c| grid.cell_points(c).len())
+            .max()
+            .unwrap();
         let uniform_expectation = 20_000.0 / (360.0 * 180.0);
         assert!(
             max_cell as f64 > 30.0 * uniform_expectation,
@@ -153,9 +159,16 @@ mod tests {
     fn tec_correlates_with_latitude() {
         let p = SwParams::default();
         let pts = sw_points_3d(20_000, &p, 3);
-        let equatorial: Vec<f32> =
-            pts.iter().filter(|q| q[1].abs() < 15.0).map(|q| q[2]).collect();
-        let polar: Vec<f32> = pts.iter().filter(|q| q[1].abs() > 70.0).map(|q| q[2]).collect();
+        let equatorial: Vec<f32> = pts
+            .iter()
+            .filter(|q| q[1].abs() < 15.0)
+            .map(|q| q[2])
+            .collect();
+        let polar: Vec<f32> = pts
+            .iter()
+            .filter(|q| q[1].abs() > 70.0)
+            .map(|q| q[2])
+            .collect();
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
         assert!(
             mean(&equatorial) > mean(&polar) + 10.0,

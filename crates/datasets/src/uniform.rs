@@ -7,7 +7,10 @@ use rand::{Rng, SeedableRng};
 /// Generates `n` points uniform on `[0, extent]^N`, deterministically from
 /// `seed`.
 pub fn uniform_points<const N: usize>(n: usize, extent: f32, seed: u64) -> Vec<Point<N>> {
-    assert!(extent > 0.0 && extent.is_finite(), "extent must be positive");
+    assert!(
+        extent > 0.0 && extent.is_finite(),
+        "extent must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
@@ -36,7 +39,9 @@ mod tests {
     #[test]
     fn within_bounds() {
         let pts = uniform_points::<2>(5_000, 42.0, 1);
-        assert!(pts.iter().all(|p| p.iter().all(|&c| (0.0..42.0).contains(&c))));
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&c| (0.0..42.0).contains(&c))));
     }
 
     #[test]

@@ -34,8 +34,8 @@ impl<const N: usize> Aabb<N> {
     /// The extent (`max - min`) in each dimension.
     pub fn extent(&self) -> [f32; N] {
         let mut e = [0.0f32; N];
-        for d in 0..N {
-            e[d] = self.max[d] - self.min[d];
+        for (d, out) in e.iter_mut().enumerate() {
+            *out = self.max[d] - self.min[d];
         }
         e
     }
@@ -47,9 +47,9 @@ impl<const N: usize> Aabb<N> {
 
     /// Grows the box to include `p`.
     pub fn include(&mut self, p: &Point<N>) {
-        for d in 0..N {
-            self.min[d] = self.min[d].min(p[d]);
-            self.max[d] = self.max[d].max(p[d]);
+        for (d, &coord) in p.iter().enumerate() {
+            self.min[d] = self.min[d].min(coord);
+            self.max[d] = self.max[d].max(coord);
         }
     }
 
@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn contains_and_include() {
-        let mut bb = Aabb { min: [0.0, 0.0], max: [1.0, 1.0] };
+        let mut bb = Aabb {
+            min: [0.0, 0.0],
+            max: [1.0, 1.0],
+        };
         assert!(bb.contains(&[0.5, 1.0]));
         assert!(!bb.contains(&[1.5, 0.5]));
         bb.include(&[2.0, -1.0]);

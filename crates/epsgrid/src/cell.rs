@@ -39,7 +39,10 @@ impl std::fmt::Display for ShapeError {
         match self {
             ShapeError::InvalidEpsilon => write!(f, "epsilon must be positive and finite"),
             ShapeError::TooManyCells => {
-                write!(f, "grid resolution overflows the 64-bit linear cell id space")
+                write!(
+                    f,
+                    "grid resolution overflows the 64-bit linear cell id space"
+                )
             }
         }
     }
@@ -58,19 +61,23 @@ impl<const N: usize> GridShape<N> {
         }
         let mut cells_per_dim = [0u32; N];
         let mut total: u128 = 1;
-        for d in 0..N {
+        for (d, out) in cells_per_dim.iter_mut().enumerate() {
             let extent = bounds.max[d] - bounds.min[d];
             let n = (extent / epsilon).floor() as u64 + 1;
             if n > u32::MAX as u64 {
                 return Err(ShapeError::TooManyCells);
             }
-            cells_per_dim[d] = n as u32;
+            *out = n as u32;
             total = total.saturating_mul(n as u128);
         }
         if total > u64::MAX as u128 {
             return Err(ShapeError::TooManyCells);
         }
-        Ok(Self { origin: bounds.min, cell_len: epsilon, cells_per_dim })
+        Ok(Self {
+            origin: bounds.min,
+            cell_len: epsilon,
+            cells_per_dim,
+        })
     }
 
     /// Total number of cells in the (conceptual, mostly empty) grid.
@@ -98,9 +105,12 @@ impl<const N: usize> GridShape<N> {
     /// Debug-asserts that the coordinates are in range.
     pub fn linear_id(&self, coords: &CellCoords<N>) -> LinearCellId {
         let mut id: u64 = 0;
-        for d in 0..N {
-            debug_assert!(coords[d] < self.cells_per_dim[d], "cell coordinate out of range");
-            id = id * self.cells_per_dim[d] as u64 + coords[d] as u64;
+        for (d, &coord) in coords.iter().enumerate() {
+            debug_assert!(
+                coord < self.cells_per_dim[d],
+                "cell coordinate out of range"
+            );
+            id = id * self.cells_per_dim[d] as u64 + coord as u64;
         }
         id
     }
@@ -122,7 +132,11 @@ mod tests {
     use super::*;
 
     fn shape2() -> GridShape<2> {
-        GridShape { origin: [0.0, 0.0], cell_len: 1.0, cells_per_dim: [4, 5] }
+        GridShape {
+            origin: [0.0, 0.0],
+            cell_len: 1.0,
+            cells_per_dim: [4, 5],
+        }
     }
 
     #[test]
@@ -163,7 +177,10 @@ mod tests {
 
     #[test]
     fn covering_pads_boundary() {
-        let bb = Aabb { min: [0.0, 0.0], max: [1.0, 1.0] };
+        let bb = Aabb {
+            min: [0.0, 0.0],
+            max: [1.0, 1.0],
+        };
         let s = GridShape::covering(&bb, 0.5).unwrap();
         // extent/eps = 2 cells, +1 padding = 3
         assert_eq!(s.cells_per_dim, [3, 3]);
@@ -172,15 +189,30 @@ mod tests {
 
     #[test]
     fn covering_rejects_bad_epsilon() {
-        let bb = Aabb { min: [0.0], max: [1.0] };
-        assert_eq!(GridShape::covering(&bb, 0.0), Err(ShapeError::InvalidEpsilon));
-        assert_eq!(GridShape::covering(&bb, -1.0), Err(ShapeError::InvalidEpsilon));
-        assert_eq!(GridShape::covering(&bb, f32::NAN), Err(ShapeError::InvalidEpsilon));
+        let bb = Aabb {
+            min: [0.0],
+            max: [1.0],
+        };
+        assert_eq!(
+            GridShape::covering(&bb, 0.0),
+            Err(ShapeError::InvalidEpsilon)
+        );
+        assert_eq!(
+            GridShape::covering(&bb, -1.0),
+            Err(ShapeError::InvalidEpsilon)
+        );
+        assert_eq!(
+            GridShape::covering(&bb, f32::NAN),
+            Err(ShapeError::InvalidEpsilon)
+        );
     }
 
     #[test]
     fn covering_rejects_overflowing_grids() {
-        let bb = Aabb { min: [0.0f32; 4], max: [1.0e9f32; 4] };
+        let bb = Aabb {
+            min: [0.0f32; 4],
+            max: [1.0e9f32; 4],
+        };
         assert!(GridShape::<4>::covering(&bb, 1.0e-4).is_err());
     }
 

@@ -111,13 +111,19 @@ impl<const N: usize> GridIndex<N> {
                 Some(cell) if cell.linear_id == cell_id => cell.range.end += 1,
                 _ => {
                     let start = point_ids.len() as u32;
-                    cells.push(NonEmptyCell { linear_id: cell_id, range: start..start + 1 });
+                    cells.push(NonEmptyCell {
+                        linear_id: cell_id,
+                        range: start..start + 1,
+                    });
                 }
             }
             home_cell[point_id as usize] = (cells.len() - 1) as u32;
             point_ids.push(point_id);
         }
 
+        // Fold identity: any occupied coordinate shrinks/grows it into a
+        // valid range on the first iteration.
+        #[allow(clippy::reversed_empty_ranges)]
         let mut filtered_ranges = std::array::from_fn(|_| u32::MAX..0u32);
         for cell in &cells {
             let coords = shape.coords_of(cell.linear_id);
@@ -128,7 +134,14 @@ impl<const N: usize> GridIndex<N> {
             }
         }
 
-        Ok(Self { shape, epsilon, cells, point_ids, home_cell, filtered_ranges })
+        Ok(Self {
+            shape,
+            epsilon,
+            cells,
+            point_ids,
+            home_cell,
+            filtered_ranges,
+        })
     }
 
     /// The grid geometry.
@@ -165,7 +178,9 @@ impl<const N: usize> GridIndex<N> {
     /// Binary-searches the non-empty cell list for `linear_id`
     /// (the kernels' `linearID ∈ B` test). Returns the cell's index.
     pub fn find_cell(&self, linear_id: LinearCellId) -> Option<usize> {
-        self.cells.binary_search_by_key(&linear_id, |c| c.linear_id).ok()
+        self.cells
+            .binary_search_by_key(&linear_id, |c| c.linear_id)
+            .ok()
     }
 
     /// Dataset indices of the points in cell `cell_idx`.
@@ -305,7 +320,10 @@ mod tests {
     #[test]
     fn empty_dataset_rejected() {
         let pts: Vec<Point<2>> = vec![];
-        assert!(matches!(GridIndex::build(&pts, 0.1), Err(GridBuildError::EmptyDataset)));
+        assert!(matches!(
+            GridIndex::build(&pts, 0.1),
+            Err(GridBuildError::EmptyDataset)
+        ));
     }
 
     #[test]

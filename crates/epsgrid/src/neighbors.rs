@@ -32,7 +32,9 @@ impl<const N: usize> NeighborWindow<N> {
 
     /// Number of cells in the window (≤ `3^N`).
     pub fn len(&self) -> usize {
-        (0..N).map(|d| (self.hi[d] - self.lo[d] + 1) as usize).product()
+        (0..N)
+            .map(|d| (self.hi[d] - self.lo[d] + 1) as usize)
+            .product()
     }
 
     /// Whether the window is empty (never true for windows from [`Self::around`]).
@@ -47,7 +49,13 @@ impl<const N: usize> NeighborWindow<N> {
 
     /// Iterates the window's cells in row-major (ascending linear id) order.
     pub fn iter<'a>(&self, shape: &'a GridShape<N>) -> NeighborCellIter<'a, N> {
-        NeighborCellIter { shape: *shape, window: *self, cursor: self.lo, done: self.is_empty(), _marker: std::marker::PhantomData }
+        NeighborCellIter {
+            shape: *shape,
+            window: *self,
+            cursor: self.lo,
+            done: self.is_empty(),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -108,7 +116,11 @@ mod tests {
     use crate::bounds::Aabb;
 
     fn shape(cells: [u32; 2]) -> GridShape<2> {
-        GridShape { origin: [0.0, 0.0], cell_len: 1.0, cells_per_dim: cells }
+        GridShape {
+            origin: [0.0, 0.0],
+            cell_len: 1.0,
+            cells_per_dim: cells,
+        }
     }
 
     #[test]
@@ -140,13 +152,19 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(ids, sorted, "neighbor cells must come out in ascending id order");
+        assert_eq!(
+            ids, sorted,
+            "neighbor cells must come out in ascending id order"
+        );
     }
 
     #[test]
     fn window_in_3d_has_27_cells() {
-        let s =
-            GridShape::<3> { origin: [0.0; 3], cell_len: 1.0, cells_per_dim: [4, 4, 4] };
+        let s = GridShape::<3> {
+            origin: [0.0; 3],
+            cell_len: 1.0,
+            cells_per_dim: [4, 4, 4],
+        };
         let w = NeighborWindow::around(&s, &[1, 2, 1]);
         assert_eq!(w.len(), 27);
         assert_eq!(w.iter(&s).count(), 27);
@@ -154,7 +172,10 @@ mod tests {
 
     #[test]
     fn single_cell_grid() {
-        let bb = Aabb { min: [0.0, 0.0], max: [0.0, 0.0] };
+        let bb = Aabb {
+            min: [0.0, 0.0],
+            max: [0.0, 0.0],
+        };
         let s = GridShape::covering(&bb, 1.0).unwrap();
         let w = NeighborWindow::around(&s, &[0, 0]);
         assert_eq!(w.len(), 1);

@@ -27,7 +27,10 @@ impl DynPoints {
     /// Panics if `dims == 0`.
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "dimensionality must be at least 1");
-        Self { dims, coords: Vec::new() }
+        Self {
+            dims,
+            coords: Vec::new(),
+        }
     }
 
     /// Creates a container from interleaved coordinates.

@@ -4,17 +4,11 @@ use epsgrid::{within_epsilon, GridIndex, GridShape, NeighborWindow, Point};
 use proptest::prelude::*;
 
 fn arb_points_2d(max_len: usize) -> impl Strategy<Value = Vec<Point<2>>> {
-    prop::collection::vec(
-        prop::array::uniform2(-100.0f32..100.0f32),
-        1..max_len,
-    )
+    prop::collection::vec(prop::array::uniform2(-100.0f32..100.0f32), 1..max_len)
 }
 
 fn arb_points_4d(max_len: usize) -> impl Strategy<Value = Vec<Point<4>>> {
-    prop::collection::vec(
-        prop::array::uniform4(-10.0f32..10.0f32),
-        1..max_len,
-    )
+    prop::collection::vec(prop::array::uniform4(-10.0f32..10.0f32), 1..max_len)
 }
 
 proptest! {

@@ -3,11 +3,7 @@
 use epsgrid::Point;
 
 /// Cell coordinates of a point on the ε grid anchored at `origin`.
-pub fn ego_cell_coords<const N: usize>(
-    p: &Point<N>,
-    origin: &[f32; N],
-    epsilon: f32,
-) -> [i64; N] {
+pub fn ego_cell_coords<const N: usize>(p: &Point<N>, origin: &[f32; N], epsilon: f32) -> [i64; N] {
     let mut c = [0i64; N];
     for d in 0..N {
         c[d] = ((p[d] - origin[d]) / epsilon).floor() as i64;
@@ -32,7 +28,10 @@ pub struct EgoSorted<const N: usize> {
 impl<const N: usize> EgoSorted<N> {
     /// EGO-sorts a dataset.
     pub fn sort(points: &[Point<N>], epsilon: f32) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         let origin = {
             let mut o = [f32::MAX; N];
             for p in points {
@@ -59,7 +58,12 @@ impl<const N: usize> EgoSorted<N> {
             ids.push(id);
             cells.push(cell);
         }
-        Self { points: sorted_points, ids, cells, epsilon }
+        Self {
+            points: sorted_points,
+            ids,
+            cells,
+            epsilon,
+        }
     }
 
     /// Number of points.
@@ -90,8 +94,9 @@ mod tests {
 
     #[test]
     fn ids_track_original_points() {
-        let pts: Vec<Point<3>> =
-            (0..30).map(|i| [(i * 7 % 13) as f32, (i * 5 % 11) as f32, (i % 3) as f32]).collect();
+        let pts: Vec<Point<3>> = (0..30)
+            .map(|i| [(i * 7 % 13) as f32, (i * 5 % 11) as f32, (i % 3) as f32])
+            .collect();
         let sorted = EgoSorted::sort(&pts, 1.5);
         for (i, &id) in sorted.ids.iter().enumerate() {
             assert_eq!(sorted.points[i], pts[id as usize]);

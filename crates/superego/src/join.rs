@@ -23,7 +23,12 @@ pub struct SuperEgoConfig {
 impl SuperEgoConfig {
     /// Defaults matching the original implementation's spirit.
     pub fn new(epsilon: f32) -> Self {
-        Self { epsilon, threads: 0, naive_threshold: 32, reorder_dims: true }
+        Self {
+            epsilon,
+            threads: 0,
+            naive_threshold: 32,
+            reorder_dims: true,
+        }
     }
 }
 
@@ -185,13 +190,7 @@ impl<const N: usize> JoinCtx<'_, N> {
     }
 
     /// Join of two disjoint boxed ranges.
-    fn join_cross(
-        &mut self,
-        a: Range<usize>,
-        abox: CellBox<N>,
-        b: Range<usize>,
-        bbox: CellBox<N>,
-    ) {
+    fn join_cross(&mut self, a: Range<usize>, abox: CellBox<N>, b: Range<usize>, bbox: CellBox<N>) {
         if a.is_empty() || b.is_empty() {
             return;
         }
@@ -283,8 +282,7 @@ mod tests {
         let eps = 0.4;
         let sorted = EgoSorted::sort(&pts, eps);
         let config = SuperEgoConfig::new(eps);
-        let (mut pairs, stats) =
-            ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
+        let (mut pairs, stats) = ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
         pairs.sort_unstable();
         assert_eq!(pairs, brute(&pts, eps));
         assert_eq!(stats.pairs_found as usize, pairs.len());
@@ -295,7 +293,10 @@ mod tests {
         let pts = scattered(400);
         let eps = 0.15;
         let sorted = EgoSorted::sort(&pts, eps);
-        let config = SuperEgoConfig { naive_threshold: 8, ..SuperEgoConfig::new(eps) };
+        let config = SuperEgoConfig {
+            naive_threshold: 8,
+            ..SuperEgoConfig::new(eps)
+        };
         let (_, stats) = ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
         let brute_calcs = (pts.len() * (pts.len() - 1) / 2) as u64;
         assert!(stats.pruned > 0, "expected some pruning");
@@ -358,13 +359,28 @@ mod tests {
 
     #[test]
     fn prunable_is_symmetric_and_respects_adjacency() {
-        let a = CellBox::<2> { lo: [0, 0], hi: [1, 1] };
-        let adjacent = CellBox::<2> { lo: [2, 0], hi: [2, 1] };
-        let far = CellBox::<2> { lo: [3, 0], hi: [4, 1] };
-        assert!(!a.prunable(&adjacent), "gap of one cell may hold in-eps pairs");
+        let a = CellBox::<2> {
+            lo: [0, 0],
+            hi: [1, 1],
+        };
+        let adjacent = CellBox::<2> {
+            lo: [2, 0],
+            hi: [2, 1],
+        };
+        let far = CellBox::<2> {
+            lo: [3, 0],
+            hi: [4, 1],
+        };
+        assert!(
+            !a.prunable(&adjacent),
+            "gap of one cell may hold in-eps pairs"
+        );
         assert!(a.prunable(&far));
         assert!(far.prunable(&a));
-        let far_y = CellBox::<2> { lo: [0, 3], hi: [1, 5] };
+        let far_y = CellBox::<2> {
+            lo: [0, 3],
+            hi: [1, 5],
+        };
         assert!(a.prunable(&far_y), "any single far dimension suffices");
     }
 
@@ -398,8 +414,7 @@ mod tests {
     fn single_point_has_no_pairs() {
         let pts: Vec<Point<2>> = vec![[0.0, 0.0]];
         let sorted = EgoSorted::sort(&pts, 1.0);
-        let (pairs, _) =
-            ego_join_sequential(&sorted, 0..1, 0..1, &SuperEgoConfig::new(1.0));
+        let (pairs, _) = ego_join_sequential(&sorted, 0..1, 0..1, &SuperEgoConfig::new(1.0));
         assert!(pairs.is_empty());
     }
 }

@@ -34,5 +34,5 @@ pub mod reorder;
 
 pub use egosort::{ego_cell_coords, EgoSorted};
 pub use join::{ego_join_sequential, JoinStats, SuperEgoConfig};
-pub use parallel::super_ego_join;
+pub use parallel::{super_ego_join, super_ego_join_with};
 pub use reorder::DimOrder;

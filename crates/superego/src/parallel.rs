@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use epsgrid::Point;
+use sj_telemetry::{Event, Stopwatch, Telemetry};
 
 use crate::egosort::EgoSorted;
 use crate::join::{ego_join_sequential, JoinStats, SuperEgoConfig};
@@ -36,7 +37,9 @@ fn resolve_threads(config: &SuperEgoConfig) -> usize {
     if config.threads > 0 {
         config.threads
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -63,7 +66,11 @@ fn split_tasks<const N: usize>(
             stats.pruned += 1;
             continue;
         }
-        let splittable = if a == b { a.len() > threshold } else { a.len() + b.len() > threshold };
+        let splittable = if a == b {
+            a.len() > threshold
+        } else {
+            a.len() + b.len() > threshold
+        };
         if leaves.len() + queue.len() >= target || !splittable {
             leaves.push((a, b));
             continue;
@@ -92,18 +99,69 @@ pub fn super_ego_join<const N: usize>(
     points: &[Point<N>],
     config: &SuperEgoConfig,
 ) -> SuperEgoOutcome {
+    super_ego_join_with(points, config, &sj_telemetry::NULL)
+}
+
+/// [`super_ego_join`] recording per-phase telemetry (dimension reorder,
+/// EGO-sort, task split, parallel join) to `telemetry`. The phase events
+/// carry the operation counts a CPU cost model converts to model seconds;
+/// the sink never changes results.
+pub fn super_ego_join_with<const N: usize>(
+    points: &[Point<N>],
+    config: &SuperEgoConfig,
+    telemetry: &dyn Telemetry,
+) -> SuperEgoOutcome {
+    let telemetry_on = telemetry.is_enabled();
     let start = Instant::now();
     let threads = resolve_threads(config);
+    let sw_reorder = Stopwatch::start();
     let dim_order = if config.reorder_dims {
         DimOrder::by_selectivity(points, config.epsilon)
     } else {
         DimOrder::identity(N)
     };
     let work_points = dim_order.apply_all(points);
+    if telemetry_on {
+        telemetry.record(
+            Event::new("superego.phase", "reorder")
+                .bool("reordered", config.reorder_dims)
+                .str(
+                    "dim_order",
+                    dim_order
+                        .as_slice()
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )
+                .u64("host_ns", sw_reorder.elapsed_ns()),
+        );
+    }
+    let sw_sort = Stopwatch::start();
     let sorted = EgoSorted::sort(&work_points, config.epsilon);
+    if telemetry_on {
+        telemetry.record(
+            Event::new("superego.phase", "egosort")
+                .u64("points", points.len() as u64)
+                .u64("host_ns", sw_sort.elapsed_ns()),
+        );
+    }
 
-    let mut stats = JoinStats { sorted_points: points.len() as u64, ..JoinStats::default() };
+    let sw_split = Stopwatch::start();
+    let mut stats = JoinStats {
+        sorted_points: points.len() as u64,
+        ..JoinStats::default()
+    };
     let tasks = split_tasks(&sorted, config, threads * 16, &mut stats);
+    if telemetry_on {
+        telemetry.record(
+            Event::new("superego.phase", "task_split")
+                .u64("tasks", tasks.len() as u64)
+                .u64("pruned_at_split", stats.pruned)
+                .u64("host_ns", sw_split.elapsed_ns()),
+        );
+    }
+    let sw_join = Stopwatch::start();
 
     let next = AtomicUsize::new(0);
     let results: Vec<(Vec<(u32, u32)>, JoinStats)> = crossbeam::thread::scope(|scope| {
@@ -118,8 +176,7 @@ pub fn super_ego_join<const N: usize>(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((a, b)) = tasks.get(i) else { break };
-                        let (pairs, s) =
-                            ego_join_sequential(sorted, a.clone(), b.clone(), config);
+                        let (pairs, s) = ego_join_sequential(sorted, a.clone(), b.clone(), config);
                         local_pairs.extend(pairs);
                         local_stats.accumulate(&s);
                     }
@@ -127,7 +184,10 @@ pub fn super_ego_join<const N: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("thread scope failed");
 
@@ -135,6 +195,17 @@ pub fn super_ego_join<const N: usize>(
     for (p, s) in results {
         pairs.extend(p);
         stats.accumulate(&s);
+    }
+    if telemetry_on {
+        telemetry.record(
+            Event::new("superego.phase", "join")
+                .u64("threads", threads as u64)
+                .u64("distance_calcs", stats.distance_calcs)
+                .u64("pruned", stats.pruned)
+                .u64("leaf_joins", stats.leaf_joins)
+                .u64("pairs_found", stats.pairs_found)
+                .u64("host_ns", sw_join.elapsed_ns()),
+        );
     }
     SuperEgoOutcome {
         pairs,
@@ -194,10 +265,20 @@ mod tests {
             v.sort_unstable();
             v
         };
-        let one =
-            super_ego_join(&pts, &SuperEgoConfig { threads: 1, ..SuperEgoConfig::new(eps) });
-        let many =
-            super_ego_join(&pts, &SuperEgoConfig { threads: 8, ..SuperEgoConfig::new(eps) });
+        let one = super_ego_join(
+            &pts,
+            &SuperEgoConfig {
+                threads: 1,
+                ..SuperEgoConfig::new(eps)
+            },
+        );
+        let many = super_ego_join(
+            &pts,
+            &SuperEgoConfig {
+                threads: 8,
+                ..SuperEgoConfig::new(eps)
+            },
+        );
         assert_eq!(sort(one.pairs), sort(many.pairs));
         assert_eq!(one.stats.pairs_found, many.stats.pairs_found);
         assert_eq!(many.threads, 8);
@@ -214,7 +295,10 @@ mod tests {
         let with = super_ego_join(&pts, &SuperEgoConfig::new(eps));
         let without = super_ego_join(
             &pts,
-            &SuperEgoConfig { reorder_dims: false, ..SuperEgoConfig::new(eps) },
+            &SuperEgoConfig {
+                reorder_dims: false,
+                ..SuperEgoConfig::new(eps)
+            },
         );
         assert_eq!(sort(with.pairs), sort(without.pairs));
         assert_eq!(without.dim_order, vec![0, 1, 2]);
@@ -248,8 +332,7 @@ mod tests {
             task_pairs.extend(p);
         }
         task_pairs.sort_unstable();
-        let (mut whole, _) =
-            ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
+        let (mut whole, _) = ego_join_sequential(&sorted, 0..pts.len(), 0..pts.len(), &config);
         whole.sort_unstable();
         assert_eq!(task_pairs, whole);
     }

@@ -20,7 +20,9 @@ pub struct DimOrder {
 impl DimOrder {
     /// The identity permutation.
     pub fn identity(dims: usize) -> Self {
-        Self { order: (0..dims).collect() }
+        Self {
+            order: (0..dims).collect(),
+        }
     }
 
     /// Ranks dimensions by decreasing extent/ε (ties keep original order).
@@ -109,8 +111,17 @@ mod tests {
 
     #[test]
     fn order_is_a_permutation() {
-        let pts: Vec<Point<5>> =
-            (0..20).map(|i| [i as f32, (i * 3 % 7) as f32, 0.5, (i % 2) as f32, -1.0 * i as f32]).collect();
+        let pts: Vec<Point<5>> = (0..20)
+            .map(|i| {
+                [
+                    i as f32,
+                    (i * 3 % 7) as f32,
+                    0.5,
+                    (i % 2) as f32,
+                    -(i as f32),
+                ]
+            })
+            .collect();
         let order = DimOrder::by_selectivity(&pts, 0.7);
         let mut sorted = order.as_slice().to_vec();
         sorted.sort_unstable();

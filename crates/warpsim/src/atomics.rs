@@ -25,7 +25,9 @@ impl DeviceCounter {
     /// Creates a counter starting at `start` (used when a kernel resumes the
     /// queue from a previous batch's position).
     pub fn starting_at(start: u64) -> Self {
-        Self { value: AtomicU64::new(start) }
+        Self {
+            value: AtomicU64::new(start),
+        }
     }
 
     /// Atomically reserves `n` consecutive values, returning the first
@@ -78,13 +80,20 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<u64>>()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<u64>>()
         })
         .unwrap();
         let mut sorted = ranges.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), ranges.len(), "every reservation start is unique");
+        assert_eq!(
+            sorted.len(),
+            ranges.len(),
+            "every reservation start is unique"
+        );
         assert_eq!(c.load(), 8 * 1000 * 3);
     }
 }

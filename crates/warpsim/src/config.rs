@@ -46,7 +46,10 @@ impl Default for CostModel {
 impl CostModel {
     /// The [`Op`] for one distance calculation in `dims` dimensions.
     pub fn distance_op(&self, dims: u32) -> Op {
-        Op::new(OpKind::Distance, self.distance_base + self.distance_per_dim * dims)
+        Op::new(
+            OpKind::Distance,
+            self.distance_base + self.distance_per_dim * dims,
+        )
     }
 
     /// The [`Op`] for the kernel prologue.
@@ -194,9 +197,17 @@ mod tests {
 
     #[test]
     fn cycles_to_seconds_uses_effective_clock() {
-        let c = GpuConfig { clock_hz: 2.0e9, ipc_derate: 1.0, ..GpuConfig::default() };
+        let c = GpuConfig {
+            clock_hz: 2.0e9,
+            ipc_derate: 1.0,
+            ..GpuConfig::default()
+        };
         assert!((c.cycles_to_seconds(2_000_000_000) - 1.0).abs() < 1e-12);
-        let derated = GpuConfig { clock_hz: 2.0e9, ipc_derate: 4.0, ..GpuConfig::default() };
+        let derated = GpuConfig {
+            clock_hz: 2.0e9,
+            ipc_derate: 4.0,
+            ..GpuConfig::default()
+        };
         assert!((derated.cycles_to_seconds(2_000_000_000) - 4.0).abs() < 1e-12);
         assert!((derated.effective_clock_hz() - 0.5e9).abs() < 1.0);
     }
@@ -210,7 +221,10 @@ mod tests {
             &KernelResources::light(256),
             0.125,
         );
-        assert_eq!(light.warp_slots_per_sm, 8, "full occupancy keeps the default");
+        assert_eq!(
+            light.warp_slots_per_sm, 8,
+            "full occupancy keeps the default"
+        );
         let heavy = GpuConfig::default().with_kernel_occupancy(
             &limits,
             &KernelResources {
@@ -220,7 +234,10 @@ mod tests {
             },
             0.125,
         );
-        assert_eq!(heavy.warp_slots_per_sm, 2, "register pressure cuts throughput");
+        assert_eq!(
+            heavy.warp_slots_per_sm, 2,
+            "register pressure cuts throughput"
+        );
         assert!(heavy.total_warp_slots() < light.total_warp_slots());
     }
 

@@ -33,7 +33,10 @@ impl std::fmt::Display for CoopError {
         match self {
             CoopError::ZeroK => write!(f, "cooperative group width k must be at least 1"),
             CoopError::NotADivisor { k, warp_size } => {
-                write!(f, "cooperative group width {k} does not divide warp size {warp_size}")
+                write!(
+                    f,
+                    "cooperative group width {k} does not divide warp size {warp_size}"
+                )
             }
         }
     }
@@ -47,7 +50,7 @@ impl CoopGroups {
         if k == 0 {
             return Err(CoopError::ZeroK);
         }
-        if warp_size % k != 0 {
+        if !warp_size.is_multiple_of(k) {
             return Err(CoopError::NotADivisor { k, warp_size });
         }
         Ok(Self { warp_size, k })
@@ -98,7 +101,10 @@ mod tests {
         assert_eq!(CoopGroups::new(32, 0), Err(CoopError::ZeroK));
         assert_eq!(
             CoopGroups::new(32, 5),
-            Err(CoopError::NotADivisor { k: 5, warp_size: 32 })
+            Err(CoopError::NotADivisor {
+                k: 5,
+                warp_size: 32
+            })
         );
     }
 

@@ -9,6 +9,8 @@
 //! which is purely an implementation detail: every warp's execution is
 //! self-contained, so the simulation stays deterministic.
 
+use sj_telemetry::{Event, Stopwatch, Telemetry};
+
 use crate::config::GpuConfig;
 use crate::lane::{LaneProgram, LaneSink};
 use crate::machine::{MachineModel, MakespanReport};
@@ -96,6 +98,40 @@ impl LaunchReport {
     }
 }
 
+/// Host-side options for [`launch_with`].
+///
+/// Both knobs are purely host-side: they may change how fast the simulation
+/// itself runs and what gets observed, but never the simulated results
+/// (pair sets, cycle counts, WEE). [`launch`] uses the defaults.
+pub struct LaunchOptions<'t> {
+    /// Sink receiving the per-launch telemetry span (warp serialization,
+    /// list scheduling, WEE, lane-occupancy histogram). Defaults to the
+    /// zero-cost null sink.
+    pub telemetry: &'t dyn Telemetry,
+    /// Forces the number of host worker threads used for warp
+    /// micro-execution; `None` uses `std::thread::available_parallelism()`.
+    pub workers: Option<usize>,
+}
+
+impl Default for LaunchOptions<'static> {
+    fn default() -> Self {
+        Self {
+            telemetry: &sj_telemetry::NULL,
+            workers: None,
+        }
+    }
+}
+
+impl<'t> LaunchOptions<'t> {
+    /// Options recording to `telemetry`, with default host parallelism.
+    pub fn with_telemetry(telemetry: &'t dyn Telemetry) -> Self {
+        Self {
+            telemetry,
+            workers: None,
+        }
+    }
+}
+
 /// Launches a kernel: constructs warps in issue order, micro-executes them,
 /// appends their result pairs to `out` (in warp-id order, so output is
 /// deterministic across issue policies), and schedules their durations onto
@@ -106,21 +142,40 @@ pub fn launch<S: WarpSource>(
     order: IssueOrder,
     out: &mut DeviceBuffer<(u32, u32)>,
 ) -> Result<LaunchReport, LaunchError> {
+    launch_with(gpu, source, order, out, &LaunchOptions::default())
+}
+
+/// [`launch`] with explicit host-side [`LaunchOptions`].
+pub fn launch_with<S: WarpSource>(
+    gpu: &GpuConfig,
+    source: &S,
+    order: IssueOrder,
+    out: &mut DeviceBuffer<(u32, u32)>,
+    opts: &LaunchOptions<'_>,
+) -> Result<LaunchReport, LaunchError> {
+    let sw_total = Stopwatch::start();
     let num_warps = source.num_warps();
     let issue_order = order.permutation(num_warps, gpu.warps_per_block() as usize);
 
     // Phase 1: construct lane programs sequentially in issue order (this is
     // where work-queue sources pop the device counter).
+    let sw_construct = Stopwatch::start();
     let mut warps: Vec<(u32, Vec<S::Lane>)> = Vec::with_capacity(num_warps);
     for &warp_id in &issue_order {
         warps.push((warp_id, source.make_warp(warp_id)));
     }
+    let construct_ns = sw_construct.elapsed_ns();
 
     // Phase 2: micro-execute warp bodies, in parallel on the host.
+    let sw_exec = Stopwatch::start();
     let warp_size = gpu.warp_size;
     let mut slots: Vec<Option<(u32, WarpExecution, LaneSink)>> = Vec::with_capacity(num_warps);
     slots.resize_with(num_warps, || None);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = opts.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let chunk_size = num_warps.div_ceil(workers.max(1)).max(1);
     if num_warps > 0 {
         crossbeam::thread::scope(|s| {
@@ -143,12 +198,21 @@ pub fn launch<S: WarpSource>(
         })
         .expect("warp execution worker panicked");
     }
+    let exec_ns = sw_exec.elapsed_ns();
 
     // Phase 3: aggregate. Durations stay in issue order for the machine
     // model; pairs are appended in warp-id order for determinism.
-    let mut totals = WarpExecution { warp_size, ..WarpExecution::default() };
+    let telemetry_on = opts.telemetry.is_enabled();
+    let mut totals = WarpExecution {
+        warp_size,
+        ..WarpExecution::default()
+    };
     let mut durations_issue_order = Vec::with_capacity(num_warps);
     let mut warp_cycles = vec![0u64; num_warps];
+    // Lane-occupancy histogram (the per-warp view behind Fig. 3/7): bucket
+    // each warp by its mean active lanes per issued instruction. Collected
+    // only when a real sink is attached — observation only, never behaviour.
+    let mut occupancy_hist = vec![0u64; warp_size as usize + 1];
     let mut by_warp_id: Vec<Option<LaneSink>> = Vec::with_capacity(num_warps);
     by_warp_id.resize_with(num_warps, || None);
     for slot in slots {
@@ -157,25 +221,64 @@ pub fn launch<S: WarpSource>(
         totals.lanes += exec.lanes;
         durations_issue_order.push(exec.cycles);
         warp_cycles[warp_id as usize] = exec.cycles;
+        if telemetry_on && exec.issued > 0 {
+            let mean_active = (exec.active_lane_slots as f64 / exec.issued as f64).round() as usize;
+            occupancy_hist[mean_active.min(warp_size as usize)] += 1;
+        }
         by_warp_id[warp_id as usize] = Some(sink);
     }
     let mut pairs_emitted = 0usize;
     for sink in by_warp_id.into_iter().flatten() {
         pairs_emitted += sink.len();
-        out.extend_from_slice(sink.pairs()).map_err(LaunchError::ResultOverflow)?;
+        out.extend_from_slice(sink.pairs())
+            .map_err(LaunchError::ResultOverflow)?;
     }
 
     let machine = MachineModel::new(gpu.total_warp_slots());
     let makespan = machine.schedule(&durations_issue_order);
 
-    Ok(LaunchReport {
+    let report = LaunchReport {
         warps: num_warps,
         totals,
         makespan,
         warp_cycles,
         pairs_emitted,
         clock_hz: gpu.effective_clock_hz(),
-    })
+    };
+
+    if telemetry_on {
+        let hist = occupancy_hist
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        opts.telemetry.record(
+            Event::new("warpsim.launch", "kernel")
+                .u64("warps", report.warps as u64)
+                .u64("pairs_emitted", report.pairs_emitted as u64)
+                .u64("elapsed_cycles", report.elapsed_cycles())
+                .f64("elapsed_model_s", report.elapsed_seconds())
+                .u64("serialized_cycles", report.totals.cycles)
+                .u64("issued", report.totals.issued)
+                .u64("active_lane_slots", report.totals.active_lane_slots)
+                .u64("divergent_rounds", report.totals.divergent_rounds)
+                .u64("distance_calcs", report.distance_calcs())
+                .f64("wee", report.wee())
+                .u64("machine_slots", report.makespan.slots as u64)
+                .f64("machine_idle_fraction", report.makespan.idle_fraction())
+                .f64(
+                    "machine_balance_overhead",
+                    report.makespan.balance_overhead(),
+                )
+                .str("lane_occupancy_hist", hist)
+                .u64("host_workers", workers as u64)
+                .u64("host_construct_ns", construct_ns)
+                .u64("host_exec_ns", exec_ns)
+                .u64("host_total_ns", sw_total.elapsed_ns()),
+        );
+    }
+
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -198,7 +301,9 @@ mod tests {
         }
         fn make_warp(&self, warp_id: u32) -> Vec<FixedWorkLane> {
             (0..self.lanes_per_warp)
-                .map(|_| FixedWorkLane::new(self.work[warp_id as usize], Op::new(OpKind::Distance, 10)))
+                .map(|_| {
+                    FixedWorkLane::new(self.work[warp_id as usize], Op::new(OpKind::Distance, 10))
+                })
                 .collect()
         }
     }
@@ -232,7 +337,10 @@ mod tests {
         }
         fn make_warp(&self, warp_id: u32) -> Vec<EmitLane> {
             (0..self.lanes)
-                .map(|l| EmitLane { id: warp_id * self.lanes + l, done: false })
+                .map(|l| EmitLane {
+                    id: warp_id * self.lanes + l,
+                    done: false,
+                })
                 .collect()
         }
     }
@@ -240,7 +348,10 @@ mod tests {
     #[test]
     fn launch_reports_full_efficiency_for_uniform_work() {
         let gpu = GpuConfig::small_test();
-        let src = UniformWarps { work: vec![5; 16], lanes_per_warp: 4 };
+        let src = UniformWarps {
+            work: vec![5; 16],
+            lanes_per_warp: 4,
+        };
         let mut out = DeviceBuffer::with_capacity(0);
         let r = launch(&gpu, &src, IssueOrder::InOrder, &mut out).unwrap();
         assert_eq!(r.warps, 16);
@@ -256,7 +367,10 @@ mod tests {
         // 8 slots; 15 short warps and 1 very long warp.
         let mut work = vec![10u32; 15];
         work.push(1000);
-        let src = UniformWarps { work, lanes_per_warp: 4 };
+        let src = UniformWarps {
+            work,
+            lanes_per_warp: 4,
+        };
         let mut out1 = DeviceBuffer::with_capacity(0);
         let mut out2 = DeviceBuffer::with_capacity(0);
         // In warp-id order the long warp (id 15) starts in the second wave →
@@ -265,7 +379,10 @@ mod tests {
         let good = launch(&gpu, &src, IssueOrder::Reversed, &mut out2).unwrap();
         assert!(bad.elapsed_cycles() > good.elapsed_cycles());
         assert_eq!(bad.distance_calcs(), good.distance_calcs());
-        assert!((bad.wee() - good.wee()).abs() < 1e-12, "WEE is order-independent");
+        assert!(
+            (bad.wee() - good.wee()).abs() < 1e-12,
+            "WEE is order-independent"
+        );
     }
 
     #[test]
@@ -293,7 +410,10 @@ mod tests {
     #[test]
     fn empty_launch_is_ok() {
         let gpu = GpuConfig::small_test();
-        let src = UniformWarps { work: vec![], lanes_per_warp: 4 };
+        let src = UniformWarps {
+            work: vec![],
+            lanes_per_warp: 4,
+        };
         let mut out = DeviceBuffer::with_capacity(0);
         let r = launch(&gpu, &src, IssueOrder::InOrder, &mut out).unwrap();
         assert_eq!(r.warps, 0);
@@ -305,7 +425,10 @@ mod tests {
     fn launch_is_deterministic() {
         let gpu = GpuConfig::small_test();
         let work: Vec<u32> = (0..50).map(|i| (i * 7) % 23 + 1).collect();
-        let src = UniformWarps { work, lanes_per_warp: 4 };
+        let src = UniformWarps {
+            work,
+            lanes_per_warp: 4,
+        };
         let mut out1 = DeviceBuffer::with_capacity(0);
         let mut out2 = DeviceBuffer::with_capacity(0);
         let a = launch(&gpu, &src, IssueOrder::Arbitrary { seed: 5 }, &mut out1).unwrap();

@@ -74,7 +74,10 @@ pub struct FixedWorkLane {
 impl FixedWorkLane {
     /// A lane that performs `count` copies of `op` and then retires.
     pub fn new(count: u32, op: Op) -> Self {
-        Self { remaining: count, op }
+        Self {
+            remaining: count,
+            op,
+        }
     }
 }
 

@@ -50,7 +50,7 @@ pub mod warp;
 pub use atomics::DeviceCounter;
 pub use config::{CostModel, GpuConfig};
 pub use coop::CoopGroups;
-pub use kernel::{launch, LaunchError, LaunchReport, WarpSource};
+pub use kernel::{launch, launch_with, LaunchError, LaunchOptions, LaunchReport, WarpSource};
 pub use lane::{LaneProgram, LaneSink};
 pub use machine::{MachineModel, MakespanReport};
 pub use memory::{BufferOverflow, DeviceBuffer};

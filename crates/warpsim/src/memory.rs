@@ -39,7 +39,10 @@ pub struct DeviceBuffer<T> {
 impl<T> DeviceBuffer<T> {
     /// Allocates a buffer for at most `capacity` elements.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { data: Vec::new(), capacity }
+        Self {
+            data: Vec::new(),
+            capacity,
+        }
     }
 
     /// The buffer capacity in elements.
@@ -82,7 +85,11 @@ impl<T> DeviceBuffer<T> {
     /// Appends one element.
     pub fn push(&mut self, item: T) -> Result<(), BufferOverflow> {
         if self.remaining() == 0 {
-            return Err(BufferOverflow { capacity: self.capacity, len: self.data.len(), attempted: 1 });
+            return Err(BufferOverflow {
+                capacity: self.capacity,
+                len: self.data.len(),
+                attempted: 1,
+            });
         }
         self.data.push(item);
         Ok(())
@@ -124,8 +131,19 @@ mod tests {
         let mut b = DeviceBuffer::with_capacity(3);
         b.extend_from_slice(&[1, 2]).unwrap();
         let err = b.extend_from_slice(&[3, 4]).unwrap_err();
-        assert_eq!(err, BufferOverflow { capacity: 3, len: 2, attempted: 2 });
-        assert_eq!(b.as_slice(), &[1, 2], "failed append must not partially write");
+        assert_eq!(
+            err,
+            BufferOverflow {
+                capacity: 3,
+                len: 2,
+                attempted: 2
+            }
+        );
+        assert_eq!(
+            b.as_slice(),
+            &[1, 2],
+            "failed append must not partially write"
+        );
         b.push(3).unwrap();
         assert!(b.push(4).is_err());
     }
@@ -151,7 +169,11 @@ mod tests {
 
     #[test]
     fn overflow_error_is_displayable() {
-        let e = BufferOverflow { capacity: 10, len: 8, attempted: 5 };
+        let e = BufferOverflow {
+            capacity: 10,
+            len: 8,
+            attempted: 5,
+        };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains('8') && s.contains('5'));
     }

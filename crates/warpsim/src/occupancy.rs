@@ -51,7 +51,11 @@ impl KernelResources {
     /// A register-light kernel (the self-join kernels use no shared memory
     /// and modest register counts).
     pub fn light(block_size: u32) -> Self {
-        Self { registers_per_thread: 32, shared_mem_per_block: 0, block_size }
+        Self {
+            registers_per_thread: 32,
+            shared_mem_per_block: 0,
+            block_size,
+        }
     }
 }
 
@@ -65,13 +69,14 @@ pub fn resident_warps_per_sm(limits: &SmLimits, kernel: &KernelResources) -> u32
     let by_warps = limits.max_warps / warps_per_block;
     let by_blocks = limits.max_blocks;
     let regs_per_block = kernel.registers_per_thread * kernel.block_size;
-    let by_registers =
-        if regs_per_block == 0 { u32::MAX } else { limits.registers / regs_per_block };
-    let by_shared = if kernel.shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        limits.shared_mem / kernel.shared_mem_per_block
-    };
+    let by_registers = limits
+        .registers
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_shared = limits
+        .shared_mem
+        .checked_div(kernel.shared_mem_per_block)
+        .unwrap_or(u32::MAX);
     let blocks = by_warps.min(by_blocks).min(by_registers).min(by_shared);
     blocks * warps_per_block
 }
@@ -151,7 +156,10 @@ mod tests {
                 block_size: 256,
             };
             let warps = resident_warps_per_sm(&limits, &kernel);
-            assert!(warps <= prev, "occupancy must not increase with register usage");
+            assert!(
+                warps <= prev,
+                "occupancy must not increase with register usage"
+            );
             prev = warps;
         }
     }

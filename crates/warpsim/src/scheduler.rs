@@ -34,7 +34,10 @@ impl IssueOrder {
     /// warp to start.
     pub fn permutation(&self, num_warps: usize, warps_per_block: usize) -> Vec<u32> {
         assert!(warps_per_block > 0, "blocks must contain at least one warp");
-        assert!(num_warps <= u32::MAX as usize, "warp count overflows u32 ids");
+        assert!(
+            num_warps <= u32::MAX as usize,
+            "warp count overflows u32 ids"
+        );
         match self {
             IssueOrder::InOrder => (0..num_warps as u32).collect(),
             IssueOrder::Reversed => (0..num_warps as u32).rev().collect(),

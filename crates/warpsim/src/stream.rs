@@ -108,7 +108,10 @@ mod tests {
     use super::*;
 
     fn batch(k: f64, t: f64) -> BatchTiming {
-        BatchTiming { kernel_s: k, transfer_s: t }
+        BatchTiming {
+            kernel_s: k,
+            transfer_s: t,
+        }
     }
 
     #[test]

@@ -80,8 +80,14 @@ pub fn trace_warp<L: LaneProgram>(
     warp_size: u32,
     sink: &mut LaneSink,
 ) -> WarpTrace {
-    assert!(lanes.len() <= warp_size as usize, "too many lanes for the warp");
-    let mut trace = WarpTrace { rounds: Vec::new(), warp_size };
+    assert!(
+        lanes.len() <= warp_size as usize,
+        "too many lanes for the warp"
+    );
+    let mut trace = WarpTrace {
+        rounds: Vec::new(),
+        warp_size,
+    };
     let mut retired = vec![false; lanes.len()];
     let mut live = lanes.len();
     while live > 0 {
@@ -106,7 +112,11 @@ pub fn trace_warp<L: LaneProgram>(
             break;
         }
         let cycles = groups.keys().map(|op| op.cycles as u64).sum();
-        trace.rounds.push(TraceRound { active, groups: groups.len() as u32, cycles });
+        trace.rounds.push(TraceRound {
+            active,
+            groups: groups.len() as u32,
+            cycles,
+        });
     }
     trace
 }
@@ -119,7 +129,9 @@ mod tests {
     use crate::warp::execute_warp;
 
     fn work_lanes(work: &[u32]) -> Vec<FixedWorkLane> {
-        work.iter().map(|&w| FixedWorkLane::new(w, Op::new(OpKind::Distance, 10))).collect()
+        work.iter()
+            .map(|&w| FixedWorkLane::new(w, Op::new(OpKind::Distance, 10)))
+            .collect()
     }
 
     #[test]

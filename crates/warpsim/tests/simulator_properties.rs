@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use warpsim::lane::FixedWorkLane;
 use warpsim::{
-    execute_warp, launch, trace_warp, BatchTiming, DeviceBuffer, GpuConfig, IssueOrder,
-    LaneSink, MachineModel, Op, OpKind, StreamPipeline, WarpSource,
+    execute_warp, launch, trace_warp, BatchTiming, DeviceBuffer, GpuConfig, IssueOrder, LaneSink,
+    MachineModel, Op, OpKind, StreamPipeline, WarpSource,
 };
 
 struct UniformWarps {

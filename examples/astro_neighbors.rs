@@ -30,7 +30,11 @@ fn main() {
         .run()
         .expect("join");
     println!();
-    println!("GPU baseline  : {} (WEE {:.1} %)", fmt_time(base.report.response_time_s()), base.report.wee() * 100.0);
+    println!(
+        "GPU baseline  : {} (WEE {:.1} %)",
+        fmt_time(base.report.response_time_s()),
+        base.report.wee() * 100.0
+    );
     println!(
         "GPU optimized : {} (WEE {:.1} %, {})",
         fmt_time(best.report.response_time_s()),
@@ -45,7 +49,11 @@ fn main() {
 
     // CPU comparator must agree pair-for-pair.
     let cpu = super_ego_join(&points, &SuperEgoConfig::new(eps));
-    assert_eq!(cpu.pairs.len(), best.result.len(), "SUPER-EGO must agree with the GPU join");
+    assert_eq!(
+        cpu.pairs.len(),
+        best.result.len(),
+        "SUPER-EGO must agree with the GPU join"
+    );
     println!(
         "SUPER-EGO     : agrees on all {} pairs ({} distance calcs, wall {:.0} ms)",
         cpu.pairs.len(),

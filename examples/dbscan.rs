@@ -64,10 +64,16 @@ fn main() {
         let blob = uniform_points::<2>(n / 6, 4.0, seed);
         points.extend(blob.into_iter().map(|p| [p[0] + cx, p[1] + cy]));
     }
-    println!("DBSCAN over {} points, eps = {eps}, min_pts = {min_pts}", points.len());
+    println!(
+        "DBSCAN over {} points, eps = {eps}, min_pts = {min_pts}",
+        points.len()
+    );
 
     let config = SelfJoinConfig::optimized(eps);
-    let outcome = SelfJoin::new(&points, config).expect("config").run().expect("join");
+    let outcome = SelfJoin::new(&points, config)
+        .expect("config")
+        .run()
+        .expect("join");
     println!(
         "self-join: {} pairs in {} model time ({} batches, WEE {:.1} %)",
         outcome.result.len(),
@@ -89,9 +95,6 @@ fn main() {
     println!();
     println!("clusters found : {clusters}");
     println!("noise points   : {noise}");
-    println!(
-        "largest clusters: {:?}",
-        &sizes[..sizes.len().min(5)]
-    );
+    println!("largest clusters: {:?}", &sizes[..sizes.len().min(5)]);
     assert!(clusters >= 3, "the three planted blobs should be recovered");
 }

@@ -20,11 +20,23 @@ fn main() {
 
     let variants: Vec<(&str, SelfJoinConfig)> = vec![
         ("GPUCALCGLOBAL (baseline)", SelfJoinConfig::new(eps)),
-        ("UNICOMP", SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp)),
-        ("LID-UNICOMP", SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp)),
+        (
+            "UNICOMP",
+            SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp),
+        ),
+        (
+            "LID-UNICOMP",
+            SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp),
+        ),
         ("k=8", SelfJoinConfig::new(eps).with_k(8)),
-        ("SORTBYWL", SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload)),
-        ("WORKQUEUE", SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue)),
+        (
+            "SORTBYWL",
+            SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload),
+        ),
+        (
+            "WORKQUEUE",
+            SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue),
+        ),
         ("WORKQUEUE+LID+k8", SelfJoinConfig::optimized(eps)),
     ];
 
@@ -34,7 +46,10 @@ fn main() {
     );
     let mut reference: Option<Vec<(u32, u32)>> = None;
     for (name, config) in variants {
-        let outcome = SelfJoin::new(&points, config).expect("config").run().expect("join");
+        let outcome = SelfJoin::new(&points, config)
+            .expect("config")
+            .run()
+            .expect("join");
         let stats = outcome.report.warp_stats().expect("warps ran");
         println!(
             "{:<26} {:>11} {:>8.1} {:>10.3} {:>12} {:>9}",
@@ -52,6 +67,8 @@ fn main() {
             Some(r) => assert_eq!(r, &sorted, "variant {name} changed the result"),
         }
     }
-    println!("\nAll variants returned the identical pair set ({} pairs).",
-        reference.map(|r| r.len()).unwrap_or(0));
+    println!(
+        "\nAll variants returned the identical pair set ({} pairs).",
+        reference.map(|r| r.len()).unwrap_or(0)
+    );
 }

@@ -24,15 +24,24 @@ fn main() {
     println!();
     println!("pairs found           : {}", outcome.result.len());
     println!("batches executed      : {}", report.num_batches);
-    println!("estimated total pairs : {}", report.estimate.estimated_total);
+    println!(
+        "estimated total pairs : {}",
+        report.estimate.estimated_total
+    );
     println!("distance calculations : {}", report.distance_calcs());
     println!("warp exec efficiency  : {:.1} %", report.wee() * 100.0);
-    println!("response time (model) : {}", fmt_time(report.response_time_s()));
+    println!(
+        "response time (model) : {}",
+        fmt_time(report.response_time_s())
+    );
 
     // Neighbor lists are easy to derive from the ordered-pair result.
     let counts = outcome.result.neighbor_counts(points.len());
-    let (densest, &max) =
-        counts.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty dataset");
+    let (densest, &max) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .expect("non-empty dataset");
     println!();
     println!(
         "densest point: #{densest} at ({:.2}, {:.2}) with {max} neighbors within ε",

@@ -6,7 +6,10 @@ use sj_integration_support::{brute_force_dyn, join_dyn};
 use sjdata::DatasetSpec;
 
 fn tight_batching(capacity: usize) -> BatchingConfig {
-    BatchingConfig { batch_result_capacity: capacity, ..BatchingConfig::default() }
+    BatchingConfig {
+        batch_result_capacity: capacity,
+        ..BatchingConfig::default()
+    }
 }
 
 #[test]
@@ -15,13 +18,24 @@ fn tight_buffers_force_batches_without_changing_results() {
     let pts = spec.generate(3_000);
     let eps = 0.5;
     let expected = brute_force_dyn(&pts, eps);
-    assert!(expected.len() > 1_000, "test needs a non-trivial result set");
-    for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+    assert!(
+        expected.len() > 1_000,
+        "test needs a non-trivial result set"
+    );
+    for balancing in [
+        Balancing::None,
+        Balancing::SortByWorkload,
+        Balancing::WorkQueue,
+    ] {
         let config = SelfJoinConfig::new(eps)
             .with_balancing(balancing)
             .with_batching(tight_batching(expected.len() / 4 + 512));
         let (pairs, report) = join_dyn(&pts, config);
-        assert!(report.num_batches >= 3, "{balancing:?}: got {} batches", report.num_batches);
+        assert!(
+            report.num_batches >= 3,
+            "{balancing:?}: got {} batches",
+            report.num_batches
+        );
         assert_eq!(pairs, expected, "{balancing:?}");
         for batch in &report.batches {
             assert!(batch.pairs <= expected.len() / 4 + 512, "{balancing:?}");
@@ -79,6 +93,78 @@ fn pathological_underestimate_recovers_by_replanning() {
     });
     let (pairs, _) = join_dyn(&pts, config);
     assert_eq!(pairs, expected);
+}
+
+#[test]
+fn heavy_tail_underestimate_doubles_the_plan_and_stays_exact() {
+    // Adversarial heavy tail: a dense coincident clump appended after the
+    // uniform bulk. The tiny strided sample misses it entirely, so the 1%
+    // estimator under-estimates, the first plan's buffers overflow, and the
+    // executor must re-plan with a doubled batch count — all observable
+    // through the telemetry events, and none of it may change the result.
+    let spec = DatasetSpec::by_name("Unif2D2M").unwrap();
+    let mut raw = spec.generate(2_000).into_raw();
+    for _ in 0..140 {
+        raw.extend_from_slice(&[7.77, 7.77]);
+    }
+    let pts = epsgrid::DynPoints::from_interleaved(2, raw);
+    // ε so small the uniform bulk contributes almost nothing: virtually the
+    // entire result set is the clump's 140 × 139 pairs.
+    let eps = 0.05;
+    let expected = brute_force_dyn(&pts, eps);
+    assert!(
+        expected.len() > 15_000,
+        "clump must dominate the result set"
+    );
+    // sample_fraction < 1/n → the strided sample is the single point at
+    // index 0, which cannot see the clump's workload wherever the grid
+    // placed it.
+    let config = SelfJoinConfig::new(eps).with_batching(BatchingConfig {
+        batch_result_capacity: 12_000,
+        sample_fraction: 0.0004,
+        safety_factor: 1.0,
+        ..BatchingConfig::default()
+    });
+
+    let fixed = pts.as_fixed::<2>().unwrap();
+    let join = simjoin::SelfJoin::new(&fixed, config.clone()).unwrap();
+    let (estimate, first_plan) = join.plan();
+    assert!(
+        estimate.estimated_total < expected.len() as u64,
+        "estimator must under-estimate ({} vs {} actual) for this test to bite",
+        estimate.estimated_total,
+        expected.len()
+    );
+
+    let sink = sj_telemetry::JsonTelemetry::new("overflow recovery");
+    let outcome = simjoin::SelfJoin::new(&fixed, config)
+        .unwrap()
+        .with_telemetry(&sink)
+        .run()
+        .unwrap();
+    assert_eq!(outcome.result.sorted_pairs(), expected);
+
+    let recoveries: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.scope == "executor" && e.name == "overflow_recovery")
+        .collect();
+    assert!(!recoveries.is_empty(), "the first plan must overflow");
+    assert_eq!(
+        recoveries[0].field("failed_multiplier"),
+        Some(&sj_telemetry::Value::U64(1))
+    );
+    assert_eq!(
+        recoveries[0].field("retry_multiplier"),
+        Some(&sj_telemetry::Value::U64(2))
+    );
+    // Each recovery doubles the batch-count multiplier, so the executed plan
+    // has exactly 2^recoveries × the originally planned batches.
+    let doublings = 1usize << recoveries.len();
+    assert_eq!(
+        outcome.report.num_batches,
+        first_plan.num_batches() * doublings
+    );
 }
 
 #[test]

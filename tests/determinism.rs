@@ -18,12 +18,20 @@ fn generators_are_reproducible() {
 fn join_results_and_timings_are_reproducible() {
     let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
     let pts = spec.generate(2_000);
-    for balancing in [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue] {
+    for balancing in [
+        Balancing::None,
+        Balancing::SortByWorkload,
+        Balancing::WorkQueue,
+    ] {
         let config = SelfJoinConfig::new(0.3).with_balancing(balancing);
         let (pairs_a, report_a) = join_dyn(&pts, config.clone());
         let (pairs_b, report_b) = join_dyn(&pts, config);
         assert_eq!(pairs_a, pairs_b, "{balancing:?}");
-        assert_eq!(report_a.response_time_s(), report_b.response_time_s(), "{balancing:?}");
+        assert_eq!(
+            report_a.response_time_s(),
+            report_b.response_time_s(),
+            "{balancing:?}"
+        );
         assert_eq!(report_a.wee(), report_b.wee(), "{balancing:?}");
         assert_eq!(report_a.num_batches, report_b.num_batches, "{balancing:?}");
     }

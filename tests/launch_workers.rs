@@ -1,0 +1,81 @@
+//! Host-side parallelism is an implementation detail of the simulator:
+//! `warpsim::kernel::launch` must return byte-identical reports and result
+//! buffers no matter how many host worker threads execute the warp bodies.
+
+use warpsim::{
+    launch_with, DeviceBuffer, GpuConfig, IssueOrder, LaneProgram, LaneSink, LaunchOptions, Op,
+    OpKind, WarpSource,
+};
+
+struct EmitLane {
+    id: u32,
+    remaining: u32,
+}
+
+impl LaneProgram for EmitLane {
+    fn step(&mut self, sink: &mut LaneSink) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            sink.emit(self.id, self.id.wrapping_mul(31).wrapping_add(7));
+        }
+        Some(Op::new(OpKind::Distance, 8))
+    }
+}
+
+struct VariedWarps {
+    work: Vec<u32>,
+    lanes: usize,
+}
+
+impl WarpSource for VariedWarps {
+    type Lane = EmitLane;
+
+    fn num_warps(&self) -> usize {
+        self.work.len()
+    }
+
+    fn make_warp(&self, warp_id: u32) -> Vec<EmitLane> {
+        (0..self.lanes)
+            .map(|l| EmitLane {
+                id: warp_id * self.lanes as u32 + l as u32,
+                // Uneven per-lane work → divergence, so the serialization
+                // counters in the report are non-trivial.
+                remaining: 1 + self.work[warp_id as usize] + (l as u32 % 3),
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn worker_count_is_invisible_in_the_report() {
+    let gpu = GpuConfig::small_test();
+    let work: Vec<u32> = (0..97u32).map(|i| (i * 13) % 41).collect();
+    let source = VariedWarps { work, lanes: 4 };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut runs = Vec::new();
+    for workers in [Some(1), Some(parallelism), None] {
+        let mut out = DeviceBuffer::with_capacity(10_000);
+        let opts = LaunchOptions {
+            workers,
+            ..LaunchOptions::default()
+        };
+        let report = launch_with(
+            &gpu,
+            &source,
+            IssueOrder::Arbitrary { seed: 42 },
+            &mut out,
+            &opts,
+        )
+        .expect("launch");
+        runs.push((format!("{report:?}"), out.as_slice().to_vec()));
+    }
+    assert!(!runs[0].1.is_empty(), "test needs emitted pairs");
+    assert_eq!(runs[0], runs[1], "1 worker vs available_parallelism");
+    assert_eq!(runs[0], runs[2], "explicit vs default worker count");
+}

@@ -1,0 +1,59 @@
+//! LID-UNICOMP pair coverage on degenerate grids (§III-B): 1×N strips,
+//! single-cell datasets, and points sitting exactly on cell boundaries.
+//!
+//! These are the geometries where the linearized-id ±1 window reasoning is
+//! easiest to get wrong: a strip collapses one grid axis, a single cell has
+//! no neighbor cells at all, and boundary points make both the cell
+//! assignment and the `distance ≤ ε` test sit on the knife edge.
+
+use proptest::prelude::*;
+use simjoin::{brute_force_join, AccessPattern, SelfJoin, SelfJoinConfig};
+
+fn lid_pairs(pts: &[[f32; 2]], eps: f32) -> Vec<(u32, u32)> {
+    let config = SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp);
+    let outcome = SelfJoin::new(pts, config).unwrap().run().unwrap();
+    outcome.result.sorted_pairs()
+}
+
+fn expected(pts: &[[f32; 2]], eps: f32) -> Vec<(u32, u32)> {
+    let mut pairs = brute_force_join(pts, eps);
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All points on one line: the grid degenerates to a 1×N strip, so every
+    /// neighbor lies along a single axis of the window.
+    #[test]
+    fn strip_grid_matches_brute_force(
+        xs in prop::collection::vec(-20.0f32..20.0, 1..60),
+        eps in 0.1f32..5.0,
+    ) {
+        let pts: Vec<[f32; 2]> = xs.iter().map(|&x| [x, 0.0]).collect();
+        prop_assert_eq!(lid_pairs(&pts, eps), expected(&pts, eps));
+    }
+
+    /// Every point inside one ε-cell: the whole join is the local-cell
+    /// interaction LID-UNICOMP handles separately from its window halves.
+    #[test]
+    fn single_cell_matches_brute_force(
+        pts in prop::collection::vec(prop::array::uniform2(0.0f32..0.9), 1..60),
+    ) {
+        let eps = 1.0;
+        prop_assert_eq!(lid_pairs(&pts, eps), expected(&pts, eps));
+    }
+
+    /// Coordinates that are exact multiples of ε: many coincident points,
+    /// distances exactly ε, and cell assignments on bin boundaries.
+    #[test]
+    fn boundary_points_match_brute_force(
+        cells in prop::collection::vec(prop::array::uniform2(0u32..6u32), 1..50),
+        eps in 0.25f32..2.0,
+    ) {
+        let pts: Vec<[f32; 2]> =
+            cells.iter().map(|&[i, j]| [i as f32 * eps, j as f32 * eps]).collect();
+        prop_assert_eq!(lid_pairs(&pts, eps), expected(&pts, eps));
+    }
+}

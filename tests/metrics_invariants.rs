@@ -7,7 +7,9 @@ use sjdata::DatasetSpec;
 
 #[test]
 fn wee_is_a_valid_efficiency_everywhere() {
-    for (spec, eps_ix) in DatasetSpec::table1().into_iter().zip([0usize, 2, 4].into_iter().cycle())
+    for (spec, eps_ix) in DatasetSpec::table1()
+        .into_iter()
+        .zip([0usize, 2, 4].into_iter().cycle())
     {
         let pts = spec.generate(800);
         let eps = spec.epsilons[eps_ix] * 1.5;
@@ -24,7 +26,10 @@ fn workqueue_improves_wee_and_time_on_skewed_data() {
     let pts = spec.generate(8_000);
     let eps = 0.5;
     let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
-    let (_, wq) = join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue));
+    let (_, wq) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue),
+    );
     assert!(
         wq.wee() > base.wee(),
         "WORKQUEUE WEE {:.3} must beat baseline {:.3}",
@@ -44,7 +49,10 @@ fn workqueue_does_not_help_uniform_data_much() {
     let pts = spec.generate(8_000);
     let eps = spec.epsilons[4];
     let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
-    let (_, wq) = join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue));
+    let (_, wq) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue),
+    );
     let ratio = base.response_time_s() / wq.response_time_s();
     assert!(
         (0.7..1.5).contains(&ratio),
@@ -58,9 +66,14 @@ fn unidirectional_patterns_halve_distance_work() {
     let pts = spec.generate(6_000);
     let eps = 1.0;
     let (_, full) = join_dyn(&pts, SelfJoinConfig::new(eps));
-    let (_, uni) = join_dyn(&pts, SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp));
-    let (_, lid) =
-        join_dyn(&pts, SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp));
+    let (_, uni) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_pattern(AccessPattern::Unicomp),
+    );
+    let (_, lid) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_pattern(AccessPattern::LidUnicomp),
+    );
     assert_eq!(uni.distance_calcs(), lid.distance_calcs());
     let ratio = full.distance_calcs() as f64 / lid.distance_calcs() as f64;
     assert!((1.6..2.6).contains(&ratio), "halving ratio {ratio}");
@@ -105,14 +118,21 @@ fn warp_stats_reflect_sorting() {
     let pts = spec.generate(8_000);
     let eps = 2.5;
     let (_, base) = join_dyn(&pts, SelfJoinConfig::new(eps));
-    let (_, sorted) =
-        join_dyn(&pts, SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload));
+    let (_, sorted) = join_dyn(
+        &pts,
+        SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload),
+    );
     let base_cv = base.warp_stats().unwrap().cv();
     let sorted_cv = sorted.warp_stats().unwrap().cv();
     // Sorting concentrates workloads: warp durations become *more* varied
     // across warps (heavy warps first) but each warp is internally
     // coherent → WEE must not degrade.
-    assert!(sorted.wee() >= base.wee() * 0.95, "sorted WEE {} vs base {}", sorted.wee(), base.wee());
+    assert!(
+        sorted.wee() >= base.wee() * 0.95,
+        "sorted WEE {} vs base {}",
+        sorted.wee(),
+        base.wee()
+    );
     // And the numbers exist and are finite.
     assert!(base_cv.is_finite() && sorted_cv.is_finite());
 }

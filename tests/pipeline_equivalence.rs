@@ -8,12 +8,16 @@ use sj_integration_support::{brute_force_dyn, join_dyn, small_datasets};
 fn all_variants_match_brute_force_on_all_families() {
     for (name, pts, eps) in small_datasets(400) {
         let expected = brute_force_dyn(&pts, eps);
-        for pattern in
-            [AccessPattern::FullWindow, AccessPattern::Unicomp, AccessPattern::LidUnicomp]
-        {
-            for balancing in
-                [Balancing::None, Balancing::SortByWorkload, Balancing::WorkQueue]
-            {
+        for pattern in [
+            AccessPattern::FullWindow,
+            AccessPattern::Unicomp,
+            AccessPattern::LidUnicomp,
+        ] {
+            for balancing in [
+                Balancing::None,
+                Balancing::SortByWorkload,
+                Balancing::WorkQueue,
+            ] {
                 let config = SelfJoinConfig::new(eps)
                     .with_pattern(pattern)
                     .with_balancing(balancing);

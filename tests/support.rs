@@ -45,8 +45,10 @@ pub fn join_dyn(
         pts: &[[f32; N]],
         config: simjoin::SelfJoinConfig,
     ) -> (Vec<(u32, u32)>, simjoin::JoinReport) {
-        let outcome =
-            simjoin::SelfJoin::new(pts, config).expect("config").run().expect("join");
+        let outcome = simjoin::SelfJoin::new(pts, config)
+            .expect("config")
+            .run()
+            .expect("join");
         (outcome.result.sorted_pairs(), outcome.report)
     }
     match points.dims() {
@@ -62,8 +64,7 @@ pub fn join_dyn(
 /// Runs SUPER-EGO over a dimension-erased dataset and returns sorted pairs.
 pub fn superego_dyn(points: &DynPoints, eps: f32) -> Vec<(u32, u32)> {
     fn run<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
-        let mut pairs =
-            superego::super_ego_join(pts, &superego::SuperEgoConfig::new(eps)).pairs;
+        let mut pairs = superego::super_ego_join(pts, &superego::SuperEgoConfig::new(eps)).pairs;
         pairs.sort_unstable();
         pairs
     }

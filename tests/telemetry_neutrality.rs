@@ -1,0 +1,95 @@
+//! The telemetry layer is observation-only: attaching the JSON sink must not
+//! change the pair set, the elapsed model cycles, the WEE, or the model
+//! seconds of any run — telemetry on vs off is invisible to the simulation.
+
+use simjoin::{AccessPattern, Balancing, SelfJoinConfig};
+use sj_telemetry::{JsonTelemetry, Telemetry, SCHEMA_VERSION};
+use sjdata::DatasetSpec;
+
+fn run2d(
+    pts: &[[f32; 2]],
+    config: SelfJoinConfig,
+    telemetry: &dyn Telemetry,
+) -> (Vec<(u32, u32)>, simjoin::JoinReport) {
+    let outcome = simjoin::SelfJoin::new(pts, config)
+        .expect("config")
+        .with_telemetry(telemetry)
+        .run()
+        .expect("join");
+    (outcome.result.sorted_pairs(), outcome.report)
+}
+
+#[test]
+fn json_sink_changes_nothing_in_the_gpu_join() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(2_500).as_fixed::<2>().unwrap();
+    let configs = [
+        ("baseline", SelfJoinConfig::new(0.4)),
+        (
+            "optimized",
+            SelfJoinConfig::new(0.4)
+                .with_balancing(Balancing::WorkQueue)
+                .with_pattern(AccessPattern::LidUnicomp)
+                .with_k(8),
+        ),
+    ];
+    for (label, config) in configs {
+        let sink = JsonTelemetry::new(label);
+        let (pairs_null, report_null) = run2d(&pts, config.clone(), &sj_telemetry::NULL);
+        let (pairs_json, report_json) = run2d(&pts, config, &sink);
+
+        assert_eq!(pairs_null, pairs_json, "{label}: pair set");
+        assert_eq!(report_null.wee(), report_json.wee(), "{label}: WEE");
+        assert_eq!(
+            report_null.response_time_s(),
+            report_json.response_time_s(),
+            "{label}: model seconds"
+        );
+        assert_eq!(
+            report_null.num_batches, report_json.num_batches,
+            "{label}: batches"
+        );
+        let cycles = |r: &simjoin::JoinReport| {
+            r.batches
+                .iter()
+                .map(|b| b.launch.elapsed_cycles())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            cycles(&report_null),
+            cycles(&report_json),
+            "{label}: elapsed cycles"
+        );
+
+        // And the sink actually observed the run.
+        assert!(!sink.is_empty(), "{label}: sink recorded nothing");
+        let doc = sink.to_json();
+        assert!(
+            doc.contains(SCHEMA_VERSION),
+            "{label}: missing schema version"
+        );
+        assert!(doc.contains("\"scope\": \"warpsim.launch\""), "{label}");
+        assert!(doc.contains("\"scope\": \"executor.phase\""), "{label}");
+        assert!(doc.contains("\"name\": \"join_summary\""), "{label}");
+    }
+}
+
+#[test]
+fn json_sink_changes_nothing_in_superego() {
+    let spec = DatasetSpec::by_name("Unif3D2M").unwrap();
+    let pts = spec.generate(1_500).as_fixed::<3>().unwrap();
+    let config = superego::SuperEgoConfig::new(0.8);
+    let sink = JsonTelemetry::new("superego");
+
+    let plain = superego::super_ego_join(&pts, &config);
+    let observed = superego::super_ego_join_with(&pts, &config, &sink);
+
+    let sort = |mut v: Vec<(u32, u32)>| {
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(sort(plain.pairs), sort(observed.pairs));
+    assert_eq!(plain.stats.distance_calcs, observed.stats.distance_calcs);
+    assert_eq!(plain.stats.pairs_found, observed.stats.pairs_found);
+    assert!(sink.to_json().contains("\"scope\": \"superego.phase\""));
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread` scoped threads are used in this workspace, and
+//! std has shipped an equivalent (`std::thread::scope`) since Rust 1.63, so
+//! this crate is a thin adapter exposing crossbeam's 0.8 signatures on top
+//! of the std implementation.
+//!
+//! Behavioural difference vs upstream: if a spawned thread panics and its
+//! handle is never joined, `scope()` propagates the panic (std semantics)
+//! instead of returning `Err`. Every call site in this workspace joins all
+//! handles and `.expect()`s the scope result, so the difference is moot.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: spawns threads that may borrow
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining yields the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// it can spawn nested threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Always `Ok` here (see crate docs for the panic caveat).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        let sums = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        chunk.iter().sum::<u64>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread panicked"))
+                .sum::<u64>()
+        })
+        .expect("scope failed");
+        assert_eq!(sums, (0..100).sum::<u64>());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope failed");
+        assert_eq!(result, 42);
+    }
+}

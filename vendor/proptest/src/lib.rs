@@ -1,0 +1,626 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use, with
+//! deterministic case generation (seeded per test from the test's module
+//! path, so failures reproduce exactly on re-run):
+//!
+//! - [`proptest!`] with optional `#![proptest_config(...)]`, multiple
+//!   `pattern in strategy` arguments, and per-test attributes;
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] returning
+//!   [`test_runner::TestCaseError`] instead of panicking mid-closure;
+//! - strategies: numeric ranges (half-open and inclusive), [`strategy::Just`],
+//!   tuples of strategies, `prop::collection::vec`, `prop::array::uniform{2,3,4}`,
+//!   `prop::sample::select`, `any::<bool>()`, and [`prop_oneof!`] unions.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! reports its inputs via the assertion message and the deterministic seed
+//! makes it reproducible, which is enough for this workspace's suites.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Number of cases to run per property (upstream: `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single generated case failed (or was skipped).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-style failure: the property does not hold.
+        Fail(String),
+        /// `prop_assume!` rejection: inputs outside the property's domain.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator backing every strategy draw.
+    ///
+    /// Seeded from the test's fully-qualified name so each property gets an
+    /// independent, stable stream across runs and machines.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (FNV-1a hash of the bytes).
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot sample an index from an empty domain");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Upstream proptest separates strategies from value trees to support
+    /// shrinking; this stand-in generates final values directly.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between alternative strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.unit_f64();
+                    (self.start as f64 + (self.end as f64 - self.start as f64) * u) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + (hi - lo) * rng.unit_f64()) as $t
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+    /// Draws a `bool` with equal probability (`any::<bool>()`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{AnyBool, Strategy};
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Vector of values from `element`, with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.index(self.size.max - self.size.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Fixed-size array with every element drawn from the same strategy.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice among a fixed set of values.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of upstream's `prelude::prop` (e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines `#[test]` functions that run a property over many generated cases.
+///
+/// Supports the upstream surface this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10, v in prop::collection::vec(0f64..1.0, 1..40)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __ran < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(20).max(1000),
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name),
+                );
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __ran += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), __ran, __msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts only the current case
+/// (by returning `Err(TestCaseError::Fail)`), which the runner reports.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                __l, __r, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs fall outside the property's domain.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(x in 1u32..50, (a, b) in (0.0f64..5.0, 0.0f64..5.0)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!((0.0..5.0).contains(&a) && (0.0..5.0).contains(&b));
+        }
+
+        #[test]
+        fn collections_and_arrays(
+            v in prop::collection::vec(0u64..1000, 1..=8),
+            p in prop::array::uniform3(0.0f32..1.0),
+            pick in prop::sample::select(vec![1usize, 2, 4, 8]),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 8);
+            prop_assert!(p.iter().all(|c| (0.0..1.0).contains(c)));
+            prop_assert!([1usize, 2, 4, 8].contains(&pick));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn oneof_and_assume(k in prop_oneof![Just(1u32), Just(2), Just(3)], n in 0u32..10) {
+            prop_assume!(n != 5);
+            prop_assert!((1..=3).contains(&k));
+            prop_assert_ne!(n, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::deterministic("label");
+        let mut b = TestRng::deterministic("label");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}
