@@ -14,7 +14,8 @@ use sj_bench::experiments::{ExperimentScale, Experiments};
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--no-telemetry] [EXPERIMENT]...\n\
-         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations"
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos\n\
+         (chaos is not part of `all`: it exercises the fault-injection plane and resilient recovery)"
     );
     std::process::exit(2);
 }
@@ -66,6 +67,7 @@ fn main() {
             "table6" => drop(exp.table6()),
             "fig13" => drop(exp.fig13()),
             "ablations" => drop(exp.ablations()),
+            "chaos" => drop(exp.chaos()),
             _ => usage(),
         }
     }

@@ -28,8 +28,8 @@ use warpsim::{CostModel, IssueOrder};
 
 use crate::cpu_model::CpuModel;
 use crate::harness::{
-    run_join_dyn, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with, CpuRunResult,
-    GpuRunResult,
+    run_join_dyn, run_join_dyn_chaos, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with,
+    CpuRunResult, GpuRunResult,
 };
 use crate::table::{fmt_pct, fmt_speedup, fmt_time, Table};
 
@@ -756,6 +756,105 @@ impl Experiments {
     }
 
     /// Runs everything, in paper order.
+    /// Resilience table (not part of the paper; not in `run_all`): the
+    /// optimized variant under each named fault profile at a fixed seed,
+    /// reporting what recovery cost and whether the result stayed exact.
+    pub fn chaos(&self) -> String {
+        self.begin_experiment("chaos");
+        let mut t = Table::new(vec![
+            "profile",
+            "outcome",
+            "pairs",
+            "batches",
+            "retries t/o/c",
+            "stalls",
+            "cpu pts",
+            "time",
+            "overhead",
+        ]);
+        let (spec, pts) = self.dataset("Expo2D2M");
+        let eps = selected_eps(&spec);
+        // Probe the result size, then tighten the batch capacity so the run
+        // spans several launches — otherwise most schedule entries sit past
+        // the last launch index and nothing injects.
+        let probe = self.run(
+            &pts,
+            SelfJoinConfig::optimized(eps).with_batching(self.batching),
+        );
+        let batching = simjoin::BatchingConfig {
+            batch_result_capacity: probe.pairs / 6 + 64,
+            ..self.batching
+        };
+        let config = SelfJoinConfig::optimized(eps).with_batching(batching);
+        let clean = self.run(&pts, config.clone());
+        t.row(vec![
+            "(none)".into(),
+            "clean".into(),
+            format!("{}", clean.pairs),
+            format!("{}", clean.batches),
+            "0/0/0".into(),
+            "0".into(),
+            "0".into(),
+            fmt_time(clean.response_s),
+            fmt_speedup(1.0),
+        ]);
+        for profile_name in warpsim::FaultProfile::names() {
+            let profile = warpsim::FaultProfile::by_name(profile_name).expect("named profile");
+            let plane = warpsim::FaultPlane::seeded(0xC4A05, &profile);
+            let sink = self.sink.borrow().clone();
+            let run = match sink {
+                Some(s) => run_join_dyn_chaos(&pts, config.clone(), &plane, s.as_ref()),
+                None => run_join_dyn_chaos(&pts, config.clone(), &plane, &sj_telemetry::NULL),
+            };
+            match run {
+                Err(error) => t.row(vec![
+                    profile_name.to_string(),
+                    format!("typed error: {error}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+                Ok((r, degradation)) => {
+                    assert_eq!(
+                        r.pairs, clean.pairs,
+                        "chaos run under `{profile_name}` lost pairs"
+                    );
+                    let d = degradation.unwrap_or_default();
+                    t.row(vec![
+                        profile_name.to_string(),
+                        if d.points_degraded > 0 {
+                            "degraded, exact".into()
+                        } else if plane.injected_faults() > 0 {
+                            "recovered, exact".into()
+                        } else {
+                            "clean (no fault landed)".into()
+                        },
+                        format!("{}", r.pairs),
+                        format!("{}", r.batches),
+                        format!(
+                            "{}/{}/{}",
+                            d.transient_retries, d.overflow_splits, d.counter_retries
+                        ),
+                        format!("{}", d.transfer_stalls),
+                        format!("{}", d.points_degraded),
+                        fmt_time(r.response_s),
+                        fmt_speedup(r.response_s / clean.response_s),
+                    ])
+                }
+            }
+        }
+        let out = emit(
+            "Chaos — resilient executor under seeded fault profiles",
+            t.render(),
+        );
+        self.end_experiment("chaos");
+        out
+    }
+
     pub fn run_all(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.table1());
@@ -810,6 +909,15 @@ mod tests {
         assert!(out.contains("Expo2D2M"));
         assert!(out.contains("Unif6D2M"));
         assert!(out.contains("LID-UNICOMP"));
+    }
+
+    #[test]
+    fn chaos_table_covers_every_profile_and_stays_exact() {
+        let out = tiny().chaos();
+        for profile in warpsim::FaultProfile::names() {
+            assert!(out.contains(profile), "missing profile {profile}");
+        }
+        assert!(out.contains("clean"));
     }
 
     #[test]

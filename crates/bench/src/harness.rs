@@ -93,6 +93,54 @@ pub fn run_join_dyn_with(
     }
 }
 
+fn run_join_chaos_fixed<const N: usize>(
+    points: &[[f32; N]],
+    config: SelfJoinConfig,
+    plane: &warpsim::FaultPlane,
+    telemetry: &dyn Telemetry,
+) -> Result<(GpuRunResult, Option<simjoin::DegradationReport>), String> {
+    let start = Instant::now();
+    let label = config.label();
+    let join = SelfJoin::new(points, config)
+        .expect("join configuration must be valid")
+        .with_telemetry(telemetry)
+        .with_fault_plane(plane);
+    let outcome = join.run().map_err(|e| e.to_string())?;
+    let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
+    let degradation = outcome.report.degradation.clone();
+    Ok((
+        GpuRunResult {
+            label,
+            response_s: outcome.report.response_time_s(),
+            wee: outcome.report.wee(),
+            pairs: outcome.result.len(),
+            batches: outcome.report.num_batches,
+            distance_calcs: outcome.report.distance_calcs(),
+            warp_cv,
+            sim_wall: start.elapsed(),
+        },
+        degradation,
+    ))
+}
+
+/// Runs a GPU join with a fault plane attached. `Err` carries the typed
+/// error's rendering — an acceptable chaos outcome, unlike a wrong result.
+pub fn run_join_dyn_chaos(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    plane: &warpsim::FaultPlane,
+    telemetry: &dyn Telemetry,
+) -> Result<(GpuRunResult, Option<simjoin::DegradationReport>), String> {
+    match points.dims() {
+        2 => run_join_chaos_fixed(&points.as_fixed::<2>().unwrap(), config, plane, telemetry),
+        3 => run_join_chaos_fixed(&points.as_fixed::<3>().unwrap(), config, plane, telemetry),
+        4 => run_join_chaos_fixed(&points.as_fixed::<4>().unwrap(), config, plane, telemetry),
+        5 => run_join_chaos_fixed(&points.as_fixed::<5>().unwrap(), config, plane, telemetry),
+        6 => run_join_chaos_fixed(&points.as_fixed::<6>().unwrap(), config, plane, telemetry),
+        d => panic!("unsupported dimensionality {d}"),
+    }
+}
+
 fn run_superego_fixed<const N: usize>(
     points: &[[f32; N]],
     epsilon: f32,

@@ -29,6 +29,13 @@ USAGE:
       per-phase breakdown, and write the sj-telemetry/v1 document
       (default: telemetry.json). The sink is observation-only: pair sets,
       cycle counts and model seconds are identical with or without it.
+  simjoin chaos --input <path> --eps <f> [join flags]
+                [--fault-profile transient|device-lost|overflow|counter|stall|mixed]
+                [--seed <u64>] [--output <telemetry.json>]
+      Replay a seeded fault schedule against the join and report how the
+      resilient executor recovered (retries, splits, CPU degradation). The
+      result is verified against the SUPER-EGO CPU join; a typed error is
+      also an acceptable outcome under injected faults.
 ";
 
 /// Dispatches a parsed command line.
@@ -44,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "join" => join(&parsed),
         "stats" => stats(&parsed),
         "profile" => profile(&parsed),
+        "chaos" => chaos(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
@@ -123,9 +131,28 @@ fn with_fixed<R>(
 /// `k` that was actually used (relevant under `--auto-k`).
 type RunOutput = Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String>;
 
+/// What a chaos run produced: either a completed join (possibly degraded)
+/// or a typed error — both acceptable under injected faults; only a wrong
+/// pair set is not.
+enum ChaosOutcome {
+    Completed {
+        pairs: Vec<(u32, u32)>,
+        report: Box<simjoin::JoinReport>,
+    },
+    Failed {
+        error: String,
+    },
+}
+
 /// Dimension-erased access to the join for the CLI.
 trait JoinRunner {
     fn run(&self, config: SelfJoinConfig, auto_k: bool, telemetry: &dyn Telemetry) -> RunOutput;
+    fn run_chaos(
+        &self,
+        config: SelfJoinConfig,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String>;
     fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)>;
     fn stats(&self, eps: f32) -> Result<(f64, usize, f64), String>;
 }
@@ -151,6 +178,27 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
             .with_telemetry(telemetry);
         let outcome = join.run().map_err(|e| e.to_string())?;
         Ok((outcome.result.sorted_pairs(), outcome.report, k))
+    }
+
+    fn run_chaos(
+        &self,
+        config: SelfJoinConfig,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String> {
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry)
+            .with_fault_plane(plane);
+        Ok(match join.run() {
+            Ok(outcome) => ChaosOutcome::Completed {
+                pairs: outcome.result.sorted_pairs(),
+                report: Box::new(outcome.report),
+            },
+            Err(e) => ChaosOutcome::Failed {
+                error: e.to_string(),
+            },
+        })
     }
 
     fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)> {
@@ -308,6 +356,99 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn chaos(parsed: &Parsed) -> Result<(), String> {
+    let points = load(parsed)?;
+    let eps: f32 = parsed.required_parse("eps")?;
+    let pattern = pattern_flag(parsed)?;
+    let balancing = balancing_flag(parsed)?;
+    let k: u32 = parsed.parse_or("k", 1)?;
+    let profile_name = parsed.optional("fault-profile").unwrap_or("mixed");
+    let profile = warpsim::FaultProfile::by_name(profile_name).ok_or_else(|| {
+        format!(
+            "unknown fault profile `{profile_name}` (one of: {})",
+            warpsim::FaultProfile::names().join("|")
+        )
+    })?;
+    let seed: u64 = parsed.parse_or("seed", 0)?;
+    let mut config = SelfJoinConfig::new(eps)
+        .with_pattern(pattern)
+        .with_balancing(balancing)
+        .with_k(k);
+    config.batching.balanced_queue = parsed.switch("balanced-queue");
+
+    let plane = warpsim::FaultPlane::seeded(seed, &profile);
+    let sink = JsonTelemetry::new(format!(
+        "simjoin chaos profile={profile_name} seed={seed} eps={eps}"
+    ));
+    let outcome = with_fixed(&points, |runner| {
+        runner.run_chaos(config.clone(), &plane, &sink)
+    })?;
+
+    println!("variant               : {}", config.label());
+    println!("fault profile         : {profile_name} (seed {seed})");
+    println!("injected faults       : {}", plane.injected_faults());
+    match &outcome {
+        ChaosOutcome::Failed { error } => {
+            println!("outcome               : typed error — {error}");
+            println!("(a typed error is an acceptable chaos outcome; a wrong result is not)");
+        }
+        ChaosOutcome::Completed { pairs, report } => {
+            let reference = with_fixed(&points, |runner| Ok(runner.superego_pairs(eps)))?;
+            if *pairs != reference {
+                return Err(format!(
+                    "chaos verification FAILED: join found {} pairs, SUPER-EGO found {}",
+                    pairs.len(),
+                    reference.len()
+                ));
+            }
+            println!(
+                "outcome               : completed, exact ({} pairs verified)",
+                pairs.len()
+            );
+            println!("response time (model) : {:.6} s", report.response_time_s());
+            match &report.degradation {
+                None => println!("recovery              : none (clean run)"),
+                Some(d) => {
+                    println!("batches salvaged      : {}", d.batches_salvaged);
+                    println!("points degraded to CPU: {}", d.points_degraded);
+                    println!("cpu fallback pairs    : {}", d.cpu_pairs);
+                    println!("cpu fallback (model)  : {:.6} s", d.cpu_model_s);
+                    println!(
+                        "retries               : {} transient, {} overflow splits, {} counter",
+                        d.transient_retries, d.overflow_splits, d.counter_retries
+                    );
+                    println!("transfer stalls       : {}", d.transfer_stalls);
+                    println!("backoff (model)       : {:.6} s", d.backoff_s);
+                    println!("device lost           : {}", d.device_lost);
+                }
+            }
+        }
+    }
+
+    let fault_events = sink
+        .events()
+        .iter()
+        .filter(|e| {
+            e.name == "fault_injected"
+                || e.name == "fault_retry"
+                || e.name == "overflow_recovery"
+                || e.name == "degradation"
+                || e.scope == "warpsim.fault"
+        })
+        .count();
+    println!("fault/recovery events : {fault_events}");
+    if let Some(output) = parsed.optional("output") {
+        sink.write_to_file(Path::new(output))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} events ({}) to {output}",
+            sink.len(),
+            sj_telemetry::SCHEMA_VERSION
+        );
+    }
+    Ok(())
+}
+
 fn stats(parsed: &Parsed) -> Result<(), String> {
     let points = load(parsed)?;
     let eps: f32 = parsed.required_parse("eps")?;
@@ -391,6 +532,76 @@ mod tests {
         assert!(doc.contains("\"scope\": \"warpsim.launch\""));
         assert!(doc.contains("\"scope\": \"executor.phase\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_accepts_any_seed_and_verifies_or_reports_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("simjoin-chaos-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "400",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        // Any outcome must be exact-or-typed-error: dispatch() only fails on
+        // a wrong pair set (or bad flags).
+        for profile in warpsim::FaultProfile::names() {
+            for seed in ["0", "1", "2"] {
+                dispatch(&argv(&[
+                    "chaos",
+                    "--input",
+                    &data_s,
+                    "--eps",
+                    "0.5",
+                    "--fault-profile",
+                    profile,
+                    "--seed",
+                    seed,
+                ]))
+                .unwrap_or_else(|e| panic!("profile {profile} seed {seed}: {e}"));
+            }
+        }
+        let telemetry = dir.join("chaos.json");
+        let telemetry_s = telemetry.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "chaos",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--fault-profile",
+            "stall",
+            "--seed",
+            "7",
+            "--output",
+            &telemetry_s,
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&telemetry)
+            .unwrap()
+            .contains(sj_telemetry::SCHEMA_VERSION));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_profile() {
+        let p = argv(&[
+            "chaos",
+            "--input",
+            "nonexistent.csv",
+            "--eps",
+            "0.5",
+            "--fault-profile",
+            "gremlins",
+        ]);
+        assert!(dispatch(&p).is_err());
     }
 
     #[test]

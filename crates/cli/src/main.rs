@@ -7,6 +7,7 @@
 //!              [--balancing queue] [--balanced-queue] [--output pairs.csv] [--verify]
 //! simjoin stats --input pts.csv --eps 0.2
 //! simjoin profile --input pts.csv --eps 0.2 --output telemetry.json
+//! simjoin chaos --input pts.csv --eps 0.2 --fault-profile mixed --seed 42
 //! ```
 
 mod args;

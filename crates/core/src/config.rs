@@ -3,6 +3,65 @@
 use warpsim::{GpuConfig, IssueOrder};
 
 use crate::batching::BatchingConfig;
+use crate::fallback::CpuFallbackModel;
+
+/// Bounded recovery behaviour of the resilient executor.
+///
+/// Every backoff is counted in **model seconds** and accounted into the
+/// join's response time (on real hardware the host waits before
+/// re-submitting a failed launch; the device is idle meanwhile). Backoffs
+/// grow geometrically with the attempt number via `backoff_multiplier`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-submissions of a transiently failed batch before the executor
+    /// treats the device as unusable.
+    pub max_transient_retries: u32,
+    /// Total batch splits the executor may perform per join when result
+    /// buffers overflow; past this ceiling the overflow error surfaces.
+    pub max_overflow_splits: u32,
+    /// Static re-runs of a queue chunk after a detected counter fault
+    /// before the fault surfaces as a typed error.
+    pub max_counter_retries: u32,
+    /// Base host backoff before re-submitting a transient failure, model
+    /// seconds.
+    pub transient_backoff_s: f64,
+    /// Host re-plan cost per overflow split, model seconds.
+    pub overflow_backoff_s: f64,
+    /// Host cost of repairing the queue head after a counter fault, model
+    /// seconds.
+    pub counter_backoff_s: f64,
+    /// Geometric growth factor of per-class backoff across attempts.
+    pub backoff_multiplier: f64,
+    /// Degrade remaining query points to the exact CPU fallback join after
+    /// persistent device failure (`false` surfaces the error instead).
+    pub cpu_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_transient_retries: 3,
+            max_overflow_splits: 32,
+            max_counter_retries: 4,
+            transient_backoff_s: 2e-3,
+            overflow_backoff_s: 1e-3,
+            counter_backoff_s: 5e-4,
+            backoff_multiplier: 2.0,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff for the `attempt`-th retry (1-based) of an error class
+    /// with base backoff `base_s`, model seconds.
+    pub fn backoff_for(&self, base_s: f64, attempt: u32) -> f64 {
+        base_s
+            * self
+                .backoff_multiplier
+                .powi(attempt.saturating_sub(1) as i32)
+    }
+}
 
 /// The cell access pattern used by the range-query kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +148,11 @@ pub struct SelfJoinConfig {
     /// only: e.g. SORTBYWL with a forced in-order scheduler isolates the
     /// WORKQUEUE's ordering contribution).
     pub issue_override: Option<IssueOrder>,
+    /// Bounded recovery behaviour under faults and overflows.
+    pub retry: RetryPolicy,
+    /// The host CPU model used when the join degrades to the exact CPU
+    /// fallback after persistent device failure.
+    pub cpu_fallback: CpuFallbackModel,
 }
 
 impl SelfJoinConfig {
@@ -104,6 +168,8 @@ impl SelfJoinConfig {
             gpu: GpuConfig::default(),
             scheduler_seed: 0xC0FFEE,
             issue_override: None,
+            retry: RetryPolicy::default(),
+            cpu_fallback: CpuFallbackModel::default(),
         }
     }
 
@@ -144,6 +210,12 @@ impl SelfJoinConfig {
     /// Builder-style: set the GPU model.
     pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
         self.gpu = gpu;
+        self
+    }
+
+    /// Builder-style: set the retry/recovery policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 

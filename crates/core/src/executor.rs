@@ -1,19 +1,21 @@
 //! Host-side orchestration: index → estimate → batch plan → kernels → result.
 
-use std::cell::Cell;
+use std::collections::VecDeque;
 
 use epsgrid::{GridBuildError, GridIndex, Point};
 use sj_telemetry::{Event, Stopwatch, Telemetry};
 use warpsim::{
-    launch_with, BatchTiming, CoopGroups, DeviceBuffer, DeviceCounter, LaunchError, LaunchOptions,
-    LaunchReport, PipelineReport, StreamPipeline, WarpExecution, WarpStatsSummary,
+    launch_with, BatchTiming, CoopGroups, CounterFault, DeviceBuffer, DeviceCounter, FaultPlane,
+    LaunchError, LaunchOptions, LaunchReport, PipelineReport, StreamPipeline, WarpExecution,
+    WarpStatsSummary,
 };
 
 use crate::batching::{
-    buffer_capacity_for, estimate_prefix, estimate_strided, num_batches_for, plan_queue,
+    buffer_capacity_for, estimate_prefix, estimate_strided, num_batches_scaled, plan_queue,
     plan_queue_balanced, plan_strided, BatchPlan, ResultEstimate,
 };
 use crate::config::{Balancing, SelfJoinConfig};
+use crate::fallback::cpu_join_queries;
 use crate::kernels::{Assignment, JoinKernelSource, ResolvedPatterns};
 use crate::result::ResultSet;
 use crate::workload::WorkloadProfile;
@@ -40,7 +42,15 @@ impl std::fmt::Display for JoinError {
     }
 }
 
-impl std::error::Error for JoinError {}
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Grid(e) => Some(e),
+            JoinError::InvalidK(e) => Some(e),
+            JoinError::Launch(e) => Some(e),
+        }
+    }
+}
 
 impl From<GridBuildError> for JoinError {
     fn from(e: GridBuildError) -> Self {
@@ -61,6 +71,36 @@ pub struct BatchReport {
     pub transfer_s: f64,
 }
 
+/// What the resilient executor had to do to finish a join under faults.
+///
+/// Present on [`JoinReport::degradation`] only when at least one fault,
+/// retry, split, or stall occurred — a clean run reports `None` and is
+/// bit-identical to a run without a fault plane attached.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// GPU batches that completed and were salvaged.
+    pub batches_salvaged: usize,
+    /// Query points completed by the exact CPU fallback join.
+    pub points_degraded: usize,
+    /// Result pairs produced by the CPU fallback.
+    pub cpu_pairs: u64,
+    /// Model seconds spent in the CPU fallback.
+    pub cpu_model_s: f64,
+    /// Transient launch failures that were retried.
+    pub transient_retries: u32,
+    /// Batch splits performed after result-buffer overflows.
+    pub overflow_splits: u32,
+    /// Queue-counter faults detected, repaired, and re-run.
+    pub counter_retries: u32,
+    /// Device-to-host transfer stalls absorbed into transfer time.
+    pub transfer_stalls: u32,
+    /// Host backoff plus wasted kernel time of discarded corrupted
+    /// launches, model seconds (outside the stream pipeline).
+    pub backoff_s: f64,
+    /// Whether the device was lost permanently mid-join.
+    pub device_lost: bool,
+}
+
 /// Aggregate report of a full self-join execution.
 #[derive(Debug, Clone)]
 pub struct JoinReport {
@@ -76,6 +116,8 @@ pub struct JoinReport {
     pub totals: WarpExecution,
     /// Total result pairs.
     pub total_pairs: usize,
+    /// Fault-recovery accounting; `None` when the run was clean.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl JoinReport {
@@ -84,10 +126,16 @@ impl JoinReport {
         self.totals.efficiency()
     }
 
-    /// End-to-end response time in model seconds (kernels + exposed
-    /// transfers under the stream pipeline).
+    /// End-to-end response time in model seconds: kernels + exposed
+    /// transfers under the stream pipeline, plus (for faulted runs) retry
+    /// backoffs and the CPU fallback time, which happen serially on the
+    /// host and cannot overlap the pipeline.
     pub fn response_time_s(&self) -> f64 {
-        self.pipeline.total_s
+        let recovery_s = self
+            .degradation
+            .as_ref()
+            .map_or(0.0, |d| d.backoff_s + d.cpu_model_s);
+        self.pipeline.total_s + recovery_s
     }
 
     /// Sum of kernel times (no transfers), model seconds.
@@ -131,6 +179,7 @@ pub struct SelfJoin<'a, const N: usize> {
     resolved: ResolvedPatterns,
     profile: Option<WorkloadProfile>,
     telemetry: &'a dyn Telemetry,
+    fault: Option<&'a FaultPlane>,
     index_build_ns: u64,
     profile_ns: u64,
 }
@@ -170,6 +219,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             resolved,
             profile,
             telemetry: &sj_telemetry::NULL,
+            fault: None,
             index_build_ns,
             profile_ns,
         })
@@ -181,6 +231,15 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     /// sets, cycle counts, or model seconds.
     pub fn with_telemetry(mut self, telemetry: &'a dyn Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a fault-injection plane: every kernel launch is admitted
+    /// through it, and host-side injections (counter bumps, transfer
+    /// stalls) are consumed around launches. Without a plane — or with an
+    /// empty schedule — execution is bit-identical to the fault-free path.
+    pub fn with_fault_plane(mut self, plane: &'a FaultPlane) -> Self {
+        self.fault = Some(plane);
         self
     }
 
@@ -238,7 +297,9 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     }
 
     /// Builds the batch plan with the batch count scaled by `multiplier`
-    /// (used when a previous attempt overflowed the result buffer).
+    /// **before** the `max_batches` saturation cap is applied, so a scaled
+    /// re-plan still respects the device-saturation floor (the per-batch
+    /// buffer grows instead of the batch count blowing past the cap).
     fn plan_with(&self, multiplier: usize) -> (ResultEstimate, BatchPlan) {
         let c = &self.config;
         match c.balancing {
@@ -249,7 +310,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     c.epsilon,
                     c.batching.sample_fraction,
                 );
-                let nb = num_batches_for(&estimate, &c.batching) * multiplier;
+                let nb = num_batches_scaled(&estimate, &c.batching, multiplier);
                 let plan = plan_strided(self.points.len(), nb, self.profile.as_ref());
                 (estimate, plan)
             }
@@ -266,7 +327,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     c.batching.sample_fraction,
                     &order,
                 );
-                let nb = num_batches_for(&estimate, &c.batching) * multiplier;
+                let nb = num_batches_scaled(&estimate, &c.batching, multiplier);
                 let plan = if c.batching.balanced_queue {
                     plan_queue_balanced(order, profile.per_point(), nb)
                 } else {
@@ -277,36 +338,22 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         }
     }
 
-    /// Executes the join.
+    /// Executes the join with per-batch fault recovery.
     ///
-    /// If a batch overflows the result buffer (the sampled estimate was too
-    /// low), the join is re-planned with twice as many batches and retried —
-    /// the host-side recovery the batching scheme needs when the 1 % sample
-    /// misses a dense region.
+    /// Completed batches are always salvaged. A batch that overflows its
+    /// result buffer is split in two and the halves retried (bounded by
+    /// [`RetryPolicy::max_overflow_splits`]); transient launch failures are
+    /// re-submitted under geometric backoff; a queue chunk whose device
+    /// counter does not land exactly on the chunk boundary is discarded,
+    /// the counter repaired, and the chunk re-run statically; and after
+    /// persistent device failure the remaining query points complete on the
+    /// exact CPU fallback join — the returned pair set is brute-force
+    /// identical in every recovered outcome.
+    ///
+    /// [`RetryPolicy::max_overflow_splits`]: crate::RetryPolicy::max_overflow_splits
     pub fn run(&self) -> Result<JoinOutcome, JoinError> {
-        let mut multiplier = 1;
-        loop {
-            match self.run_once(multiplier) {
-                Err(JoinError::Launch(LaunchError::ResultOverflow(_)))
-                    if multiplier < 64 && self.config.batching.batch_result_capacity > 0 =>
-                {
-                    if self.telemetry.is_enabled() {
-                        self.telemetry.record(
-                            Event::new("executor", "overflow_recovery")
-                                .u64("failed_multiplier", multiplier as u64)
-                                .u64("retry_multiplier", (multiplier * 2) as u64),
-                        );
-                    }
-                    multiplier *= 2;
-                }
-                other => return other,
-            }
-        }
-    }
-
-    fn run_once(&self, multiplier: usize) -> Result<JoinOutcome, JoinError> {
         let telemetry_on = self.telemetry.is_enabled();
-        if telemetry_on && multiplier == 1 {
+        if telemetry_on {
             // Index build and workload profiling happened in `new()`; their
             // host durations were captured there and are reported once.
             self.telemetry.record(
@@ -323,11 +370,11 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             );
         }
         let sw_plan = Stopwatch::start();
-        let (estimate, plan) = self.plan_with(multiplier);
+        let (estimate, plan) = self.plan_with(1);
         if telemetry_on {
             self.telemetry.record(
                 Event::new("executor.phase", "estimate_and_plan")
-                    .u64("multiplier", multiplier as u64)
+                    .u64("multiplier", 1)
                     .u64("sampled_points", estimate.sampled_points as u64)
                     .u64("sampled_pairs", estimate.sampled_pairs)
                     .u64("estimated_total", estimate.estimated_total)
@@ -351,15 +398,75 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             c.batching.batch_result_capacity
         };
         let mut buffer = DeviceBuffer::with_capacity(capacity);
-        let batch_index = Cell::new(0u64);
-        let gather_ns = Cell::new(0u64);
+        let mut gather_ns: u64 = 0;
 
-        let run_batch = |assignment: Assignment<'_>,
-                         num_groups: usize,
-                         buffer: &mut DeviceBuffer<(u32, u32)>,
-                         result: &mut ResultSet,
-                         totals: &mut WarpExecution|
-         -> Result<BatchReport, JoinError> {
+        let counter = DeviceCounter::new();
+        let queue_limit = match &plan {
+            BatchPlan::Queue { order, .. } => order.len() as u64,
+            _ => 0,
+        };
+        let mut pending: VecDeque<Pending> = match &plan {
+            BatchPlan::Strided { batches } => (0..batches.len()).map(Pending::planned).collect(),
+            BatchPlan::Queue { chunks, .. } => chunks
+                .iter()
+                .enumerate()
+                .filter(|(_, chunk)| !chunk.is_empty())
+                .map(|(i, _)| Pending::planned(i))
+                .collect(),
+        };
+        let mut recovery = RecoveryCounters::default();
+        let mut degraded: Option<Vec<u32>> = None;
+
+        // Resolves a unit back to its query set (for splits, counter
+        // repairs, and degradation hand-off).
+        let queries_of = |work: &Work| -> Vec<u32> {
+            match (work, &plan) {
+                (Work::Planned(i), BatchPlan::Strided { batches }) => batches[*i].clone(),
+                (Work::Planned(i), BatchPlan::Queue { order, chunks }) => {
+                    order[chunks[*i].clone()].to_vec()
+                }
+                (Work::Split(queries), _) => queries.clone(),
+            }
+        };
+
+        while let Some(mut unit) = pending.pop_front() {
+            let chunk_range = match (&unit.work, &plan) {
+                (Work::Planned(i), BatchPlan::Queue { chunks, .. }) => Some(chunks[*i].clone()),
+                _ => None,
+            };
+            if chunk_range.is_some() {
+                // Host-side injection: a stuck/corrupted device counter,
+                // observed just before this chunk launches.
+                if let Some(plane) = self.fault {
+                    if let Some(bump) = plane.take_counter_bump() {
+                        counter.fetch_add(bump);
+                        if telemetry_on {
+                            self.telemetry.record(
+                                Event::new("executor", "fault_injected")
+                                    .str("kind", "counter_bump")
+                                    .u64("bump", bump),
+                            );
+                        }
+                    }
+                }
+            }
+            let (assignment, num_groups) = match (&unit.work, &plan) {
+                (Work::Planned(i), BatchPlan::Strided { batches }) => (
+                    Assignment::Static {
+                        queries: &batches[*i],
+                    },
+                    batches[*i].len(),
+                ),
+                (Work::Planned(i), BatchPlan::Queue { order, chunks }) => (
+                    Assignment::Queue {
+                        order,
+                        counter: &counter,
+                        limit: queue_limit,
+                    },
+                    chunks[*i].len(),
+                ),
+                (Work::Split(queries), _) => (Assignment::Static { queries }, queries.len()),
+            };
             let source = JoinKernelSource {
                 grid: &self.grid,
                 points: self.points,
@@ -371,69 +478,230 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 assignment,
                 num_groups,
             };
-            let opts = LaunchOptions::with_telemetry(self.telemetry);
-            let launch_report = launch_with(&c.gpu, &source, issue_order, buffer, &opts)
-                .map_err(JoinError::Launch)?;
-            let pairs = buffer.len();
-            let sw_gather = Stopwatch::start();
-            result.extend(buffer.as_slice());
-            buffer.clear();
-            gather_ns.set(gather_ns.get() + sw_gather.elapsed_ns());
-            totals.accumulate(&launch_report.totals);
-            let kernel_s = launch_report.elapsed_seconds();
-            let transfer_s = c.batching.transfer_seconds(pairs);
-            if telemetry_on {
-                self.telemetry.record(
-                    Event::new("executor", "batch")
-                        .u64("index", batch_index.get())
-                        .u64("pairs", pairs as u64)
-                        .f64("kernel_model_s", kernel_s)
-                        .f64("transfer_model_s", transfer_s),
-                );
-            }
-            batch_index.set(batch_index.get() + 1);
-            Ok(BatchReport {
-                launch: launch_report,
-                pairs,
-                kernel_s,
-                transfer_s,
-            })
-        };
-
-        match &plan {
-            BatchPlan::Strided { batches } => {
-                for queries in batches {
-                    let report = run_batch(
-                        Assignment::Static { queries },
-                        queries.len(),
-                        &mut buffer,
-                        &mut result,
-                        &mut totals,
-                    )?;
-                    batch_reports.push(report);
+            let mut opts = LaunchOptions::with_telemetry(self.telemetry);
+            opts.fault_plane = self.fault;
+            match launch_with(&c.gpu, &source, issue_order, &mut buffer, &opts) {
+                Ok(launch_report) => {
+                    // Queue-drain invariant, promoted from a debug assert:
+                    // each pop advances the counter by the group's slot
+                    // count, so chunk `i` must leave the head at exactly
+                    // `chunk.end`. Anything else means the counter is
+                    // corrupt and the chunk's coverage is unknown.
+                    if let Some(chunk) = &chunk_range {
+                        let expected = chunk.end as u64;
+                        let observed = counter.load();
+                        if observed != expected {
+                            buffer.clear();
+                            unit.counter_attempts += 1;
+                            recovery.counter_retries += 1;
+                            let backoff = c
+                                .retry
+                                .backoff_for(c.retry.counter_backoff_s, unit.counter_attempts);
+                            // The corrupted launch's kernel time is wasted
+                            // serial host time, not pipeline time.
+                            recovery.backoff_s += backoff + launch_report.elapsed_seconds();
+                            if telemetry_on {
+                                self.telemetry.record(
+                                    Event::new("executor", "fault_retry")
+                                        .str("class", "counter")
+                                        .u64("attempt", unit.counter_attempts as u64)
+                                        .u64("expected", expected)
+                                        .u64("observed", observed)
+                                        .f64("backoff_model_s", backoff),
+                                );
+                            }
+                            if unit.counter_attempts > c.retry.max_counter_retries {
+                                return Err(JoinError::Launch(LaunchError::CounterFault(
+                                    CounterFault { expected, observed },
+                                )));
+                            }
+                            // Repair the head for the chunks behind us and
+                            // re-run exactly this chunk's queries statically.
+                            counter.store(expected);
+                            let queries = queries_of(&unit.work);
+                            pending.push_front(Pending {
+                                work: Work::Split(queries),
+                                transient_attempts: unit.transient_attempts,
+                                counter_attempts: unit.counter_attempts,
+                            });
+                            continue;
+                        }
+                    }
+                    let pairs = buffer.len();
+                    let sw_gather = Stopwatch::start();
+                    result.extend(buffer.as_slice());
+                    buffer.clear();
+                    gather_ns += sw_gather.elapsed_ns();
+                    totals.accumulate(&launch_report.totals);
+                    let kernel_s = launch_report.elapsed_seconds();
+                    let mut transfer_s = c.batching.transfer_seconds(pairs);
+                    if let Some(plane) = self.fault {
+                        if let Some(stall_s) = plane.take_transfer_stall() {
+                            // A stalled copy engine lengthens this batch's
+                            // transfer; it flows through the stream
+                            // pipeline like any slow transfer.
+                            transfer_s += stall_s;
+                            recovery.transfer_stalls += 1;
+                            if telemetry_on {
+                                self.telemetry.record(
+                                    Event::new("executor", "fault_injected")
+                                        .str("kind", "transfer_stall")
+                                        .f64("stall_model_s", stall_s),
+                                );
+                            }
+                        }
+                    }
+                    if telemetry_on {
+                        self.telemetry.record(
+                            Event::new("executor", "batch")
+                                .u64("index", batch_reports.len() as u64)
+                                .u64("pairs", pairs as u64)
+                                .f64("kernel_model_s", kernel_s)
+                                .f64("transfer_model_s", transfer_s),
+                        );
+                    }
+                    batch_reports.push(BatchReport {
+                        launch: launch_report,
+                        pairs,
+                        kernel_s,
+                        transfer_s,
+                    });
                 }
-            }
-            BatchPlan::Queue { order, chunks } => {
-                let counter = DeviceCounter::new();
-                let limit = order.len() as u64;
-                for chunk in chunks {
-                    if chunk.is_empty() {
+                Err(LaunchError::ResultOverflow(overflow)) => {
+                    buffer.clear();
+                    // An overflowing queue chunk has already consumed its
+                    // pops — repair the head so the chunks behind it still
+                    // cover their own ranges, then split this chunk's exact
+                    // queries into static halves.
+                    if let Some(chunk) = &chunk_range {
+                        counter.store(chunk.end as u64);
+                    }
+                    let mut queries = match unit.work {
+                        Work::Split(queries) => queries,
+                        ref planned => queries_of(planned),
+                    };
+                    if queries.len() <= 1 || recovery.overflow_splits >= c.retry.max_overflow_splits
+                    {
+                        if telemetry_on {
+                            self.telemetry.record(
+                                Event::new("executor", "overflow_recovery")
+                                    .bool("terminal", true)
+                                    .u64("splits_used", recovery.overflow_splits as u64)
+                                    .u64("batch_queries", queries.len() as u64)
+                                    .u64("attempted", overflow.attempted as u64)
+                                    .u64("capacity", overflow.capacity as u64),
+                            );
+                        }
+                        return Err(JoinError::Launch(LaunchError::ResultOverflow(overflow)));
+                    }
+                    recovery.overflow_splits += 1;
+                    let backoff = c
+                        .retry
+                        .backoff_for(c.retry.overflow_backoff_s, recovery.overflow_splits);
+                    recovery.backoff_s += backoff;
+                    let right = queries.split_off(queries.len() / 2);
+                    if telemetry_on {
+                        self.telemetry.record(
+                            Event::new("executor", "overflow_recovery")
+                                .bool("terminal", false)
+                                .u64("split", recovery.overflow_splits as u64)
+                                .u64("left_queries", queries.len() as u64)
+                                .u64("right_queries", right.len() as u64)
+                                .f64("backoff_model_s", backoff),
+                        );
+                    }
+                    pending.push_front(Pending::split(right));
+                    pending.push_front(Pending::split(queries));
+                }
+                Err(err @ LaunchError::Transient(_)) => {
+                    // Transient faults fail at admission, before any queue
+                    // pop: counter and buffer are untouched, so the same
+                    // unit can simply be re-submitted.
+                    unit.transient_attempts += 1;
+                    recovery.transient_retries += 1;
+                    let backoff = c
+                        .retry
+                        .backoff_for(c.retry.transient_backoff_s, unit.transient_attempts);
+                    recovery.backoff_s += backoff;
+                    if telemetry_on {
+                        self.telemetry.record(
+                            Event::new("executor", "fault_retry")
+                                .str("class", "transient")
+                                .u64("attempt", unit.transient_attempts as u64)
+                                .f64("backoff_model_s", backoff),
+                        );
+                    }
+                    if unit.transient_attempts <= c.retry.max_transient_retries {
+                        pending.push_front(unit);
                         continue;
                     }
-                    let report = run_batch(
-                        Assignment::Queue {
-                            order,
-                            counter: &counter,
-                            limit,
-                        },
-                        chunk.len(),
-                        &mut buffer,
-                        &mut result,
-                        &mut totals,
-                    )?;
-                    batch_reports.push(report);
+                    // Persistently failing launch: treat the device as
+                    // unusable for the rest of the join.
+                    if !c.retry.cpu_fallback {
+                        return Err(JoinError::Launch(err));
+                    }
+                    let mut remaining = queries_of(&unit.work);
+                    for p in pending.drain(..) {
+                        remaining.extend(queries_of(&p.work));
+                    }
+                    degraded = Some(remaining);
                 }
-                debug_assert_eq!(counter.load(), limit, "queue must drain exactly");
+                Err(err @ LaunchError::DeviceLost(_)) => {
+                    recovery.device_lost = true;
+                    if !c.retry.cpu_fallback {
+                        return Err(JoinError::Launch(err));
+                    }
+                    let mut remaining = queries_of(&unit.work);
+                    for p in pending.drain(..) {
+                        remaining.extend(queries_of(&p.work));
+                    }
+                    degraded = Some(remaining);
+                }
+                Err(err @ LaunchError::CounterFault(_)) => {
+                    // Not raised by the device model today; never retryable.
+                    return Err(JoinError::Launch(err));
+                }
+            }
+            if degraded.is_some() {
+                break;
+            }
+        }
+
+        if let Some(remaining) = &degraded {
+            let sw_cpu = Stopwatch::start();
+            let mut cpu_pairs: Vec<(u32, u32)> = Vec::new();
+            let stats = cpu_join_queries(
+                &self.grid,
+                self.points,
+                &self.resolved,
+                c.epsilon,
+                remaining,
+                &mut cpu_pairs,
+            );
+            result.extend(&cpu_pairs);
+            let cpu_model_s = c.cpu_fallback.model_seconds(&stats, N as u32, &c.gpu.cost);
+            recovery.cpu = Some((remaining.len(), stats.pairs, cpu_model_s));
+            if telemetry_on {
+                self.telemetry.record(
+                    Event::new("executor", "degradation")
+                        .u64("batches_salvaged", batch_reports.len() as u64)
+                        .u64("points_degraded", remaining.len() as u64)
+                        .u64("cpu_pairs", stats.pairs)
+                        .u64("cpu_distance_calcs", stats.distance_calcs)
+                        .f64("cpu_model_s", cpu_model_s)
+                        .bool("device_lost", recovery.device_lost)
+                        .u64("host_ns", sw_cpu.elapsed_ns()),
+                );
+            }
+        } else if let BatchPlan::Queue { .. } = &plan {
+            // Final queue-drain invariant: a fully GPU-completed queue join
+            // must have consumed the whole sorted dataset.
+            let observed = counter.load();
+            if observed != queue_limit {
+                return Err(JoinError::Launch(LaunchError::CounterFault(CounterFault {
+                    expected: queue_limit,
+                    observed,
+                })));
             }
         }
 
@@ -446,9 +714,13 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             .collect();
         let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
         let total_pairs = result.len();
+        let degradation = recovery.into_report(batch_reports.len());
+        let recovery_s = degradation
+            .as_ref()
+            .map_or(0.0, |d| d.backoff_s + d.cpu_model_s);
         if telemetry_on {
             self.telemetry
-                .record(Event::new("executor.phase", "gather").u64("host_ns", gather_ns.get()));
+                .record(Event::new("executor.phase", "gather").u64("host_ns", gather_ns));
             // How well the 1 % sample predicted the true result size — the
             // quantity that decides whether the batch plan over- or
             // under-provisions the result buffers (§III-D).
@@ -468,11 +740,15 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     .str("config", c.label())
                     .u64("num_batches", batch_reports.len() as u64)
                     .u64("total_pairs", total_pairs as u64)
-                    .f64("response_model_s", pipeline.total_s)
+                    .f64("response_model_s", pipeline.total_s + recovery_s)
                     .f64("wee", totals.efficiency())
                     .u64(
                         "distance_calcs",
                         totals.lane_ops_by_kind[warpsim::OpKind::Distance.index()],
+                    )
+                    .bool(
+                        "degraded",
+                        degradation.as_ref().is_some_and(|d| d.points_degraded > 0),
                     ),
             );
         }
@@ -485,7 +761,80 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 pipeline,
                 totals,
                 total_pairs,
+                degradation,
             },
+        })
+    }
+}
+
+/// A unit of pending executor work: a batch/chunk of the original plan, or
+/// an explicit query set produced by recovery (overflow split, counter
+/// repair).
+enum Work {
+    Planned(usize),
+    Split(Vec<u32>),
+}
+
+struct Pending {
+    work: Work,
+    transient_attempts: u32,
+    counter_attempts: u32,
+}
+
+impl Pending {
+    fn planned(index: usize) -> Self {
+        Pending {
+            work: Work::Planned(index),
+            transient_attempts: 0,
+            counter_attempts: 0,
+        }
+    }
+
+    fn split(queries: Vec<u32>) -> Self {
+        Pending {
+            work: Work::Split(queries),
+            transient_attempts: 0,
+            counter_attempts: 0,
+        }
+    }
+}
+
+/// Tallies of what recovery had to do during one [`SelfJoin::run`].
+#[derive(Default)]
+struct RecoveryCounters {
+    transient_retries: u32,
+    overflow_splits: u32,
+    counter_retries: u32,
+    transfer_stalls: u32,
+    backoff_s: f64,
+    device_lost: bool,
+    /// `(points, pairs, model seconds)` of the CPU fallback, if it ran.
+    cpu: Option<(usize, u64, f64)>,
+}
+
+impl RecoveryCounters {
+    fn into_report(self, batches_salvaged: usize) -> Option<DegradationReport> {
+        let clean = self.transient_retries == 0
+            && self.overflow_splits == 0
+            && self.counter_retries == 0
+            && self.transfer_stalls == 0
+            && !self.device_lost
+            && self.cpu.is_none();
+        if clean {
+            return None;
+        }
+        let (points_degraded, cpu_pairs, cpu_model_s) = self.cpu.unwrap_or((0, 0, 0.0));
+        Some(DegradationReport {
+            batches_salvaged,
+            points_degraded,
+            cpu_pairs,
+            cpu_model_s,
+            transient_retries: self.transient_retries,
+            overflow_splits: self.overflow_splits,
+            counter_retries: self.counter_retries,
+            transfer_stalls: self.transfer_stalls,
+            backoff_s: self.backoff_s,
+            device_lost: self.device_lost,
         })
     }
 }
@@ -762,6 +1111,175 @@ mod tests {
         let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
         assert_eq!(outcome.result.sorted_pairs(), expected);
         assert!(outcome.report.num_batches >= 2);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_an_exact_result() {
+        let pts = skewed_points(150);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let plane = warpsim::FaultPlane::new(
+            warpsim::FaultSchedule::new()
+                .transient_at(0)
+                .transient_at(1),
+        );
+        let config = SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload);
+        let outcome = SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_fault_plane(&plane)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        assert!(outcome.report.response_time_s() > outcome.report.pipeline.total_s);
+        let d = outcome.report.degradation.expect("faulted run must report");
+        assert_eq!(d.transient_retries, 2);
+        assert!(!d.device_lost);
+        assert_eq!(d.points_degraded, 0);
+        assert!(d.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn device_lost_mid_join_degrades_to_exact_cpu_fallback() {
+        let pts = skewed_points(200);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 3 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            // Lose the device on the second batch so at least one GPU batch
+            // is salvaged and the rest complete on the CPU.
+            let plane = warpsim::FaultPlane::new(warpsim::FaultSchedule::new().device_lost_at(1));
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(small_batches);
+            let outcome = SelfJoin::new(&pts, config)
+                .unwrap()
+                .with_fault_plane(&plane)
+                .run()
+                .unwrap();
+            assert_eq!(outcome.result.sorted_pairs(), expected, "{balancing:?}");
+            let d = outcome
+                .report
+                .degradation
+                .expect("degraded run must report");
+            assert!(d.device_lost, "{balancing:?}");
+            assert_eq!(d.batches_salvaged, 1, "{balancing:?}");
+            assert!(d.points_degraded > 0, "{balancing:?}");
+            assert!(d.cpu_model_s > 0.0, "{balancing:?}");
+        }
+    }
+
+    #[test]
+    fn device_lost_without_cpu_fallback_surfaces_the_error() {
+        let pts = skewed_points(80);
+        let plane = warpsim::FaultPlane::new(warpsim::FaultSchedule::new().device_lost_at(0));
+        let config = SelfJoinConfig::new(0.1).with_retry(crate::RetryPolicy {
+            cpu_fallback: false,
+            ..crate::RetryPolicy::default()
+        });
+        let err = SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_fault_plane(&plane)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, JoinError::Launch(LaunchError::DeviceLost(_))));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn counter_bump_is_detected_repaired_and_rerun() {
+        let pts = skewed_points(200);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 3 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        let plane = warpsim::FaultPlane::new(warpsim::FaultSchedule::new().counter_bump_at(1, 7));
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(Balancing::WorkQueue)
+            .with_batching(small_batches);
+        let outcome = SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_fault_plane(&plane)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        let d = outcome.report.degradation.expect("faulted run must report");
+        assert_eq!(d.counter_retries, 1);
+        assert_eq!(d.points_degraded, 0);
+    }
+
+    #[test]
+    fn transfer_stall_lengthens_response_but_not_pairs() {
+        let pts = skewed_points(120);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let config = SelfJoinConfig::new(eps);
+        let clean = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+        let plane =
+            warpsim::FaultPlane::new(warpsim::FaultSchedule::new().transfer_stall_at(0, 0.25));
+        let stalled = SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_fault_plane(&plane)
+            .run()
+            .unwrap();
+        assert_eq!(stalled.result.sorted_pairs(), expected);
+        assert!(clean.report.degradation.is_none());
+        let d = stalled.report.degradation.expect("stall must be reported");
+        assert_eq!(d.transfer_stalls, 1);
+        assert!(stalled.report.pipeline.total_s > clean.report.pipeline.total_s + 0.2);
+    }
+
+    #[test]
+    fn empty_fault_plane_is_bit_identical_to_no_plane() {
+        let pts = skewed_points(150);
+        let config = SelfJoinConfig::optimized(0.1);
+        let clean = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+        let plane = warpsim::FaultPlane::new(warpsim::FaultSchedule::new());
+        let faulted = SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_fault_plane(&plane)
+            .run()
+            .unwrap();
+        assert_eq!(clean.result.sorted_pairs(), faulted.result.sorted_pairs());
+        assert_eq!(
+            clean.report.response_time_s(),
+            faulted.report.response_time_s()
+        );
+        assert_eq!(clean.report.totals.cycles, faulted.report.totals.cycles);
+        assert!(faulted.report.degradation.is_none());
+    }
+
+    #[test]
+    fn overflow_past_the_split_budget_is_a_typed_terminal_error() {
+        // A zero-split budget turns the first overflow into a terminal
+        // typed error instead of an endless recovery loop.
+        let pts = skewed_points(300);
+        let eps = 0.12;
+        let expected = reference(&pts, eps);
+        let config = SelfJoinConfig::new(eps)
+            .with_batching(crate::BatchingConfig {
+                batch_result_capacity: expected.len() / 4 + 64,
+                sample_fraction: 0.005,
+                safety_factor: 1.0,
+                ..crate::BatchingConfig::default()
+            })
+            .with_retry(crate::RetryPolicy {
+                max_overflow_splits: 0,
+                ..crate::RetryPolicy::default()
+            });
+        let err = SelfJoin::new(&pts, config).unwrap().run().unwrap_err();
+        assert!(matches!(
+            err,
+            JoinError::Launch(LaunchError::ResultOverflow(_))
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod batching;
 pub mod brute;
 pub mod config;
 pub mod executor;
+pub mod fallback;
 pub mod kernels;
 pub mod patterns;
 pub mod result;
@@ -46,7 +47,8 @@ pub mod workload;
 
 pub use batching::{BatchPlan, BatchingConfig, ResultEstimate};
 pub use brute::brute_force_join;
-pub use config::{AccessPattern, Balancing, SelfJoinConfig};
-pub use executor::{JoinError, JoinOutcome, JoinReport, SelfJoin};
+pub use config::{AccessPattern, Balancing, RetryPolicy, SelfJoinConfig};
+pub use executor::{DegradationReport, JoinError, JoinOutcome, JoinReport, SelfJoin};
+pub use fallback::{cpu_join_queries, CpuFallbackModel, CpuFallbackStats};
 pub use result::ResultSet;
 pub use workload::{CellWorkload, WorkloadProfile};

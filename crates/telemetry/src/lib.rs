@@ -154,6 +154,19 @@ impl JsonTelemetry {
         self.events.lock().expect("telemetry poisoned").clone()
     }
 
+    /// Snapshot of the events matching `scope` and `name`, in record order —
+    /// the common shape of consumer assertions ("all `executor` /
+    /// `overflow_recovery` events of this run").
+    pub fn events_named(&self, scope: &str, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("telemetry poisoned")
+            .iter()
+            .filter(|e| e.scope == scope && e.name == name)
+            .cloned()
+            .collect()
+    }
+
     /// Serializes the buffered events as a `sj-telemetry/v1` document.
     pub fn to_json(&self) -> String {
         let events = self.events.lock().expect("telemetry poisoned");
@@ -285,6 +298,20 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].name, "first");
         assert_eq!(events[1].field("x"), Some(&Value::F64(0.5)));
+    }
+
+    #[test]
+    fn events_named_filters_by_scope_and_name() {
+        let sink = JsonTelemetry::new("unit");
+        sink.record(Event::new("a", "first").u64("n", 1));
+        sink.record(Event::new("b", "first").u64("n", 2));
+        sink.record(Event::new("a", "first").u64("n", 3));
+        sink.record(Event::new("a", "second"));
+        let firsts = sink.events_named("a", "first");
+        assert_eq!(firsts.len(), 2);
+        assert_eq!(firsts[0].field("n"), Some(&Value::U64(1)));
+        assert_eq!(firsts[1].field("n"), Some(&Value::U64(3)));
+        assert!(sink.events_named("c", "first").is_empty());
     }
 
     #[test]

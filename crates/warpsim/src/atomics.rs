@@ -40,6 +40,12 @@ impl DeviceCounter {
     pub fn load(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Overwrites the counter (`cudaMemcpy` of a fresh head value in CUDA
+    /// terms) — the host-side repair used after a detected counter fault.
+    pub fn store(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

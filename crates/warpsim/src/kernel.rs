@@ -12,6 +12,7 @@
 use sj_telemetry::{Event, Stopwatch, Telemetry};
 
 use crate::config::GpuConfig;
+use crate::fault::{CounterFault, DeviceLostFault, FaultPlane, TransientFault};
 use crate::lane::{LaneProgram, LaneSink};
 use crate::machine::{MachineModel, MakespanReport};
 use crate::memory::{BufferOverflow, DeviceBuffer};
@@ -41,17 +42,49 @@ pub enum LaunchError {
     /// On real hardware this is the buffer overflow the batching scheme must
     /// prevent; the simulator turns it into a hard error.
     ResultOverflow(BufferOverflow),
+    /// The launch failed transiently; re-submitting it may succeed.
+    Transient(TransientFault),
+    /// The device is gone; this launch and every later one fails.
+    DeviceLost(DeviceLostFault),
+    /// A device counter does not hold the value the host requires (detected
+    /// by the executor's queue-drain invariant, never raised by the
+    /// simulator itself).
+    CounterFault(CounterFault),
 }
 
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::ResultOverflow(e) => write!(f, "kernel result overflow: {e}"),
+            LaunchError::Transient(e) => write!(f, "transient launch failure: {e}"),
+            LaunchError::DeviceLost(e) => write!(f, "device lost: {e}"),
+            LaunchError::CounterFault(e) => write!(f, "device counter fault: {e}"),
         }
     }
 }
 
-impl std::error::Error for LaunchError {}
+impl std::error::Error for LaunchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LaunchError::ResultOverflow(e) => Some(e),
+            LaunchError::Transient(e) => Some(e),
+            LaunchError::DeviceLost(e) => Some(e),
+            LaunchError::CounterFault(e) => Some(e),
+        }
+    }
+}
+
+impl LaunchError {
+    /// Short machine-readable class name (telemetry field value).
+    pub fn class(&self) -> &'static str {
+        match self {
+            LaunchError::ResultOverflow(_) => "overflow",
+            LaunchError::Transient(_) => "transient",
+            LaunchError::DeviceLost(_) => "device_lost",
+            LaunchError::CounterFault(_) => "counter",
+        }
+    }
+}
 
 /// The outcome of one kernel launch.
 #[derive(Debug, Clone)]
@@ -111,6 +144,10 @@ pub struct LaunchOptions<'t> {
     /// Forces the number of host worker threads used for warp
     /// micro-execution; `None` uses `std::thread::available_parallelism()`.
     pub workers: Option<usize>,
+    /// Fault-injection plane gating this launch (see [`crate::fault`]).
+    /// `None` — and a plane with an empty schedule — leave simulated
+    /// behaviour unchanged.
+    pub fault_plane: Option<&'t FaultPlane>,
 }
 
 impl Default for LaunchOptions<'static> {
@@ -118,6 +155,7 @@ impl Default for LaunchOptions<'static> {
         Self {
             telemetry: &sj_telemetry::NULL,
             workers: None,
+            fault_plane: None,
         }
     }
 }
@@ -128,7 +166,14 @@ impl<'t> LaunchOptions<'t> {
         Self {
             telemetry,
             workers: None,
+            fault_plane: None,
         }
+    }
+
+    /// Builder-style: attach a fault-injection plane.
+    pub fn with_fault_plane(mut self, plane: &'t FaultPlane) -> Self {
+        self.fault_plane = Some(plane);
+        self
     }
 }
 
@@ -154,6 +199,39 @@ pub fn launch_with<S: WarpSource>(
     opts: &LaunchOptions<'_>,
 ) -> Result<LaunchReport, LaunchError> {
     let sw_total = Stopwatch::start();
+    let telemetry_on = opts.telemetry.is_enabled();
+
+    // Fault-plane admission. Transient and device-lost faults abort here,
+    // before any warp is constructed, so device state (queue counters) is
+    // exactly that of a launch that never reached the device. A forced
+    // overflow lets the launch run and surfaces at the gather step below,
+    // like a real capacity overflow.
+    let mut force_overflow = false;
+    if let Some(plane) = opts.fault_plane {
+        match plane.admit_launch() {
+            Ok(admission) => {
+                force_overflow = admission.force_overflow;
+                if telemetry_on && force_overflow {
+                    opts.telemetry.record(
+                        Event::new("warpsim.fault", "injected")
+                            .str("kind", "forced_overflow")
+                            .u64("launch_index", admission.launch_index),
+                    );
+                }
+            }
+            Err(err) => {
+                if telemetry_on {
+                    opts.telemetry.record(
+                        Event::new("warpsim.fault", "injected")
+                            .str("kind", err.class())
+                            .str("error", err.to_string()),
+                    );
+                }
+                return Err(err);
+            }
+        }
+    }
+
     let num_warps = source.num_warps();
     let issue_order = order.permutation(num_warps, gpu.warps_per_block() as usize);
 
@@ -202,7 +280,6 @@ pub fn launch_with<S: WarpSource>(
 
     // Phase 3: aggregate. Durations stay in issue order for the machine
     // model; pairs are appended in warp-id order for determinism.
-    let telemetry_on = opts.telemetry.is_enabled();
     let mut totals = WarpExecution {
         warp_size,
         ..WarpExecution::default()
@@ -232,6 +309,15 @@ pub fn launch_with<S: WarpSource>(
         pairs_emitted += sink.len();
         out.extend_from_slice(sink.pairs())
             .map_err(LaunchError::ResultOverflow)?;
+    }
+    if force_overflow {
+        // Synthesize the overflow the schedule demanded: report one more
+        // pair than the buffer could still have held.
+        return Err(LaunchError::ResultOverflow(BufferOverflow {
+            capacity: out.capacity(),
+            len: out.len(),
+            attempted: out.remaining() + 1,
+        }));
     }
 
     let machine = MachineModel::new(gpu.total_warp_slots());
@@ -419,6 +505,88 @@ mod tests {
         assert_eq!(r.warps, 0);
         assert_eq!(r.elapsed_cycles(), 0);
         assert_eq!(r.wee(), 1.0);
+    }
+
+    #[test]
+    fn fault_plane_transient_fails_before_construction() {
+        use crate::fault::{FaultPlane, FaultSchedule};
+        let gpu = GpuConfig::small_test();
+        let src = Emitter { warps: 4, lanes: 4 };
+        let plane = FaultPlane::new(FaultSchedule::new().transient_at(0));
+        let opts = LaunchOptions::default().with_fault_plane(&plane);
+        let mut out = DeviceBuffer::with_capacity(100);
+        let err = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap_err();
+        assert!(matches!(err, LaunchError::Transient(_)));
+        assert!(out.is_empty(), "failed launch must not write results");
+        // The next launch (index 1, unscheduled) succeeds.
+        let r = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap();
+        assert_eq!(r.pairs_emitted, 16);
+    }
+
+    #[test]
+    fn fault_plane_forced_overflow_surfaces_after_execution() {
+        use crate::fault::{FaultPlane, FaultSchedule};
+        let gpu = GpuConfig::small_test();
+        let src = Emitter { warps: 4, lanes: 4 };
+        let plane = FaultPlane::new(FaultSchedule::new().overflow_at(0));
+        let opts = LaunchOptions::default().with_fault_plane(&plane);
+        let mut out = DeviceBuffer::with_capacity(100);
+        let err = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap_err();
+        let LaunchError::ResultOverflow(overflow) = err else {
+            panic!("expected overflow, got {err:?}");
+        };
+        assert_eq!(overflow.capacity, 100);
+        assert!(overflow.len + overflow.attempted > overflow.capacity);
+    }
+
+    #[test]
+    fn fault_plane_device_lost_is_sticky() {
+        use crate::fault::{FaultPlane, FaultSchedule};
+        let gpu = GpuConfig::small_test();
+        let src = Emitter { warps: 2, lanes: 4 };
+        let plane = FaultPlane::new(FaultSchedule::new().device_lost_at(1));
+        let opts = LaunchOptions::default().with_fault_plane(&plane);
+        let mut out = DeviceBuffer::with_capacity(100);
+        launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap();
+        for _ in 0..3 {
+            let err = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap_err();
+            assert!(matches!(err, LaunchError::DeviceLost(_)));
+        }
+    }
+
+    #[test]
+    fn empty_fault_plane_changes_nothing() {
+        use crate::fault::{FaultPlane, FaultSchedule};
+        let gpu = GpuConfig::small_test();
+        let work: Vec<u32> = (0..50).map(|i| (i * 7) % 23 + 1).collect();
+        let src = UniformWarps {
+            work,
+            lanes_per_warp: 4,
+        };
+        let plane = FaultPlane::new(FaultSchedule::new());
+        let opts = LaunchOptions::default().with_fault_plane(&plane);
+        let mut out1 = DeviceBuffer::with_capacity(0);
+        let mut out2 = DeviceBuffer::with_capacity(0);
+        let plain = launch(&gpu, &src, IssueOrder::InOrder, &mut out1).unwrap();
+        let gated = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out2, &opts).unwrap();
+        assert_eq!(plain.elapsed_cycles(), gated.elapsed_cycles());
+        assert_eq!(plain.warp_cycles, gated.warp_cycles);
+        assert_eq!(plain.totals, gated.totals);
+        assert_eq!(out1.as_slice(), out2.as_slice());
+    }
+
+    #[test]
+    fn launch_error_sources_chain() {
+        use std::error::Error as _;
+        let overflow = LaunchError::ResultOverflow(BufferOverflow {
+            capacity: 1,
+            len: 1,
+            attempted: 2,
+        });
+        assert!(overflow.source().is_some());
+        let transient = LaunchError::Transient(crate::fault::TransientFault { launch_index: 0 });
+        assert!(transient.source().unwrap().to_string().contains("launch 0"));
+        assert_eq!(transient.class(), "transient");
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   result buffer ([`memory::DeviceBuffer`]), cooperative thread groups
 //!   ([`coop`]), and an analytic multi-stream transfer/kernel overlap model
 //!   ([`stream`]) for the batching scheme.
+//! - **Fault injection**: a deterministic, seeded [`fault::FaultPlane`]
+//!   attachable via [`kernel::LaunchOptions`] injects transient launch
+//!   failures, device-lost conditions, forced result overflows, queue-head
+//!   corruption, and transfer stalls on a reproducible schedule, so the
+//!   host-side recovery paths of the batching scheme can be exercised.
 //!
 //! Simulated time is counted in model cycles and converted to model seconds
 //! with [`config::GpuConfig::cycles_to_seconds`]. Absolute times are not
@@ -35,6 +40,7 @@
 pub mod atomics;
 pub mod config;
 pub mod coop;
+pub mod fault;
 pub mod kernel;
 pub mod lane;
 pub mod machine;
@@ -50,6 +56,10 @@ pub mod warp;
 pub use atomics::DeviceCounter;
 pub use config::{CostModel, GpuConfig};
 pub use coop::CoopGroups;
+pub use fault::{
+    CounterFault, DeviceLostFault, FaultPlane, FaultProfile, FaultSchedule, LaunchAdmission,
+    TransientFault,
+};
 pub use kernel::{launch, launch_with, LaunchError, LaunchOptions, LaunchReport, WarpSource};
 pub use lane::{LaneProgram, LaneSink};
 pub use machine::{MachineModel, MakespanReport};

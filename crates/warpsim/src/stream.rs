@@ -17,6 +17,9 @@ pub struct BatchTiming {
     /// Kernel execution time in model seconds.
     pub kernel_s: f64,
     /// Device-to-host transfer time of the batch's results, model seconds.
+    /// Injected transfer stalls (see [`crate::fault`]) are folded in here,
+    /// so a stalled batch occupies the copy engine for longer and delays
+    /// the stream's next kernel exactly as a slow real transfer would.
     pub transfer_s: f64,
 }
 

@@ -96,12 +96,13 @@ fn pathological_underestimate_recovers_by_replanning() {
 }
 
 #[test]
-fn heavy_tail_underestimate_doubles_the_plan_and_stays_exact() {
+fn heavy_tail_underestimate_splits_the_batch_and_stays_exact() {
     // Adversarial heavy tail: a dense coincident clump appended after the
     // uniform bulk. The tiny strided sample misses it entirely, so the 1%
-    // estimator under-estimates, the first plan's buffers overflow, and the
-    // executor must re-plan with a doubled batch count — all observable
-    // through the telemetry events, and none of it may change the result.
+    // estimator under-estimates, the planned batch overflows, and the
+    // executor recovers by splitting the failing batch — salvaging every
+    // completed batch — all observable through the telemetry events, and
+    // none of it may change the result.
     let spec = DatasetSpec::by_name("Unif2D2M").unwrap();
     let mut raw = spec.generate(2_000).into_raw();
     for _ in 0..140 {
@@ -150,20 +151,80 @@ fn heavy_tail_underestimate_doubles_the_plan_and_stays_exact() {
         .filter(|e| e.scope == "executor" && e.name == "overflow_recovery")
         .collect();
     assert!(!recoveries.is_empty(), "the first plan must overflow");
-    assert_eq!(
-        recoveries[0].field("failed_multiplier"),
-        Some(&sj_telemetry::Value::U64(1))
-    );
-    assert_eq!(
-        recoveries[0].field("retry_multiplier"),
-        Some(&sj_telemetry::Value::U64(2))
-    );
-    // Each recovery doubles the batch-count multiplier, so the executed plan
-    // has exactly 2^recoveries × the originally planned batches.
-    let doublings = 1usize << recoveries.len();
+    for r in &recoveries {
+        assert_eq!(
+            r.field("terminal"),
+            Some(&sj_telemetry::Value::Bool(false)),
+            "a recovered run must never record a terminal overflow"
+        );
+        assert!(r.field("left_queries").is_some() && r.field("right_queries").is_some());
+    }
+    // Every split adds exactly one batch over the original plan, and the
+    // split count is mirrored in the degradation report.
     assert_eq!(
         outcome.report.num_batches,
-        first_plan.num_batches() * doublings
+        first_plan.num_batches() + recoveries.len()
+    );
+    let degradation = outcome
+        .report
+        .degradation
+        .expect("overflow recovery must be reported");
+    assert_eq!(degradation.overflow_splits as usize, recoveries.len());
+    assert_eq!(
+        degradation.points_degraded, 0,
+        "overflow recovery stays on the GPU"
+    );
+    assert!(degradation.backoff_s > 0.0);
+}
+
+#[test]
+fn overflow_split_ceiling_surfaces_a_typed_error_with_terminal_telemetry() {
+    // The recovery budget is bounded: with a zero split budget the first
+    // overflow must surface as a typed error — not loop — and telemetry
+    // must record the terminal overflow_recovery event.
+    let spec = DatasetSpec::by_name("Unif2D2M").unwrap();
+    let mut raw = spec.generate(2_000).into_raw();
+    for _ in 0..140 {
+        raw.extend_from_slice(&[7.77, 7.77]);
+    }
+    let pts = epsgrid::DynPoints::from_interleaved(2, raw);
+    let eps = 0.05;
+    let config = SelfJoinConfig::new(eps)
+        .with_batching(BatchingConfig {
+            batch_result_capacity: 12_000,
+            sample_fraction: 0.0004,
+            safety_factor: 1.0,
+            ..BatchingConfig::default()
+        })
+        .with_retry(simjoin::RetryPolicy {
+            max_overflow_splits: 0,
+            ..simjoin::RetryPolicy::default()
+        });
+    let fixed = pts.as_fixed::<2>().unwrap();
+    let sink = sj_telemetry::JsonTelemetry::new("overflow ceiling");
+    let err = simjoin::SelfJoin::new(&fixed, config)
+        .unwrap()
+        .with_telemetry(&sink)
+        .run()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        simjoin::JoinError::Launch(warpsim::LaunchError::ResultOverflow(_))
+    ));
+    assert!(std::error::Error::source(&err).is_some(), "source() chains");
+    let terminals: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter(|e| {
+            e.scope == "executor"
+                && e.name == "overflow_recovery"
+                && e.field("terminal") == Some(&sj_telemetry::Value::Bool(true))
+        })
+        .collect();
+    assert_eq!(terminals.len(), 1, "exactly one terminal recovery event");
+    assert_eq!(
+        terminals[0].field("splits_used"),
+        Some(&sj_telemetry::Value::U64(0))
     );
 }
 

@@ -1,0 +1,213 @@
+//! Chaos suite for the fault-injection plane: under *any* fault schedule the
+//! join must return either the exact brute-force pair set or a typed error —
+//! never a silently wrong result. The suite also pins the two guarantees the
+//! plane's design leans on: same-seed runs are bit-for-bit repeatable, and an
+//! attached-but-empty plane is indistinguishable from no plane at all.
+//!
+//! CI shifts the seed matrix without editing this file by exporting
+//! `CHAOS_SEED_BASE` (default 0); every seeded test offsets its seeds by it.
+
+use proptest::prelude::*;
+use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig};
+use sj_integration_support::{brute_force_dyn, join_dyn_chaos};
+use sj_telemetry::{Event, JsonTelemetry, Value, NULL};
+use sjdata::DatasetSpec;
+use warpsim::{FaultPlane, FaultProfile, FaultSchedule};
+
+const BALANCINGS: [Balancing; 3] = [
+    Balancing::None,
+    Balancing::SortByWorkload,
+    Balancing::WorkQueue,
+];
+
+fn seed_base() -> u64 {
+    std::env::var("CHAOS_SEED_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A small skewed dataset: dense enough that every fault class in the named
+/// profiles can actually land (multiple launches, non-trivial buffers).
+fn chaos_dataset() -> (epsgrid::DynPoints, f32) {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(400);
+    let eps = spec.epsilons[2] * 1.5;
+    (pts, eps)
+}
+
+/// Batching tight enough to split the run into several batches, so mid-join
+/// faults leave salvageable completed work behind.
+fn small_batches(expected_pairs: usize) -> BatchingConfig {
+    BatchingConfig {
+        batch_result_capacity: expected_pairs / 3 + 8,
+        ..BatchingConfig::default()
+    }
+}
+
+/// Telemetry events with host wall-clock fields removed: only the model
+/// (pairs, cycles, model seconds) is deterministic across runs, so
+/// byte-identity claims must ignore `host_ns`-style observations.
+fn model_events(sink: &JsonTelemetry) -> Vec<Event> {
+    sink.events()
+        .into_iter()
+        .map(|mut e| {
+            e.fields.retain(|(k, _)| !k.contains("host"));
+            e
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every named fault profile, any seed, any balancing: the join either
+    /// matches brute force exactly or fails with a typed, renderable error.
+    #[test]
+    fn seeded_profiles_are_exact_or_typed(
+        seed in 0u64..1_000_000,
+        profile_idx in 0usize..6,
+        balancing_idx in 0usize..3,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let name = FaultProfile::names()[profile_idx];
+        let profile = FaultProfile::by_name(name).unwrap();
+        let plane = FaultPlane::seeded(seed_base().wrapping_add(seed), &profile);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(small_batches(expected.len()));
+        match join_dyn_chaos(&pts, config, &plane, &NULL) {
+            Ok((pairs, report)) => {
+                prop_assert_eq!(pairs, expected, "profile {} corrupted the result", name);
+                // Any injected fault must be visible in the report.
+                if plane.injected_faults() > 0 {
+                    prop_assert!(report.degradation.is_some(), "profile {}", name);
+                }
+            }
+            Err(err) => {
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Hand-composed schedules (not just the named profiles): the builder
+    /// combinators stack without breaking exactness.
+    #[test]
+    fn composed_schedules_are_exact_or_typed(
+        transient_launch in 0u64..4,
+        bump in 1u64..16,
+        stall_s in 1e-3f64..0.5,
+        overflow_launch in 0u64..4,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let schedule = FaultSchedule::new()
+            .transient_at(transient_launch)
+            .counter_bump_at(2, bump)
+            .transfer_stall_at(1, stall_s)
+            .overflow_at(overflow_launch);
+        let plane = FaultPlane::new(schedule);
+        let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+        match join_dyn_chaos(&pts, config, &plane, &NULL) {
+            Ok((pairs, _)) => prop_assert_eq!(pairs, expected),
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_to_the_same_outcome() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    for name in FaultProfile::names() {
+        let profile = FaultProfile::by_name(name).unwrap();
+        let run = || {
+            let plane = FaultPlane::seeded(seed_base().wrapping_add(42), &profile);
+            let config =
+                SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+            let outcome = join_dyn_chaos(&pts, config, &plane, &NULL);
+            (outcome, plane.injected_faults())
+        };
+        let (first, first_faults) = run();
+        let (second, second_faults) = run();
+        assert_eq!(first_faults, second_faults, "{name}: fault count drifted");
+        match (first, second) {
+            (Ok((pairs_a, report_a)), Ok((pairs_b, report_b))) => {
+                assert_eq!(pairs_a, pairs_b, "{name}: pair set drifted");
+                assert_eq!(
+                    report_a.response_time_s(),
+                    report_b.response_time_s(),
+                    "{name}: model time drifted"
+                );
+                assert_eq!(
+                    report_a.degradation, report_b.degradation,
+                    "{name}: recovery accounting drifted"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{name}"),
+            (a, b) => panic!("{name}: outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_plane_run_is_identical_to_no_plane_run() {
+    let (pts, eps) = chaos_dataset();
+    let config = SelfJoinConfig::optimized(eps);
+
+    let bare_sink = JsonTelemetry::new("no-plane");
+    let bare = SelfJoin::new(&pts.as_fixed::<2>().unwrap(), config.clone())
+        .unwrap()
+        .with_telemetry(&bare_sink)
+        .run()
+        .unwrap();
+
+    let plane = FaultPlane::new(FaultSchedule::new());
+    let plane_sink = JsonTelemetry::new("empty-plane");
+    let (pairs, report) = join_dyn_chaos(&pts, config, &plane, &plane_sink).unwrap();
+
+    assert_eq!(plane.injected_faults(), 0);
+    assert_eq!(pairs, bare.result.sorted_pairs());
+    assert_eq!(report.response_time_s(), bare.report.response_time_s());
+    assert_eq!(report.pipeline.total_s, bare.report.pipeline.total_s);
+    assert_eq!(report.totals.cycles, bare.report.totals.cycles);
+    assert!(
+        report.degradation.is_none(),
+        "clean run must not report recovery"
+    );
+    // Event-for-event identical once host wall-clock observations are
+    // stripped — attaching an idle plane changes nothing the model can see.
+    assert_eq!(model_events(&plane_sink), model_events(&bare_sink));
+}
+
+#[test]
+fn device_lost_mid_join_degrades_with_visible_report() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let plane = FaultPlane::new(FaultSchedule::new().device_lost_at(1));
+    let sink = JsonTelemetry::new("device-lost");
+    let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+    let (pairs, report) = join_dyn_chaos(&pts, config, &plane, &sink).unwrap();
+
+    assert_eq!(pairs, expected, "degraded join must still be exact");
+    let d = report.degradation.expect("device loss must be reported");
+    assert!(d.device_lost);
+    assert!(d.batches_salvaged >= 1, "at least one GPU batch salvaged");
+    assert!(d.points_degraded > 0, "remaining points went to the CPU");
+    assert!(d.cpu_pairs > 0);
+    assert!(d.cpu_model_s > 0.0);
+
+    // The degradation must be visible in telemetry, not only in the report.
+    let events = sink.events_named("executor", "degradation");
+    assert_eq!(events.len(), 1);
+    let event = &events[0];
+    assert_eq!(
+        event.field("points_degraded"),
+        Some(&Value::U64(d.points_degraded as u64))
+    );
+    assert_eq!(event.field("cpu_pairs"), Some(&Value::U64(d.cpu_pairs)));
+    let summary = sink.events_named("executor", "join_summary");
+    assert_eq!(summary.len(), 1);
+    assert_eq!(summary[0].field("degraded"), Some(&Value::Bool(true)));
+}

@@ -61,6 +61,37 @@ pub fn join_dyn(
     }
 }
 
+/// Runs a GPU self-join with a fault plane and telemetry attached. `Err`
+/// carries the typed error — an acceptable chaos outcome, unlike a wrong
+/// pair set.
+pub fn join_dyn_chaos(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+    plane: &warpsim::FaultPlane,
+    telemetry: &dyn sj_telemetry::Telemetry,
+) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport), simjoin::JoinError> {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn sj_telemetry::Telemetry,
+    ) -> Result<(Vec<(u32, u32)>, simjoin::JoinReport), simjoin::JoinError> {
+        let outcome = simjoin::SelfJoin::new(pts, config)?
+            .with_telemetry(telemetry)
+            .with_fault_plane(plane)
+            .run()?;
+        Ok((outcome.result.sorted_pairs(), outcome.report))
+    }
+    match points.dims() {
+        2 => run(&points.as_fixed::<2>().unwrap(), config, plane, telemetry),
+        3 => run(&points.as_fixed::<3>().unwrap(), config, plane, telemetry),
+        4 => run(&points.as_fixed::<4>().unwrap(), config, plane, telemetry),
+        5 => run(&points.as_fixed::<5>().unwrap(), config, plane, telemetry),
+        6 => run(&points.as_fixed::<6>().unwrap(), config, plane, telemetry),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
 /// Runs SUPER-EGO over a dimension-erased dataset and returns sorted pairs.
 pub fn superego_dyn(points: &DynPoints, eps: f32) -> Vec<(u32, u32)> {
     fn run<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
