@@ -1,29 +1,110 @@
 //! The experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick | --scale <f>] [--eps-stride <n>] [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
+//! experiments [--quick | --scale <f>] [--eps-stride <n>] [--jobs <n>] \
+//!             [--step-mode stepped|runlength] \
+//!             [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
 //! ```
 //!
 //! With no experiment names, runs everything. Output is markdown on stdout;
 //! tee it into `EXPERIMENTS.md` material. Each experiment also writes a
 //! schema-versioned telemetry document to `results/<name>_telemetry.json`
-//! (disable with `--no-telemetry`; the sink never changes results).
+//! (disable with `--no-telemetry`; the sink never changes results), and
+//! every invocation records host wall-clock times per experiment — plus a
+//! stepped-vs-run-length micro-benchmark of a fully converged 32-lane warp —
+//! to `results/bench_baseline.json`.
+//!
+//! Neither `--jobs` nor `--step-mode` can change any table: sweep cells are
+//! reassembled in input order and the two step modes are bit-identical, so
+//! stdout diffs clean across both knobs (CI verifies the step modes).
+
+use std::time::Instant;
 
 use sj_bench::experiments::{ExperimentScale, Experiments};
+use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--no-telemetry] [EXPERIMENT]...\n\
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--no-telemetry] [EXPERIMENT]...\n\
          experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos\n\
          (chaos is not part of `all`: it exercises the fault-injection plane and resilient recovery)"
     );
     std::process::exit(2);
 }
 
+/// Wall-clock of one fully converged 32-lane warp scanning `cands`
+/// candidates per lane, per step mode — the headline case for the
+/// run-length fast path.
+fn fastpath_micro(cands: u32) -> (f64, f64) {
+    use warpsim::lane::FixedWorkLane;
+    use warpsim::{execute_warp_with, LaneSink, Op, OpKind};
+    const LANES: u32 = 32;
+    const ITERS: u32 = 200;
+    let op = Op::new(OpKind::Distance, 18);
+    let time = |mode: StepMode| {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let mut lanes: Vec<FixedWorkLane> =
+                (0..LANES).map(|_| FixedWorkLane::new(cands, op)).collect();
+            let mut sink = LaneSink::new();
+            std::hint::black_box(execute_warp_with(&mut lanes, LANES, &mut sink, mode));
+        }
+        start.elapsed().as_secs_f64() / ITERS as f64
+    };
+    (time(StepMode::Stepped), time(StepMode::RunLength))
+}
+
+fn write_baseline(
+    scale: ExperimentScale,
+    jobs: usize,
+    step_mode: StepMode,
+    timings: &[(String, f64)],
+) {
+    const FASTPATH_CANDS: u32 = 2_048;
+    let (stepped_s, runlength_s) = fastpath_micro(FASTPATH_CANDS);
+    let speedup = if runlength_s > 0.0 {
+        stepped_s / runlength_s
+    } else {
+        f64::INFINITY
+    };
+    let mut json = String::from("{\n  \"schema\": \"bench_baseline/1\",\n");
+    json.push_str(&format!(
+        "  \"points_scale\": {},\n  \"eps_stride\": {},\n  \"jobs\": {},\n  \"step_mode\": \"{}\",\n",
+        scale.points_scale,
+        scale.eps_stride,
+        jobs,
+        step_mode.name()
+    ));
+    json.push_str("  \"experiments\": [\n");
+    for (i, (name, wall)) in timings.iter().enumerate() {
+        let sep = if i + 1 < timings.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"sim_wall_s\": {wall:.6}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"warp_fastpath\": {{\"lanes\": 32, \"candidates\": {FASTPATH_CANDS}, \
+         \"stepped_s\": {stepped_s:.9}, \"runlength_s\": {runlength_s:.9}, \
+         \"speedup\": {speedup:.2}}}\n}}\n"
+    ));
+    let path = std::path::Path::new("results").join("bench_baseline.json");
+    let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, json));
+    match write {
+        Ok(()) => eprintln!(
+            "[baseline] wrote {} (fastpath speedup {speedup:.1}x)",
+            path.display()
+        ),
+        Err(e) => eprintln!("[baseline] failed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let mut scale = ExperimentScale::full();
     let mut names: Vec<String> = Vec::new();
     let mut telemetry = true;
+    let mut jobs: Option<usize> = None;
+    let mut step_mode = StepMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,6 +118,14 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 scale.eps_stride = v.parse().unwrap_or_else(|_| usage());
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--step-mode" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                step_mode = StepMode::parse(&v).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => names.push(other.to_string()),
@@ -49,11 +138,17 @@ fn main() {
     if telemetry {
         exp.artifact_dir = Some("results".into());
     }
+    if let Some(jobs) = jobs {
+        exp.jobs = jobs.max(1);
+    }
+    exp.step_mode = step_mode;
     println!(
         "# Experiment suite (points_scale = {}, eps_stride = {})",
         scale.points_scale, scale.eps_stride
     );
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for name in names {
+        let start = Instant::now();
         match name.as_str() {
             "all" => drop(exp.run_all()),
             "table1" => drop(exp.table1()),
@@ -70,5 +165,7 @@ fn main() {
             "chaos" => drop(exp.chaos()),
             _ => usage(),
         }
+        timings.push((name, start.elapsed().as_secs_f64()));
     }
+    write_baseline(scale, exp.jobs, step_mode, &timings);
 }

@@ -18,13 +18,14 @@
 
 use std::cell::RefCell;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use epsgrid::DynPoints;
 use simjoin::{AccessPattern, Balancing, BatchingConfig, SelfJoinConfig};
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
-use warpsim::{CostModel, IssueOrder};
+use warpsim::{CostModel, IssueOrder, StepMode};
 
 use crate::cpu_model::CpuModel;
 use crate::harness::{
@@ -74,7 +75,129 @@ pub struct Experiments {
     /// experiment (`None` disables artifact writing — runs are unaffected
     /// either way; the sink is observation-only).
     pub artifact_dir: Option<PathBuf>,
+    /// Host worker threads used for the (dataset, ε, variant) sweep cells of
+    /// the figure experiments. Table rows and result ordering are
+    /// deterministic regardless; with `jobs > 1` only the *interleaving* of
+    /// telemetry events across concurrent cells varies between runs.
+    pub jobs: usize,
+    /// Warp simulator step mode for every GPU run (host-side only; simulated
+    /// results are bit-identical across modes — CI diffs both).
+    pub step_mode: StepMode,
     sink: RefCell<Option<Arc<JsonTelemetry>>>,
+}
+
+/// The `Sync` subset of the driver that executes one sweep cell, so cells
+/// can run on [`par_map`] worker threads (`Experiments` itself holds a
+/// `RefCell` and cannot cross threads).
+struct CellRunner {
+    sink: Option<Arc<JsonTelemetry>>,
+    cpu: CpuModel,
+}
+
+impl CellRunner {
+    fn run(&self, pts: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
+        let Some(sink) = self.sink.as_ref() else {
+            return run_join_dyn(pts, config);
+        };
+        let r = run_join_dyn_with(pts, config, sink.as_ref());
+        sink.record(
+            Event::new("bench", "gpu_run")
+                .str("variant", r.label.clone())
+                .u64("pairs", r.pairs as u64)
+                .u64("batches", r.batches as u64)
+                .u64("distance_calcs", r.distance_calcs)
+                .f64("response_model_s", r.response_s)
+                .f64("wee", r.wee)
+                .f64("warp_cv", r.warp_cv)
+                .f64("sim_wall_s", r.sim_wall.as_secs_f64()),
+        );
+        r
+    }
+
+    fn sego(&self, pts: &DynPoints, eps: f32) -> CpuRunResult {
+        match self.sink.as_ref() {
+            Some(s) => {
+                run_superego_dyn_with(pts, eps, &self.cpu, &CostModel::default(), s.as_ref())
+            }
+            None => run_superego_dyn(pts, eps, &self.cpu, &CostModel::default()),
+        }
+    }
+}
+
+/// One sweep cell of a figure experiment: a GPU variant run or the SUPER-EGO
+/// CPU comparator, against the dataset at `usize`-indexed position.
+// A figure's cell list holds tens of entries for the duration of one sweep,
+// so the Gpu variant's inline config outweighing Cpu is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Cell {
+    Gpu(usize, SelfJoinConfig),
+    Cpu(usize, f32),
+}
+
+/// The outcome of a [`Cell`].
+enum CellOut {
+    Gpu(GpuRunResult),
+    Cpu(CpuRunResult),
+}
+
+impl CellOut {
+    fn gpu(self) -> GpuRunResult {
+        match self {
+            CellOut::Gpu(r) => r,
+            CellOut::Cpu(_) => panic!("expected a GPU cell"),
+        }
+    }
+
+    fn cpu(self) -> CpuRunResult {
+        match self {
+            CellOut::Cpu(r) => r,
+            CellOut::Gpu(_) => panic!("expected a CPU cell"),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads. Results come back
+/// in input order no matter how the cells were scheduled, so every table
+/// built from them is deterministic.
+fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        let item = slot
+                            .lock()
+                            .expect("sweep cell poisoned")
+                            .take()
+                            .expect("sweep cell claimed twice");
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope failed");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 impl Experiments {
@@ -83,6 +206,8 @@ impl Experiments {
         Self {
             scale,
             artifact_dir: None,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            step_mode: StepMode::default(),
             sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
@@ -120,7 +245,18 @@ impl Experiments {
     }
 
     fn config(&self, eps: f32) -> SelfJoinConfig {
-        SelfJoinConfig::new(eps).with_batching(self.batching)
+        SelfJoinConfig::new(eps)
+            .with_batching(self.batching)
+            .with_step_mode(self.step_mode)
+    }
+
+    /// Snapshot of the state a sweep cell needs, detached from the
+    /// non-`Sync` driver so it can cross into [`par_map`] workers.
+    fn runner(&self) -> CellRunner {
+        CellRunner {
+            sink: self.sink.borrow().clone(),
+            cpu: self.cpu,
+        }
     }
 
     /// Opens a fresh telemetry document for `name` (no-op when
@@ -163,33 +299,17 @@ impl Experiments {
     }
 
     fn run(&self, pts: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
-        let sink = self.sink.borrow().clone();
-        let Some(sink) = sink else {
-            return run_join_dyn(pts, config);
-        };
-        let r = run_join_dyn_with(pts, config, sink.as_ref());
-        sink.record(
-            Event::new("bench", "gpu_run")
-                .str("variant", r.label.clone())
-                .u64("pairs", r.pairs as u64)
-                .u64("batches", r.batches as u64)
-                .u64("distance_calcs", r.distance_calcs)
-                .f64("response_model_s", r.response_s)
-                .f64("wee", r.wee)
-                .f64("warp_cv", r.warp_cv)
-                .f64("sim_wall_s", r.sim_wall.as_secs_f64()),
-        );
-        r
+        self.runner().run(pts, config)
     }
 
-    fn sego(&self, pts: &DynPoints, eps: f32) -> CpuRunResult {
-        let sink = self.sink.borrow().clone();
-        match sink {
-            Some(s) => {
-                run_superego_dyn_with(pts, eps, &self.cpu, &CostModel::default(), s.as_ref())
-            }
-            None => run_superego_dyn(pts, eps, &self.cpu, &CostModel::default()),
-        }
+    /// Executes a flat list of sweep [`Cell`]s on `self.jobs` workers and
+    /// returns their outcomes in input order.
+    fn sweep(&self, data: &[(DatasetSpec, DynPoints)], cells: Vec<Cell>) -> Vec<CellOut> {
+        let runner = self.runner();
+        par_map(self.jobs, cells, |cell| match cell {
+            Cell::Gpu(di, config) => CellOut::Gpu(runner.run(&data[di].1, config)),
+            Cell::Cpu(di, eps) => CellOut::Cpu(runner.sego(&data[di].1, eps)),
+        })
     }
 
     /// Table I: the dataset inventory (paper size vs scaled size).
@@ -226,33 +346,48 @@ impl Experiments {
             "LID-UNICOMP",
             "best",
         ]);
-        for name in ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"] {
-            let (spec, pts) = self.dataset(name);
-            for eps in self.epsilons(&spec) {
-                let full = self.run(&pts, self.config(eps));
-                let uni = self.run(&pts, self.config(eps).with_pattern(AccessPattern::Unicomp));
-                let lid = self.run(
-                    &pts,
+        let data: Vec<_> = ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"]
+            .into_iter()
+            .map(|n| self.dataset(n))
+            .collect();
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for (di, (spec, _)) in data.iter().enumerate() {
+            for eps in self.epsilons(spec) {
+                rows.push((di, eps));
+                cells.push(Cell::Gpu(di, self.config(eps)));
+                cells.push(Cell::Gpu(
+                    di,
+                    self.config(eps).with_pattern(AccessPattern::Unicomp),
+                ));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps).with_pattern(AccessPattern::LidUnicomp),
-                );
-                let best = [
-                    ("GPUCALCGLOBAL", full.response_s),
-                    ("UNICOMP", uni.response_s),
-                    ("LID-UNICOMP", lid.response_s),
-                ]
-                .into_iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap()
-                .0;
-                t.row(vec![
-                    name.to_string(),
-                    format!("{eps}"),
-                    fmt_time(full.response_s),
-                    fmt_time(uni.response_s),
-                    fmt_time(lid.response_s),
-                    best.to_string(),
-                ]);
+                ));
             }
+        }
+        let mut results = self.sweep(&data, cells).into_iter();
+        for (di, eps) in rows {
+            let full = results.next().unwrap().gpu();
+            let uni = results.next().unwrap().gpu();
+            let lid = results.next().unwrap().gpu();
+            let best = [
+                ("GPUCALCGLOBAL", full.response_s),
+                ("UNICOMP", uni.response_s),
+                ("LID-UNICOMP", lid.response_s),
+            ]
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+            t.row(vec![
+                data[di].0.name.clone(),
+                format!("{eps}"),
+                fmt_time(full.response_s),
+                fmt_time(uni.response_s),
+                fmt_time(lid.response_s),
+                best.to_string(),
+            ]);
         }
         let out = emit(
             "Fig. 9 — cell access patterns, response time vs eps (k = 1)",
@@ -308,19 +443,30 @@ impl Experiments {
     pub fn fig10(&self) -> String {
         self.begin_experiment("fig10");
         let mut t = Table::new(vec!["dataset", "eps", "k=1", "k=8", "k=8 speedup"]);
-        for name in ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"] {
-            let (spec, pts) = self.dataset(name);
-            for eps in self.epsilons(&spec) {
-                let k1 = self.run(&pts, self.config(eps));
-                let k8 = self.run(&pts, self.config(eps).with_k(8));
-                t.row(vec![
-                    name.to_string(),
-                    format!("{eps}"),
-                    fmt_time(k1.response_s),
-                    fmt_time(k8.response_s),
-                    fmt_speedup(k1.response_s / k8.response_s),
-                ]);
+        let data: Vec<_> = ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"]
+            .into_iter()
+            .map(|n| self.dataset(n))
+            .collect();
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for (di, (spec, _)) in data.iter().enumerate() {
+            for eps in self.epsilons(spec) {
+                rows.push((di, eps));
+                cells.push(Cell::Gpu(di, self.config(eps)));
+                cells.push(Cell::Gpu(di, self.config(eps).with_k(8)));
             }
+        }
+        let mut results = self.sweep(&data, cells).into_iter();
+        for (di, eps) in rows {
+            let k1 = results.next().unwrap().gpu();
+            let k8 = results.next().unwrap().gpu();
+            t.row(vec![
+                data[di].0.name.clone(),
+                format!("{eps}"),
+                fmt_time(k1.response_s),
+                fmt_time(k8.response_s),
+                fmt_speedup(k1.response_s / k8.response_s),
+            ]);
         }
         let out = emit(
             "Fig. 10 — thread granularity (k = 1 vs k = 8), GPUCALCGLOBAL",
@@ -371,33 +517,48 @@ impl Experiments {
             "WORKQUEUE",
             "best",
         ]);
-        for name in ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"] {
-            let (spec, pts) = self.dataset(name);
-            for eps in self.epsilons(&spec) {
-                let base = self.run(&pts, self.config(eps));
-                let sorted = self.run(
-                    &pts,
+        let data: Vec<_> = ["Expo2D2M", "Expo6D2M", "Unif2D2M", "Unif6D2M"]
+            .into_iter()
+            .map(|n| self.dataset(n))
+            .collect();
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for (di, (spec, _)) in data.iter().enumerate() {
+            for eps in self.epsilons(spec) {
+                rows.push((di, eps));
+                cells.push(Cell::Gpu(di, self.config(eps)));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps).with_balancing(Balancing::SortByWorkload),
-                );
-                let queued = self.run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue));
-                let best = [
-                    ("GPUCALCGLOBAL", base.response_s),
-                    ("SORTBYWL", sorted.response_s),
-                    ("WORKQUEUE", queued.response_s),
-                ]
-                .into_iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap()
-                .0;
-                t.row(vec![
-                    name.to_string(),
-                    format!("{eps}"),
-                    fmt_time(base.response_s),
-                    fmt_time(sorted.response_s),
-                    fmt_time(queued.response_s),
-                    best.to_string(),
-                ]);
+                ));
+                cells.push(Cell::Gpu(
+                    di,
+                    self.config(eps).with_balancing(Balancing::WorkQueue),
+                ));
             }
+        }
+        let mut results = self.sweep(&data, cells).into_iter();
+        for (di, eps) in rows {
+            let base = results.next().unwrap().gpu();
+            let sorted = results.next().unwrap().gpu();
+            let queued = results.next().unwrap().gpu();
+            let best = [
+                ("GPUCALCGLOBAL", base.response_s),
+                ("SORTBYWL", sorted.response_s),
+                ("WORKQUEUE", queued.response_s),
+            ]
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+            t.row(vec![
+                data[di].0.name.clone(),
+                format!("{eps}"),
+                fmt_time(base.response_s),
+                fmt_time(sorted.response_s),
+                fmt_time(queued.response_s),
+                best.to_string(),
+            ]);
         }
         let out = emit("Fig. 11 — workload sorting and the work queue", t.render());
         self.end_experiment("fig11");
@@ -456,42 +617,60 @@ impl Experiments {
             "WQ+k8",
             "WQ+LID+k8",
         ]);
-        for name in ["SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"] {
-            let (spec, pts) = self.dataset(name);
-            for eps in self.epsilons(&spec) {
-                let base = self.run(&pts, self.config(eps));
-                let sego = self.sego(&pts, eps);
-                let wq = self.run(&pts, self.config(eps).with_balancing(Balancing::WorkQueue));
-                let wq_lid = self.run(
-                    &pts,
+        let data: Vec<_> = ["SW2DA", "SW2DB", "SW3DA", "SW3DB", "Gaia"]
+            .into_iter()
+            .map(|n| self.dataset(n))
+            .collect();
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for (di, (spec, _)) in data.iter().enumerate() {
+            for eps in self.epsilons(spec) {
+                rows.push((di, eps));
+                cells.push(Cell::Gpu(di, self.config(eps)));
+                cells.push(Cell::Cpu(di, eps));
+                cells.push(Cell::Gpu(
+                    di,
+                    self.config(eps).with_balancing(Balancing::WorkQueue),
+                ));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps)
                         .with_balancing(Balancing::WorkQueue)
                         .with_pattern(AccessPattern::LidUnicomp),
-                );
-                let wq_k8 = self.run(
-                    &pts,
+                ));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps)
                         .with_balancing(Balancing::WorkQueue)
                         .with_k(8),
-                );
-                let all = self.run(
-                    &pts,
+                ));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps)
                         .with_balancing(Balancing::WorkQueue)
                         .with_pattern(AccessPattern::LidUnicomp)
                         .with_k(8),
-                );
-                t.row(vec![
-                    name.to_string(),
-                    format!("{eps}"),
-                    fmt_time(base.response_s),
-                    fmt_time(sego.model_s),
-                    fmt_time(wq.response_s),
-                    fmt_time(wq_lid.response_s),
-                    fmt_time(wq_k8.response_s),
-                    fmt_time(all.response_s),
-                ]);
+                ));
             }
+        }
+        let mut results = self.sweep(&data, cells).into_iter();
+        for (di, eps) in rows {
+            let base = results.next().unwrap().gpu();
+            let sego = results.next().unwrap().cpu();
+            let wq = results.next().unwrap().gpu();
+            let wq_lid = results.next().unwrap().gpu();
+            let wq_k8 = results.next().unwrap().gpu();
+            let all = results.next().unwrap().gpu();
+            t.row(vec![
+                data[di].0.name.clone(),
+                format!("{eps}"),
+                fmt_time(base.response_s),
+                fmt_time(sego.model_s),
+                fmt_time(wq.response_s),
+                fmt_time(wq_lid.response_s),
+                fmt_time(wq_k8.response_s),
+                fmt_time(all.response_s),
+            ]);
         }
         let out = emit(
             "Fig. 12 — real-world datasets, response time vs eps",
@@ -564,29 +743,38 @@ impl Experiments {
         let mut vs_cpu: Vec<f64> = Vec::new();
         let mut vs_gpu: Vec<f64> = Vec::new();
         let all_names: Vec<String> = DatasetSpec::table1().into_iter().map(|s| s.name).collect();
-        for name in &all_names {
-            let (spec, pts) = self.dataset(name);
-            for eps in self.epsilons(&spec) {
-                let base = self.run(&pts, self.config(eps));
-                let sego = self.sego(&pts, eps);
-                let best = self.run(
-                    &pts,
+        let data: Vec<_> = all_names.iter().map(|n| self.dataset(n)).collect();
+        let mut rows = Vec::new();
+        let mut cells = Vec::new();
+        for (di, (spec, _)) in data.iter().enumerate() {
+            for eps in self.epsilons(spec) {
+                rows.push((di, eps));
+                cells.push(Cell::Gpu(di, self.config(eps)));
+                cells.push(Cell::Cpu(di, eps));
+                cells.push(Cell::Gpu(
+                    di,
                     self.config(eps)
                         .with_balancing(Balancing::WorkQueue)
                         .with_pattern(AccessPattern::LidUnicomp)
                         .with_k(8),
-                );
-                let s_cpu = sego.model_s / best.response_s;
-                let s_gpu = base.response_s / best.response_s;
-                vs_cpu.push(s_cpu);
-                vs_gpu.push(s_gpu);
-                t.row(vec![
-                    name.clone(),
-                    format!("{eps}"),
-                    fmt_speedup(s_cpu),
-                    fmt_speedup(s_gpu),
-                ]);
+                ));
             }
+        }
+        let mut results = self.sweep(&data, cells).into_iter();
+        for (di, eps) in rows {
+            let base = results.next().unwrap().gpu();
+            let sego = results.next().unwrap().cpu();
+            let best = results.next().unwrap().gpu();
+            let s_cpu = sego.model_s / best.response_s;
+            let s_gpu = base.response_s / best.response_s;
+            vs_cpu.push(s_cpu);
+            vs_gpu.push(s_gpu);
+            t.row(vec![
+                data[di].0.name.clone(),
+                format!("{eps}"),
+                fmt_speedup(s_cpu),
+                fmt_speedup(s_gpu),
+            ]);
         }
         let summary = |v: &[f64]| {
             let max = v.iter().copied().fold(f64::MIN, f64::max);

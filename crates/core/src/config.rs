@@ -1,6 +1,6 @@
 //! Self-join configuration: which kernel variant, which mitigations.
 
-use warpsim::{GpuConfig, IssueOrder};
+use warpsim::{GpuConfig, IssueOrder, StepMode};
 
 use crate::batching::BatchingConfig;
 use crate::fallback::CpuFallbackModel;
@@ -153,6 +153,9 @@ pub struct SelfJoinConfig {
     /// The host CPU model used when the join degrades to the exact CPU
     /// fallback after persistent device failure.
     pub cpu_fallback: CpuFallbackModel,
+    /// How the warp simulator advances lockstep rounds (host-side only;
+    /// simulated results are bit-identical across modes).
+    pub step_mode: StepMode,
 }
 
 impl SelfJoinConfig {
@@ -170,6 +173,7 @@ impl SelfJoinConfig {
             issue_override: None,
             retry: RetryPolicy::default(),
             cpu_fallback: CpuFallbackModel::default(),
+            step_mode: StepMode::default(),
         }
     }
 
@@ -216,6 +220,12 @@ impl SelfJoinConfig {
     /// Builder-style: set the retry/recovery policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder-style: set the warp simulator step mode.
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 

@@ -480,6 +480,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             };
             let mut opts = LaunchOptions::with_telemetry(self.telemetry);
             opts.fault_plane = self.fault;
+            opts.step_mode = c.step_mode;
             match launch_with(&c.gpu, &source, issue_order, &mut buffer, &opts) {
                 Ok(launch_report) => {
                     // Queue-drain invariant, promoted from a debug assert:

@@ -18,7 +18,7 @@
 //! [`ResolvedPatterns`] table shared by all batches.
 
 use epsgrid::{euclidean_dist_sq, GridIndex, Point};
-use warpsim::{CostModel, DeviceCounter, LaneProgram, LaneSink, Op, WarpSource};
+use warpsim::{CostModel, DeviceCounter, LaneProgram, LaneSink, Op, RunClaim, WarpSource};
 
 use crate::config::AccessPattern;
 use crate::patterns::{probes_for, ProbeRelation};
@@ -80,6 +80,19 @@ enum LanePhase {
     Done,
 }
 
+/// Memoized lookahead over the current `Scan` slice, built lazily by
+/// [`RangeQueryLane::peek_run`] and consumed step by step (or in one
+/// `commit_run`) so candidate distances are never computed twice.
+#[derive(Debug, Clone, Copy)]
+struct RunMemo {
+    /// Distance steps remaining in the claimed run.
+    len: u32,
+    /// Whether the run's final step finds an in-ε candidate: the emission
+    /// (and the switch to the `Emit` phase) is deferred to that step,
+    /// matching the unmemoized `Scan` arm exactly.
+    emit_at_end: bool,
+}
+
 /// The per-lane state machine of the range-query kernel.
 #[derive(Debug, Clone)]
 pub struct RangeQueryLane<'a, const N: usize> {
@@ -102,6 +115,7 @@ pub struct RangeQueryLane<'a, const N: usize> {
     cur_rel: ProbeRelation,
     pos: u32,
     hi: u32,
+    memo: Option<RunMemo>,
 }
 
 impl<'a, const N: usize> RangeQueryLane<'a, N> {
@@ -139,6 +153,7 @@ impl<'a, const N: usize> RangeQueryLane<'a, N> {
             cur_rel: ProbeRelation::AllBidirectional,
             pos: 0,
             hi: 0,
+            memo: None,
         }
     }
 
@@ -149,6 +164,33 @@ impl<'a, const N: usize> RangeQueryLane<'a, N> {
         let lo = base_lo + (n * self.rank as u64 / self.k as u64) as u32;
         let hi = base_lo + (n * (self.rank as u64 + 1) / self.k as u64) as u32;
         (lo, hi)
+    }
+
+    /// Advances `n` memoized `Scan` steps. The deferred emission — if the
+    /// memo ends on an in-ε candidate — fires on the run's final step, so
+    /// this is bit-identical to `n` unmemoized `step` calls.
+    fn memo_advance(&mut self, n: u32, sink: &mut LaneSink) {
+        let memo = self.memo.as_mut().expect("advance without a claimed run");
+        debug_assert!(n <= memo.len, "commit past the claimed run");
+        if n == 0 {
+            return;
+        }
+        self.pos += n;
+        memo.len -= n;
+        if memo.len == 0 {
+            let emit = memo.emit_at_end;
+            self.memo = None;
+            if emit {
+                let cand = self.grid.cell_points(self.cur_cell as usize)[self.pos as usize - 1];
+                match self.cur_rel {
+                    ProbeRelation::AllBidirectional => sink.emit(self.query, cand),
+                    ProbeRelation::AllSymmetric | ProbeRelation::OwnCellForward => {
+                        sink.emit_symmetric(self.query, cand)
+                    }
+                }
+                self.phase = LanePhase::Emit;
+            }
+        }
     }
 }
 
@@ -200,6 +242,12 @@ impl<const N: usize> LaneProgram for RangeQueryLane<'_, N> {
                         self.phase = LanePhase::NextProbe;
                         continue;
                     }
+                    if self.memo.is_some() {
+                        // A peeked-but-divergent round: consume one step of
+                        // the memo instead of recomputing the distance.
+                        self.memo_advance(1, sink);
+                        return Some(self.dist_op);
+                    }
                     let cand = self.grid.cell_points(self.cur_cell as usize)[self.pos as usize];
                     self.pos += 1;
                     let d2 = euclidean_dist_sq(
@@ -224,6 +272,55 @@ impl<const N: usize> LaneProgram for RangeQueryLane<'_, N> {
                 LanePhase::Done => return None,
             }
         }
+    }
+
+    fn peek_run(&mut self) -> Option<RunClaim> {
+        if self.phase != LanePhase::Scan || self.pos >= self.hi {
+            // Prologue/setup/lookup/emit steps are all single ops followed
+            // by a phase change; only the candidate scan has runs to claim.
+            return None;
+        }
+        let memo = match self.memo {
+            Some(m) => m,
+            None => {
+                // One pass over the remaining slice: either the first in-ε
+                // candidate ends the run (its distance step also emits), or
+                // the run covers the whole slice. The distances computed
+                // here are exactly the ones the claimed steps would have
+                // computed, so nothing is evaluated twice.
+                let cands = self.grid.cell_points(self.cur_cell as usize);
+                let q = &self.points[self.query as usize];
+                let mut memo = RunMemo {
+                    len: self.hi - self.pos,
+                    emit_at_end: false,
+                };
+                let slice = &cands[self.pos as usize..self.hi as usize];
+                for (off, &cand) in slice.iter().enumerate() {
+                    let d2 = euclidean_dist_sq(q, &self.points[cand as usize]);
+                    if d2 <= self.eps_sq && cand != self.query {
+                        memo = RunMemo {
+                            len: off as u32 + 1,
+                            emit_at_end: true,
+                        };
+                        break;
+                    }
+                }
+                self.memo = Some(memo);
+                memo
+            }
+        };
+        Some(RunClaim {
+            op: self.dist_op,
+            len: memo.len,
+        })
+    }
+
+    fn commit_run(&mut self, n: u32, sink: &mut LaneSink) {
+        debug_assert!(
+            self.phase == LanePhase::Scan,
+            "commit outside a claimed Scan run"
+        );
+        self.memo_advance(n, sink);
     }
 }
 
@@ -594,6 +691,53 @@ mod tests {
         let art = t1.render_ascii(40);
         assert_eq!(art.lines().count(), 8);
         assert!(art.contains('.'), "idle periods must be visible");
+    }
+
+    #[test]
+    fn step_modes_are_bit_identical_on_real_kernels() {
+        use warpsim::{launch_with, LaunchOptions, StepMode};
+        let pts = clustered_points();
+        let eps = 0.12;
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        let queries: Vec<u32> = (0..pts.len() as u32).collect();
+        let gpu = GpuConfig {
+            warp_size: 8,
+            block_size: 16,
+            ..GpuConfig::small_test()
+        };
+        for pattern in [
+            AccessPattern::FullWindow,
+            AccessPattern::Unicomp,
+            AccessPattern::LidUnicomp,
+        ] {
+            let resolved = ResolvedPatterns::compute(&grid, pattern);
+            for k in [1u32, 2, 4] {
+                let src = JoinKernelSource {
+                    grid: &grid,
+                    points: &pts,
+                    resolved: &resolved,
+                    epsilon: eps,
+                    k,
+                    warp_size: gpu.warp_size,
+                    cost: gpu.cost,
+                    assignment: Assignment::Static { queries: &queries },
+                    num_groups: pts.len(),
+                };
+                let run = |mode: StepMode| {
+                    let mut out = DeviceBuffer::with_capacity(1_000_000);
+                    let opts = LaunchOptions::default().with_step_mode(mode);
+                    let r = launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap();
+                    (out.into_vec(), r)
+                };
+                let (pairs_s, rep_s) = run(StepMode::Stepped);
+                let (pairs_f, rep_f) = run(StepMode::RunLength);
+                // Exact emission order, not just the sorted pair set.
+                assert_eq!(pairs_s, pairs_f, "pattern {pattern:?}, k={k}");
+                assert_eq!(rep_s.totals, rep_f.totals, "pattern {pattern:?}, k={k}");
+                assert_eq!(rep_s.warp_cycles, rep_f.warp_cycles);
+                assert_eq!(rep_s.makespan.makespan, rep_f.makespan.makespan);
+            }
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl DatasetSpec {
     /// All fifteen datasets of Table I, with scaled default sizes.
     pub fn table1() -> Vec<DatasetSpec> {
         let mut specs = Vec::new();
-        let synth_n = 60_000;
+        let synth_n = 100_000;
         for dims in 2..=6usize {
             let extent = uniform_extent(dims, synth_n, 64.0);
             specs.push(DatasetSpec {
@@ -122,7 +122,7 @@ impl DatasetSpec {
             name: "SW2DA".into(),
             dims: 2,
             paper_points: 1_860_000,
-            default_points: 50_000,
+            default_points: 80_000,
             family: DatasetFamily::Sw2d,
             epsilons: vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.4],
             seed: 0x5EED_2001,
@@ -131,7 +131,7 @@ impl DatasetSpec {
             name: "SW2DB".into(),
             dims: 2,
             paper_points: 5_160_000,
-            default_points: 100_000,
+            default_points: 160_000,
             family: DatasetFamily::Sw2d,
             epsilons: vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
             seed: 0x5EED_2002,
@@ -140,7 +140,7 @@ impl DatasetSpec {
             name: "SW3DA".into(),
             dims: 3,
             paper_points: 1_860_000,
-            default_points: 50_000,
+            default_points: 80_000,
             family: DatasetFamily::Sw3d,
             epsilons: vec![0.8, 1.2, 1.6, 2.0, 2.4, 2.8],
             seed: 0x5EED_2003,
@@ -149,7 +149,7 @@ impl DatasetSpec {
             name: "SW3DB".into(),
             dims: 3,
             paper_points: 5_160_000,
-            default_points: 100_000,
+            default_points: 160_000,
             family: DatasetFamily::Sw3d,
             epsilons: vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.4],
             seed: 0x5EED_2004,
@@ -158,7 +158,7 @@ impl DatasetSpec {
             name: "Gaia".into(),
             dims: 2,
             paper_points: 50_000_000,
-            default_points: 120_000,
+            default_points: 200_000,
             family: DatasetFamily::Gaia {
                 scale_height_deg: 12.0,
             },

@@ -18,7 +18,7 @@ use crate::machine::{MachineModel, MakespanReport};
 use crate::memory::{BufferOverflow, DeviceBuffer};
 use crate::metrics::WarpStatsSummary;
 use crate::scheduler::IssueOrder;
-use crate::warp::{execute_warp, WarpExecution};
+use crate::warp::{execute_warp_with, StepMode, WarpExecution};
 
 /// Describes the warps of one kernel launch.
 pub trait WarpSource: Sync {
@@ -133,7 +133,7 @@ impl LaunchReport {
 
 /// Host-side options for [`launch_with`].
 ///
-/// Both knobs are purely host-side: they may change how fast the simulation
+/// Every knob is purely host-side: they may change how fast the simulation
 /// itself runs and what gets observed, but never the simulated results
 /// (pair sets, cycle counts, WEE). [`launch`] uses the defaults.
 pub struct LaunchOptions<'t> {
@@ -148,6 +148,10 @@ pub struct LaunchOptions<'t> {
     /// `None` — and a plane with an empty schedule — leave simulated
     /// behaviour unchanged.
     pub fault_plane: Option<&'t FaultPlane>,
+    /// How warps are advanced through their lockstep rounds: the default
+    /// [`StepMode::RunLength`] fast path, or the [`StepMode::Stepped`]
+    /// oracle. Bit-identical simulated results either way.
+    pub step_mode: StepMode,
 }
 
 impl Default for LaunchOptions<'static> {
@@ -156,6 +160,7 @@ impl Default for LaunchOptions<'static> {
             telemetry: &sj_telemetry::NULL,
             workers: None,
             fault_plane: None,
+            step_mode: StepMode::default(),
         }
     }
 }
@@ -167,12 +172,19 @@ impl<'t> LaunchOptions<'t> {
             telemetry,
             workers: None,
             fault_plane: None,
+            step_mode: StepMode::default(),
         }
     }
 
     /// Builder-style: attach a fault-injection plane.
     pub fn with_fault_plane(mut self, plane: &'t FaultPlane) -> Self {
         self.fault_plane = Some(plane);
+        self
+    }
+
+    /// Builder-style: select the warp step mode.
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 }
@@ -255,6 +267,7 @@ pub fn launch_with<S: WarpSource>(
             .unwrap_or(1)
     });
     let chunk_size = num_warps.div_ceil(workers.max(1)).max(1);
+    let step_mode = opts.step_mode;
     if num_warps > 0 {
         crossbeam::thread::scope(|s| {
             let mut warps_rest: &mut [(u32, Vec<S::Lane>)] = &mut warps;
@@ -268,7 +281,7 @@ pub fn launch_with<S: WarpSource>(
                 s.spawn(move |_| {
                     for ((warp_id, lanes), slot) in w_chunk.iter_mut().zip(s_chunk.iter_mut()) {
                         let mut sink = LaneSink::new();
-                        let exec = execute_warp(lanes, warp_size, &mut sink);
+                        let exec = execute_warp_with(lanes, warp_size, &mut sink, step_mode);
                         *slot = Some((*warp_id, exec, sink));
                     }
                 });

@@ -2,6 +2,21 @@
 
 use crate::op::Op;
 
+/// A claim that a lane's next `len` steps all issue the same op.
+///
+/// Returned by [`LaneProgram::peek_run`], consumed by the warp executor's
+/// run-length fast path: when every live lane of a warp claims the same op,
+/// the executor advances `min(len)` lockstep rounds with one accounting
+/// update instead of stepping each round individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunClaim {
+    /// The op every one of the next `len` steps will issue.
+    pub op: Op,
+    /// How many consecutive steps are covered. A claim of `0` carries no
+    /// information and is ignored by the executor (equivalent to `None`).
+    pub len: u32,
+}
+
 /// A resumable per-lane instruction stream.
 ///
 /// Each call to [`LaneProgram::step`] performs the side effects of one SIMT
@@ -9,9 +24,44 @@ use crate::op::Op;
 /// the [`LaneSink`]) and returns the op's descriptor, or `None` once the lane
 /// has retired. The warp executor drives all lanes of a warp in lockstep and
 /// serializes divergent steps.
+///
+/// # Run-length contract
+///
+/// A lane may optionally implement [`LaneProgram::peek_run`] to tell the
+/// executor that its next `R` steps all issue the same op, letting fully
+/// converged warps advance `min(Rᵢ)` rounds in O(1). The defaults
+/// (`peek_run` → `None`, `commit_run` → `n` repeated `step`s) keep every
+/// existing lane program valid and bit-identical. Implementations must
+/// uphold:
+///
+/// - the next `len` calls to `step` return `Some(op)` with exactly the
+///   claimed op (so a claimed lane cannot retire or diverge mid-run);
+/// - side effects on the [`LaneSink`] within a claimed run occur only at the
+///   run's **final** step, so committing lanes one after another in lane
+///   order reproduces the stepped round-by-round emission order exactly;
+/// - `commit_run(n)` for any `n ≤ len` leaves the lane in the same state as
+///   `n` calls to `step` (partial commits happen when another lane's claim
+///   is shorter).
 pub trait LaneProgram {
     /// Advance the lane by one op. Returns `None` when the lane has retired.
     fn step(&mut self, sink: &mut LaneSink) -> Option<Op>;
+
+    /// Claims a run of identical upcoming ops (see the trait-level
+    /// run-length contract). `None` — the default — claims nothing beyond
+    /// the trivial single next step.
+    fn peek_run(&mut self) -> Option<RunClaim> {
+        None
+    }
+
+    /// Advances the lane by `n` steps of a previously claimed run. The
+    /// default replays `n` individual [`LaneProgram::step`] calls;
+    /// implementations may override it with an O(1) state update.
+    fn commit_run(&mut self, n: u32, sink: &mut LaneSink) {
+        for _ in 0..n {
+            let op = self.step(sink);
+            debug_assert!(op.is_some(), "lane retired inside a claimed run");
+        }
+    }
 }
 
 /// Collects the outputs of a warp's lanes.
@@ -90,6 +140,18 @@ impl LaneProgram for FixedWorkLane {
             Some(self.op)
         }
     }
+
+    fn peek_run(&mut self) -> Option<RunClaim> {
+        (self.remaining > 0).then_some(RunClaim {
+            op: self.op,
+            len: self.remaining,
+        })
+    }
+
+    fn commit_run(&mut self, n: u32, _sink: &mut LaneSink) {
+        debug_assert!(n <= self.remaining, "commit past the claimed run");
+        self.remaining -= n;
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +180,38 @@ mod tests {
         }
         assert_eq!(steps, 3);
         assert!(lane.step(&mut sink).is_none(), "retired lanes stay retired");
+    }
+
+    #[test]
+    fn fixed_work_lane_claims_its_remaining_run() {
+        let op = Op::new(OpKind::Distance, 10);
+        let mut lane = FixedWorkLane::new(5, op);
+        assert_eq!(lane.peek_run(), Some(RunClaim { op, len: 5 }));
+        let mut sink = LaneSink::new();
+        lane.commit_run(3, &mut sink);
+        assert_eq!(lane.peek_run().map(|c| c.len), Some(2));
+        lane.commit_run(2, &mut sink);
+        assert!(lane.peek_run().is_none());
+        assert!(lane.step(&mut sink).is_none());
+    }
+
+    #[test]
+    fn default_commit_run_replays_steps() {
+        // A lane relying on the trait's default commit_run: stepping and
+        // committing must be interchangeable.
+        struct Plain(u32);
+        impl LaneProgram for Plain {
+            fn step(&mut self, _s: &mut LaneSink) -> Option<Op> {
+                (self.0 > 0).then(|| {
+                    self.0 -= 1;
+                    Op::new(OpKind::Emit, 8)
+                })
+            }
+        }
+        let mut lane = Plain(4);
+        let mut sink = LaneSink::new();
+        lane.commit_run(3, &mut sink);
+        assert_eq!(lane.0, 1);
+        assert!(lane.peek_run().is_none(), "default claims nothing");
     }
 }

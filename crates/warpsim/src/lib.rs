@@ -61,7 +61,7 @@ pub use fault::{
     TransientFault,
 };
 pub use kernel::{launch, launch_with, LaunchError, LaunchOptions, LaunchReport, WarpSource};
-pub use lane::{LaneProgram, LaneSink};
+pub use lane::{LaneProgram, LaneSink, RunClaim};
 pub use machine::{MachineModel, MakespanReport};
 pub use memory::{BufferOverflow, DeviceBuffer};
 pub use metrics::WarpStatsSummary;
@@ -69,5 +69,5 @@ pub use occupancy::{occupancy, resident_warps_per_sm, KernelResources, SmLimits}
 pub use op::{Op, OpKind, NUM_OP_KINDS};
 pub use scheduler::IssueOrder;
 pub use stream::{BatchTiming, PipelineReport, StreamPipeline};
-pub use trace::{trace_warp, WarpTrace};
-pub use warp::{execute_warp, WarpExecution};
+pub use trace::{trace_warp, trace_warp_with, WarpTrace};
+pub use warp::{execute_warp, execute_warp_with, StepMode, WarpExecution};

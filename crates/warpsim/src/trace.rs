@@ -10,6 +10,7 @@
 
 use crate::lane::{LaneProgram, LaneSink};
 use crate::op::Op;
+use crate::warp::StepMode;
 
 /// One lockstep round of a traced warp.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,10 +76,25 @@ impl WarpTrace {
 
 /// Executes a warp in lockstep (same semantics as
 /// [`crate::warp::execute_warp`]) while recording the occupancy timeline.
+/// Uses the default [`StepMode`]; the recorded rounds are bit-identical
+/// across modes (a claimed run expands into its individual rounds).
 pub fn trace_warp<L: LaneProgram>(
     lanes: &mut [L],
     warp_size: u32,
     sink: &mut LaneSink,
+) -> WarpTrace {
+    trace_warp_with(lanes, warp_size, sink, StepMode::default())
+}
+
+/// [`trace_warp`] with an explicit [`StepMode`]. In
+/// [`StepMode::RunLength`], a fully-converged claimed run is committed in
+/// one go and expanded into `run` identical [`TraceRound`]s, so the trace
+/// matches stepped execution round for round.
+pub fn trace_warp_with<L: LaneProgram>(
+    lanes: &mut [L],
+    warp_size: u32,
+    sink: &mut LaneSink,
+    mode: StepMode,
 ) -> WarpTrace {
     assert!(
         lanes.len() <= warp_size as usize,
@@ -91,6 +107,45 @@ pub fn trace_warp<L: LaneProgram>(
     let mut retired = vec![false; lanes.len()];
     let mut live = lanes.len();
     while live > 0 {
+        if mode == StepMode::RunLength {
+            // Fast path mirror of `execute_warp`'s converged-run skip.
+            let mut converged: Option<(Op, u32)> = None;
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if retired[i] {
+                    continue;
+                }
+                match lane.peek_run() {
+                    Some(claim) if claim.len > 0 => match &mut converged {
+                        None => converged = Some((claim.op, claim.len)),
+                        Some((op, len)) if *op == claim.op => *len = (*len).min(claim.len),
+                        Some(_) => {
+                            converged = None;
+                            break;
+                        }
+                    },
+                    _ => {
+                        converged = None;
+                        break;
+                    }
+                }
+            }
+            if let Some((op, run)) = converged {
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    if !retired[i] {
+                        lane.commit_run(run, sink);
+                    }
+                }
+                let active: Vec<bool> = retired.iter().map(|&r| !r).collect();
+                for _ in 0..run {
+                    trace.rounds.push(TraceRound {
+                        active: active.clone(),
+                        groups: 1,
+                        cycles: op.cycles as u64,
+                    });
+                }
+                continue;
+            }
+        }
         let mut active = vec![false; lanes.len()];
         let mut groups: std::collections::BTreeMap<Op, u32> = std::collections::BTreeMap::new();
         for (i, lane) in lanes.iter_mut().enumerate() {

@@ -5,6 +5,44 @@ use std::collections::BTreeMap;
 use crate::lane::{LaneProgram, LaneSink};
 use crate::op::{Op, NUM_OP_KINDS};
 
+/// How the executor advances a warp through its lockstep rounds.
+///
+/// Purely a host-side knob: both modes produce bit-identical simulated
+/// results (cycles, issued, WEE, lane-op histograms, divergent rounds, pair
+/// emission order) — the differential test suite asserts it. The run-length
+/// mode only changes how fast the *simulation* runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// The original round-by-round interpreter: every lockstep round steps
+    /// every live lane once. Kept as the oracle for differential testing.
+    Stepped,
+    /// The converged-execution fast path: when every live lane claims a run
+    /// of identical ops (see [`LaneProgram::peek_run`]), the executor
+    /// advances `min(len)` rounds with one O(1) accounting update, falling
+    /// back to allocation-free stepped rounds whenever lanes diverge.
+    #[default]
+    RunLength,
+}
+
+impl StepMode {
+    /// Parses a CLI-style name (`"stepped"` / `"runlength"`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "stepped" => Some(StepMode::Stepped),
+            "runlength" | "run-length" => Some(StepMode::RunLength),
+            _ => None,
+        }
+    }
+
+    /// Short machine-readable name (CLI / telemetry field value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepMode::Stepped => "stepped",
+            StepMode::RunLength => "runlength",
+        }
+    }
+}
+
 /// The outcome of micro-executing one warp: its serialized duration and the
 /// statistics from which warp execution efficiency is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +92,42 @@ impl WarpExecution {
     }
 }
 
+/// Divergence groups of one lockstep round, bucketed into a fixed array
+/// indexed by [`crate::op::OpKind`] — no per-round allocation once the tiny
+/// per-kind vectors have warmed up. Within a kind the groups are kept sorted
+/// by cycle cost, so iterating kinds in index order and costs ascending
+/// reproduces `BTreeMap<Op, u32>`'s `(kind, cycles)` iteration order exactly
+/// (`OpKind::index` order matches `OpKind`'s derived `Ord`).
+#[derive(Default)]
+struct GroupTable {
+    /// Per kind: `(op cycles, lane count)`, sorted ascending by cycles.
+    by_kind: [Vec<(u32, u32)>; NUM_OP_KINDS],
+    /// Number of distinct `(kind, cycles)` groups this round.
+    groups: u32,
+}
+
+impl GroupTable {
+    fn clear(&mut self) {
+        if self.groups > 0 {
+            for slot in &mut self.by_kind {
+                slot.clear();
+            }
+            self.groups = 0;
+        }
+    }
+
+    fn insert(&mut self, op: Op) {
+        let slot = &mut self.by_kind[op.kind.index()];
+        match slot.binary_search_by_key(&op.cycles, |&(c, _)| c) {
+            Ok(i) => slot[i].1 += 1,
+            Err(i) => {
+                slot.insert(i, (op.cycles, 1));
+                self.groups += 1;
+            }
+        }
+    }
+}
+
 /// Micro-executes one warp's lanes in lockstep.
 ///
 /// Each round, every unfinished lane produces its next [`Op`]. Lanes whose
@@ -62,10 +136,25 @@ impl WarpExecution {
 /// lanes masked (idle) — the SIMT branch-serialization rule. A lane that has
 /// retired stays masked for the remainder of the warp's execution, which is
 /// precisely how intra-warp load imbalance wastes execution slots.
+///
+/// Uses the default [`StepMode::RunLength`] fast path; see
+/// [`execute_warp_with`] for the explicit-mode variant.
 pub fn execute_warp<L: LaneProgram>(
     lanes: &mut [L],
     warp_size: u32,
     sink: &mut LaneSink,
+) -> WarpExecution {
+    execute_warp_with(lanes, warp_size, sink, StepMode::default())
+}
+
+/// [`execute_warp`] with an explicit [`StepMode`]. Both modes are
+/// bit-identical in every simulated result; `Stepped` is the slow oracle
+/// kept alive for differential testing.
+pub fn execute_warp_with<L: LaneProgram>(
+    lanes: &mut [L],
+    warp_size: u32,
+    sink: &mut LaneSink,
+    mode: StepMode,
 ) -> WarpExecution {
     assert!(
         lanes.len() <= warp_size as usize,
@@ -73,12 +162,23 @@ pub fn execute_warp<L: LaneProgram>(
         lanes.len(),
         warp_size
     );
+    match mode {
+        StepMode::Stepped => execute_stepped(lanes, warp_size, sink),
+        StepMode::RunLength => execute_run_length(lanes, warp_size, sink),
+    }
+}
+
+/// The original round-by-round interpreter (the differential oracle).
+fn execute_stepped<L: LaneProgram>(
+    lanes: &mut [L],
+    warp_size: u32,
+    sink: &mut LaneSink,
+) -> WarpExecution {
     let mut exec = WarpExecution {
         lanes: lanes.len() as u32,
         warp_size,
         ..WarpExecution::default()
     };
-    let mut pending: Vec<Option<Op>> = vec![None; lanes.len()];
     let mut retired: Vec<bool> = vec![false; lanes.len()];
     let mut live = lanes.len();
 
@@ -91,12 +191,10 @@ pub fn execute_warp<L: LaneProgram>(
             }
             match lane.step(sink) {
                 Some(op) => {
-                    pending[i] = Some(op);
                     *groups.entry(op).or_insert(0) += 1;
                 }
                 None => {
                     retired[i] = true;
-                    pending[i] = None;
                     live -= 1;
                 }
             }
@@ -112,6 +210,97 @@ pub fn execute_warp<L: LaneProgram>(
             exec.cycles += op.cycles as u64;
             exec.active_lane_slots += lane_count as u64;
             exec.lane_ops_by_kind[op.kind.index()] += lane_count as u64;
+        }
+    }
+    exec
+}
+
+/// The run-length fast path: skips fully-converged stretches in O(1) and
+/// handles divergent rounds with the allocation-free [`GroupTable`].
+fn execute_run_length<L: LaneProgram>(
+    lanes: &mut [L],
+    warp_size: u32,
+    sink: &mut LaneSink,
+) -> WarpExecution {
+    let mut exec = WarpExecution {
+        lanes: lanes.len() as u32,
+        warp_size,
+        ..WarpExecution::default()
+    };
+    let mut retired: Vec<bool> = vec![false; lanes.len()];
+    let mut live = lanes.len();
+    let mut table = GroupTable::default();
+
+    while live > 0 {
+        // Fast path: every live lane claims a run of the same op — advance
+        // min(len) converged rounds with one accounting update. Zero-length
+        // claims carry no information and force the slow path.
+        let mut converged: Option<(Op, u32)> = None;
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            if retired[i] {
+                continue;
+            }
+            match lane.peek_run() {
+                Some(claim) if claim.len > 0 => match &mut converged {
+                    None => converged = Some((claim.op, claim.len)),
+                    Some((op, len)) if *op == claim.op => *len = (*len).min(claim.len),
+                    Some(_) => {
+                        converged = None;
+                        break;
+                    }
+                },
+                _ => {
+                    converged = None;
+                    break;
+                }
+            }
+        }
+        if let Some((op, run)) = converged {
+            // Commit in lane order: the run-length contract confines sink
+            // effects to a claimed run's final step, so this reproduces the
+            // stepped round-by-round emission order exactly.
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if !retired[i] {
+                    lane.commit_run(run, sink);
+                }
+            }
+            // `run` fully-converged rounds: one issue of `op` per round with
+            // every live lane active, and no divergence.
+            let run = run as u64;
+            exec.issued += run;
+            exec.cycles += op.cycles as u64 * run;
+            exec.active_lane_slots += live as u64 * run;
+            exec.lane_ops_by_kind[op.kind.index()] += live as u64 * run;
+            continue;
+        }
+
+        // Slow path: one stepped round, grouped without allocating.
+        table.clear();
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            if retired[i] {
+                continue;
+            }
+            match lane.step(sink) {
+                Some(op) => table.insert(op),
+                None => {
+                    retired[i] = true;
+                    live -= 1;
+                }
+            }
+        }
+        if table.groups == 0 {
+            break;
+        }
+        if table.groups > 1 {
+            exec.divergent_rounds += 1;
+        }
+        for (kind_index, slot) in table.by_kind.iter().enumerate() {
+            for &(cycles, lane_count) in slot {
+                exec.issued += 1;
+                exec.cycles += cycles as u64;
+                exec.active_lane_slots += lane_count as u64;
+                exec.lane_ops_by_kind[kind_index] += lane_count as u64;
+            }
         }
     }
     exec
@@ -211,6 +400,80 @@ mod tests {
         let mut lanes = vec![FixedWorkLane::new(1, dist_op()); 5];
         let mut sink = LaneSink::new();
         let _ = execute_warp(&mut lanes, 4, &mut sink);
+    }
+
+    #[test]
+    fn modes_agree_on_skewed_work_with_claims() {
+        let work = [10u32, 1, 7, 3];
+        let make = || -> Vec<FixedWorkLane> {
+            work.iter()
+                .map(|&w| FixedWorkLane::new(w, dist_op()))
+                .collect()
+        };
+        let (mut a, mut b) = (make(), make());
+        let stepped = execute_warp_with(&mut a, 4, &mut LaneSink::new(), StepMode::Stepped);
+        let fast = execute_warp_with(&mut b, 4, &mut LaneSink::new(), StepMode::RunLength);
+        assert_eq!(stepped, fast);
+        assert_eq!(fast.issued, 10);
+        assert_eq!(fast.cycles, 100);
+    }
+
+    #[test]
+    fn zero_length_claims_fall_back_to_stepped_rounds() {
+        // A lane that claims R = 0 every round: the executor must treat it
+        // as no-claim (degenerate run) and still execute correctly.
+        struct ZeroClaim(u32);
+        impl LaneProgram for ZeroClaim {
+            fn step(&mut self, _s: &mut LaneSink) -> Option<Op> {
+                (self.0 > 0).then(|| {
+                    self.0 -= 1;
+                    Op::new(OpKind::Distance, 10)
+                })
+            }
+            fn peek_run(&mut self) -> Option<crate::lane::RunClaim> {
+                Some(crate::lane::RunClaim {
+                    op: Op::new(OpKind::Distance, 10),
+                    len: 0,
+                })
+            }
+        }
+        let mut lanes = vec![ZeroClaim(5), ZeroClaim(5)];
+        let exec = execute_warp_with(&mut lanes, 4, &mut LaneSink::new(), StepMode::RunLength);
+        assert_eq!(exec.issued, 5);
+        assert_eq!(exec.cycles, 50);
+        assert_eq!(exec.divergent_rounds, 0);
+    }
+
+    #[test]
+    fn same_kind_different_cost_ops_diverge_identically_in_both_modes() {
+        // Two Distance groups with different cycle costs plus an Emit group:
+        // three divergence groups per round, grouped by the fixed-array
+        // table in RunLength mode and the BTreeMap in Stepped mode.
+        #[derive(Clone)]
+        struct Fixed(u32, Op);
+        impl LaneProgram for Fixed {
+            fn step(&mut self, _s: &mut LaneSink) -> Option<Op> {
+                (self.0 > 0).then(|| {
+                    self.0 -= 1;
+                    self.1
+                })
+            }
+        }
+        let make = || {
+            vec![
+                Fixed(4, Op::new(OpKind::Distance, 10)),
+                Fixed(4, Op::new(OpKind::Distance, 25)),
+                Fixed(4, Op::new(OpKind::Emit, 8)),
+                Fixed(2, Op::new(OpKind::Distance, 10)),
+            ]
+        };
+        let (mut a, mut b) = (make(), make());
+        let stepped = execute_warp_with(&mut a, 4, &mut LaneSink::new(), StepMode::Stepped);
+        let fast = execute_warp_with(&mut b, 4, &mut LaneSink::new(), StepMode::RunLength);
+        assert_eq!(stepped, fast);
+        assert_eq!(fast.divergent_rounds, 4);
+        assert_eq!(fast.lane_ops_by_kind[OpKind::Distance.index()], 10);
+        assert_eq!(fast.lane_ops_by_kind[OpKind::Emit.index()], 4);
     }
 
     #[test]

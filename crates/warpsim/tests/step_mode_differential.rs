@@ -1,0 +1,178 @@
+//! Differential property tests: [`StepMode::RunLength`] must be
+//! bit-identical to the [`StepMode::Stepped`] oracle — same
+//! [`warpsim::WarpExecution`], same trace rounds, same pairs in the same
+//! emission order — over adversarial lane programs that exercise every
+//! corner of the run-length contract: zero-length claims, lanes that never
+//! claim, claims shorter than the true run, tail warps, and lanes retiring
+//! while neighbours are mid-run.
+
+use proptest::prelude::*;
+use warpsim::lane::FixedWorkLane;
+use warpsim::{
+    execute_warp_with, launch_with, trace_warp_with, DeviceBuffer, GpuConfig, IssueOrder, LaneSink,
+    LaunchOptions, Op, OpKind, RunClaim, StepMode, WarpSource,
+};
+
+/// One homogeneous stretch of a scripted lane: `len` copies of `op`, with an
+/// emission on the stretch's final step when `emit_at_end` is set.
+/// `claim_cap` throttles what the lane claims: `0` claims nothing at all
+/// (the executor must fall back to stepped rounds), otherwise the claim is
+/// `min(claim_cap, steps left in the stretch)` — so claims routinely end
+/// short of the true run.
+#[derive(Debug, Clone)]
+struct Segment {
+    op: Op,
+    len: u32,
+    claim_cap: u32,
+    emit_at_end: bool,
+}
+
+/// A lane program driven by a generated script of [`Segment`]s. Honors the
+/// run-length contract: claims never span a segment boundary, so the only
+/// sink effect (the end-of-segment emission) can only land on a claimed
+/// run's final step.
+#[derive(Debug, Clone)]
+struct ScriptLane {
+    id: u32,
+    segments: Vec<Segment>,
+    seg: usize,
+    done_in_seg: u32,
+}
+
+impl ScriptLane {
+    fn new(id: u32, segments: Vec<Segment>) -> Self {
+        Self {
+            id,
+            segments,
+            seg: 0,
+            done_in_seg: 0,
+        }
+    }
+}
+
+impl warpsim::LaneProgram for ScriptLane {
+    fn step(&mut self, sink: &mut LaneSink) -> Option<Op> {
+        let segment = self.segments.get(self.seg)?;
+        let op = segment.op;
+        self.done_in_seg += 1;
+        if self.done_in_seg == segment.len {
+            if segment.emit_at_end {
+                sink.emit(self.id, self.seg as u32);
+            }
+            self.seg += 1;
+            self.done_in_seg = 0;
+        }
+        Some(op)
+    }
+
+    fn peek_run(&mut self) -> Option<RunClaim> {
+        let segment = self.segments.get(self.seg)?;
+        if segment.claim_cap == 0 {
+            return None;
+        }
+        let remaining = segment.len - self.done_in_seg;
+        Some(RunClaim {
+            op: segment.op,
+            len: remaining.min(segment.claim_cap),
+        })
+    }
+    // Deliberately relies on the trait's default `commit_run` (step replay):
+    // the O(1) overrides are covered by `FixedWorkLane` and the range-query
+    // kernel lanes.
+}
+
+const OP_KINDS: [OpKind; 4] = [
+    OpKind::Setup,
+    OpKind::Distance,
+    OpKind::Emit,
+    OpKind::Atomic,
+];
+
+type RawSegment = ((usize, u32), (u32, u32), bool);
+
+fn segments_from(raw: &[RawSegment]) -> Vec<Segment> {
+    raw.iter()
+        .map(|&((kind, cycles), (len, claim_cap), emit_at_end)| Segment {
+            op: Op::new(OP_KINDS[kind % OP_KINDS.len()], cycles),
+            len,
+            claim_cap,
+            emit_at_end,
+        })
+        .collect()
+}
+
+fn raw_warp() -> impl Strategy<Value = Vec<Vec<RawSegment>>> {
+    // Up to 8 lanes against warp_size 8: tail warps (fewer lanes than the
+    // warp width) and the empty warp are both generated. claim_cap spans 0
+    // (never claims) through caps far above any segment length.
+    prop::collection::vec(
+        prop::collection::vec(
+            ((0usize..4, 1u32..12), (1u32..10, 0u32..14), any::<bool>()),
+            0..6,
+        ),
+        0..9,
+    )
+}
+
+proptest! {
+    /// The fast path reproduces the oracle bit for bit on scripted warps:
+    /// execution counters, trace rounds, and pair emission order.
+    #[test]
+    fn step_modes_agree_on_adversarial_scripts(raw in raw_warp()) {
+        let make = || -> Vec<ScriptLane> {
+            raw.iter()
+                .enumerate()
+                .map(|(i, segs)| ScriptLane::new(i as u32, segments_from(segs)))
+                .collect()
+        };
+
+        let (mut a, mut b) = (make(), make());
+        let (mut sink_a, mut sink_b) = (LaneSink::new(), LaneSink::new());
+        let stepped = execute_warp_with(&mut a, 8, &mut sink_a, StepMode::Stepped);
+        let fast = execute_warp_with(&mut b, 8, &mut sink_b, StepMode::RunLength);
+        prop_assert_eq!(stepped, fast);
+        prop_assert_eq!(sink_a.pairs(), sink_b.pairs(), "pair emission order differs");
+
+        let (mut c, mut d) = (make(), make());
+        let tr_stepped = trace_warp_with(&mut c, 8, &mut LaneSink::new(), StepMode::Stepped);
+        let tr_fast = trace_warp_with(&mut d, 8, &mut LaneSink::new(), StepMode::RunLength);
+        prop_assert_eq!(tr_stepped.rounds, tr_fast.rounds, "trace rounds differ");
+    }
+
+    /// Whole launches agree across modes for O(1)-committing lanes with
+    /// skewed per-warp work (mid-run retirement of short lanes while long
+    /// lanes keep claiming).
+    #[test]
+    fn step_modes_agree_on_launches(work in prop::collection::vec(0u32..40, 1..30)) {
+        struct Skewed {
+            work: Vec<u32>,
+        }
+        impl WarpSource for Skewed {
+            type Lane = FixedWorkLane;
+            fn num_warps(&self) -> usize {
+                self.work.len()
+            }
+            fn make_warp(&self, warp_id: u32) -> Vec<FixedWorkLane> {
+                let w = self.work[warp_id as usize];
+                // Lane i carries a decreasing share, so lanes retire at
+                // different rounds within the warp.
+                (0..4)
+                    .map(|i| FixedWorkLane::new(w / (i + 1), Op::new(OpKind::Distance, 10)))
+                    .collect()
+            }
+        }
+        let gpu = GpuConfig::small_test();
+        let src = Skewed { work };
+        let run = |mode: StepMode| {
+            let mut out = DeviceBuffer::with_capacity(0);
+            let opts = LaunchOptions::default().with_step_mode(mode);
+            launch_with(&gpu, &src, IssueOrder::InOrder, &mut out, &opts).unwrap()
+        };
+        let stepped = run(StepMode::Stepped);
+        let fast = run(StepMode::RunLength);
+        prop_assert_eq!(stepped.totals, fast.totals);
+        prop_assert_eq!(stepped.warp_cycles, fast.warp_cycles);
+        prop_assert_eq!(stepped.makespan.makespan, fast.makespan.makespan);
+        prop_assert!((stepped.wee() - fast.wee()).abs() == 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end differential suite for the run-length fast path: a join run
+//! under [`StepMode::RunLength`] must be bit-identical to the
+//! [`StepMode::Stepped`] oracle — same pair set, same warp counters, same
+//! per-batch cycles and model-time — across every access pattern, workload
+//! quantification k, scheduler (balancing and issue-order override), and
+//! fault profile. The step mode is a host-side knob only; any observable
+//! difference is a bug in the fast path.
+
+use simjoin::{AccessPattern, Balancing, BatchingConfig, JoinReport, SelfJoinConfig};
+use sj_integration_support::{brute_force_dyn, join_dyn, join_dyn_chaos};
+use sj_telemetry::NULL;
+use sjdata::DatasetSpec;
+use warpsim::{FaultPlane, FaultProfile, IssueOrder, StepMode};
+
+const PATTERNS: [AccessPattern; 3] = [
+    AccessPattern::FullWindow,
+    AccessPattern::Unicomp,
+    AccessPattern::LidUnicomp,
+];
+
+const BALANCINGS: [Balancing; 3] = [
+    Balancing::None,
+    Balancing::SortByWorkload,
+    Balancing::WorkQueue,
+];
+
+/// A small skewed dataset: dense enough for multiple warps per launch and
+/// real divergence, small enough to keep the full matrix fast.
+fn dataset() -> (epsgrid::DynPoints, f32) {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(300);
+    let eps = spec.epsilons[2] * 1.5;
+    (pts, eps)
+}
+
+/// Bit-level equality for model seconds: the two modes must agree on the
+/// exact float, not merely within a tolerance.
+fn assert_bits_eq(a: f64, b: f64, what: &str, ctx: &str) {
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "{what} differs [{ctx}]: {a} vs {b}"
+    );
+}
+
+fn assert_reports_identical(stepped: &JoinReport, fast: &JoinReport, ctx: &str) {
+    assert_eq!(stepped.totals, fast.totals, "warp totals differ [{ctx}]");
+    assert_eq!(
+        stepped.num_batches, fast.num_batches,
+        "batch count differs [{ctx}]"
+    );
+    assert_eq!(
+        stepped.total_pairs, fast.total_pairs,
+        "pair count differs [{ctx}]"
+    );
+    assert_eq!(
+        stepped.degradation, fast.degradation,
+        "degradation accounting differs [{ctx}]"
+    );
+    assert_bits_eq(
+        stepped.pipeline.total_s,
+        fast.pipeline.total_s,
+        "pipeline time",
+        ctx,
+    );
+    assert_bits_eq(
+        stepped.response_time_s(),
+        fast.response_time_s(),
+        "response time",
+        ctx,
+    );
+    for (i, (s, f)) in stepped.batches.iter().zip(&fast.batches).enumerate() {
+        let bctx = format!("{ctx}, batch {i}");
+        assert_eq!(s.pairs, f.pairs, "batch pairs differ [{bctx}]");
+        assert_bits_eq(s.kernel_s, f.kernel_s, "kernel time", &bctx);
+        assert_bits_eq(s.transfer_s, f.transfer_s, "transfer time", &bctx);
+        assert_eq!(
+            s.launch.totals, f.launch.totals,
+            "launch totals differ [{bctx}]"
+        );
+        assert_eq!(
+            s.launch.warp_cycles, f.launch.warp_cycles,
+            "warp cycles differ [{bctx}]"
+        );
+        assert_eq!(
+            s.launch.makespan.makespan, f.launch.makespan.makespan,
+            "makespan differs [{bctx}]"
+        );
+        assert_eq!(
+            s.launch.pairs_emitted, f.launch.pairs_emitted,
+            "emitted pairs differ [{bctx}]"
+        );
+    }
+}
+
+/// Runs one config under both step modes and checks bit-identity (and, via
+/// the provided truth set, exactness of both).
+fn check_cell(pts: &epsgrid::DynPoints, config: SelfJoinConfig, truth: &[(u32, u32)], ctx: &str) {
+    let (pairs_s, report_s) = join_dyn(pts, config.clone().with_step_mode(StepMode::Stepped));
+    let (pairs_f, report_f) = join_dyn(pts, config.with_step_mode(StepMode::RunLength));
+    assert_eq!(pairs_s, truth, "stepped pairs wrong [{ctx}]");
+    assert_eq!(pairs_f, truth, "run-length pairs wrong [{ctx}]");
+    assert_reports_identical(&report_s, &report_f, ctx);
+}
+
+/// Every pattern × k × balancing cell agrees bit-for-bit across modes.
+#[test]
+fn step_modes_agree_across_pattern_k_balancing() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    for pattern in PATTERNS {
+        for k in [1u32, 2, 8] {
+            for balancing in BALANCINGS {
+                let config = SelfJoinConfig::new(eps)
+                    .with_pattern(pattern)
+                    .with_k(k)
+                    .with_balancing(balancing);
+                let ctx = format!("{pattern:?}, k={k}, {balancing:?}");
+                check_cell(&pts, config, &truth, &ctx);
+            }
+        }
+    }
+}
+
+/// Scheduler overrides (forced issue orders, including the adversarial
+/// reversed order and a seeded arbitrary shuffle) don't break bit-identity.
+#[test]
+fn step_modes_agree_under_issue_overrides() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    for order in [
+        IssueOrder::InOrder,
+        IssueOrder::Reversed,
+        IssueOrder::Arbitrary { seed: 0xC0FFEE },
+    ] {
+        for balancing in [Balancing::None, Balancing::WorkQueue] {
+            let config = SelfJoinConfig::new(eps)
+                .with_pattern(AccessPattern::LidUnicomp)
+                .with_balancing(balancing)
+                .with_issue_override(order);
+            let ctx = format!("{order:?}, {balancing:?}");
+            check_cell(&pts, config, &truth, &ctx);
+        }
+    }
+}
+
+/// Multi-batch plans (tight result buffers) agree bit-for-bit too: batching
+/// interacts with per-batch warp sourcing, the main place a fast-path bug
+/// could hide from single-batch tests.
+#[test]
+fn step_modes_agree_across_batch_plans() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    let batching = BatchingConfig {
+        batch_result_capacity: truth.len() / 3 + 8,
+        ..BatchingConfig::default()
+    };
+    for pattern in PATTERNS {
+        let config = SelfJoinConfig::new(eps)
+            .with_pattern(pattern)
+            .with_batching(batching);
+        let ctx = format!("{pattern:?}, tight batches");
+        check_cell(&pts, config, &truth, &ctx);
+    }
+}
+
+/// Under every named fault profile the two modes produce the *same
+/// outcome*: identical recovered pair sets and degradation accounting, or
+/// the identical typed error. Faults are seeded per launch index, and the
+/// fast path never changes how many launches happen or what they do, so the
+/// whole chaos trajectory must replay exactly.
+#[test]
+fn step_modes_agree_under_fault_profiles() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    let batching = BatchingConfig {
+        batch_result_capacity: truth.len() / 3 + 8,
+        ..BatchingConfig::default()
+    };
+    for name in FaultProfile::names() {
+        let profile = FaultProfile::by_name(name).unwrap();
+        for seed in [7u64, 1007] {
+            for balancing in [Balancing::None, Balancing::WorkQueue] {
+                let config = SelfJoinConfig::new(eps)
+                    .with_balancing(balancing)
+                    .with_batching(batching);
+                let ctx = format!("profile={name}, seed={seed}, {balancing:?}");
+                let run = |mode: StepMode| {
+                    let plane = FaultPlane::seeded(seed, &profile);
+                    join_dyn_chaos(&pts, config.clone().with_step_mode(mode), &plane, &NULL)
+                };
+                match (run(StepMode::Stepped), run(StepMode::RunLength)) {
+                    (Ok((pairs_s, report_s)), Ok((pairs_f, report_f))) => {
+                        assert_eq!(pairs_s, pairs_f, "recovered pairs differ [{ctx}]");
+                        assert_reports_identical(&report_s, &report_f, &ctx);
+                    }
+                    (Err(e_s), Err(e_f)) => {
+                        assert_eq!(
+                            format!("{e_s:?}"),
+                            format!("{e_f:?}"),
+                            "typed errors differ [{ctx}]"
+                        );
+                    }
+                    (s, f) => panic!(
+                        "outcomes diverge [{ctx}]: stepped={:?}, run-length={:?}",
+                        s.map(|(p, _)| p.len()),
+                        f.map(|(p, _)| p.len())
+                    ),
+                }
+            }
+        }
+    }
+}
