@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick | --scale <f>] [--eps-stride <n>] [--jobs <n>] \
-//!             [--step-mode stepped|runlength] \
+//!             [--step-mode stepped|runlength] [--devices <n>] \
 //!             [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
 //! ```
 //!
@@ -14,9 +14,11 @@
 //! stepped-vs-run-length micro-benchmark of a fully converged 32-lane warp —
 //! to `results/bench_baseline.json`.
 //!
-//! Neither `--jobs` nor `--step-mode` can change any table: sweep cells are
-//! reassembled in input order and the two step modes are bit-identical, so
-//! stdout diffs clean across both knobs (CI verifies the step modes).
+//! Neither `--jobs`, `--step-mode`, nor `--devices` can change any table:
+//! sweep cells are reassembled in input order, the two step modes are
+//! bit-identical, and the sharded executor's canonical merged report is
+//! device-count invariant, so stdout diffs clean across all three knobs
+//! (CI verifies the step modes and `--devices 1` vs `--devices 4`).
 
 use std::time::Instant;
 
@@ -25,9 +27,10 @@ use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--no-telemetry] [EXPERIMENT]...\n\
-         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos\n\
-         (chaos is not part of `all`: it exercises the fault-injection plane and resilient recovery)"
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--no-telemetry] [EXPERIMENT]...\n\
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling\n\
+         (chaos and scaling are not part of `all`: chaos exercises the fault-injection plane,\n\
+          scaling shards the join across a simulated multi-device fleet)"
     );
     std::process::exit(2);
 }
@@ -52,6 +55,14 @@ fn fastpath_micro(cands: u32) -> (f64, f64) {
         start.elapsed().as_secs_f64() / ITERS as f64
     };
     (time(StepMode::Stepped), time(StepMode::RunLength))
+}
+
+/// Multi-device scaling rows recorded into the baseline artifact: the same
+/// sweep as the `scaling` experiment, pinned to quick scale so the recorded
+/// makespans (model seconds, machine-independent) stay comparable no matter
+/// what `--scale` the invocation used.
+fn devices_scaling_rows() -> Vec<sj_bench::experiments::ScalingPoint> {
+    Experiments::new(ExperimentScale::quick()).scaling_points()
 }
 
 fn write_baseline(
@@ -83,6 +94,17 @@ fn write_baseline(
         ));
     }
     json.push_str("  ],\n");
+    let scaling = devices_scaling_rows();
+    json.push_str("  \"devices_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let sep = if i + 1 < scaling.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"devices\": {}, \"partition\": \"{}\", \"makespan_model_s\": {:.9}, \
+             \"workload_imbalance\": {:.6}, \"canonical_model_s\": {:.9}}}{sep}\n",
+            p.devices, p.partition, p.makespan_s, p.imbalance, p.canonical_s
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"warp_fastpath\": {{\"lanes\": 32, \"candidates\": {FASTPATH_CANDS}, \
          \"stepped_s\": {stepped_s:.9}, \"runlength_s\": {runlength_s:.9}, \
@@ -105,6 +127,7 @@ fn main() {
     let mut telemetry = true;
     let mut jobs: Option<usize> = None;
     let mut step_mode = StepMode::default();
+    let mut devices = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -126,6 +149,13 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 step_mode = StepMode::parse(&v).unwrap_or_else(|| usage());
             }
+            "--devices" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                devices = v.parse().unwrap_or_else(|_| usage());
+                if devices == 0 {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => names.push(other.to_string()),
@@ -142,6 +172,7 @@ fn main() {
         exp.jobs = jobs.max(1);
     }
     exp.step_mode = step_mode;
+    exp.devices = devices;
     println!(
         "# Experiment suite (points_scale = {}, eps_stride = {})",
         scale.points_scale, scale.eps_stride
@@ -163,6 +194,7 @@ fn main() {
             "fig13" => drop(exp.fig13()),
             "ablations" => drop(exp.ablations()),
             "chaos" => drop(exp.chaos()),
+            "scaling" => drop(exp.scaling()),
             _ => usage(),
         }
         timings.push((name, start.elapsed().as_secs_f64()));

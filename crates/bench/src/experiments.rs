@@ -15,6 +15,7 @@
 //! | [`Experiments::table6`] | Table VI — WEE & time, all variants, real-world datasets |
 //! | [`Experiments::fig13`] | Fig. 13 — speedups of the combined optimization |
 //! | [`Experiments::ablations`] | DESIGN.md §5 — scheduler order, k sweep, estimator, atomic cost |
+//! | [`Experiments::scaling`] | DESIGN.md §7 — multi-device sharding, workload-aware vs equal-count |
 
 use std::cell::RefCell;
 use std::path::PathBuf;
@@ -22,15 +23,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use epsgrid::DynPoints;
-use simjoin::{AccessPattern, Balancing, BatchingConfig, SelfJoinConfig};
+use simjoin::{AccessPattern, Balancing, BatchingConfig, SelfJoinConfig, ShardStrategy};
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
 use warpsim::{CostModel, IssueOrder, StepMode};
 
 use crate::cpu_model::CpuModel;
 use crate::harness::{
-    run_join_dyn, run_join_dyn_chaos, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with,
-    CpuRunResult, GpuRunResult,
+    run_join_dyn, run_join_dyn_chaos, run_join_dyn_sharded, run_join_dyn_sharded_with,
+    run_join_dyn_with, run_superego_dyn, run_superego_dyn_with, CpuRunResult, GpuRunResult,
 };
 use crate::table::{fmt_pct, fmt_speedup, fmt_time, Table};
 
@@ -83,6 +84,10 @@ pub struct Experiments {
     /// Warp simulator step mode for every GPU run (host-side only; simulated
     /// results are bit-identical across modes — CI diffs both).
     pub step_mode: StepMode,
+    /// Simulated devices every GPU run is sharded across (workload-aware
+    /// partitioning). The canonical merged report is device-count invariant,
+    /// so tables are bit-identical for any value — CI diffs 1 vs 4.
+    pub devices: usize,
     sink: RefCell<Option<Arc<JsonTelemetry>>>,
 }
 
@@ -92,26 +97,52 @@ pub struct Experiments {
 struct CellRunner {
     sink: Option<Arc<JsonTelemetry>>,
     cpu: CpuModel,
+    devices: usize,
 }
 
 impl CellRunner {
     fn run(&self, pts: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
+        if self.devices > 1 {
+            return self.run_sharded(pts, config, self.devices, simjoin::ShardStrategy::default());
+        }
         let Some(sink) = self.sink.as_ref() else {
             return run_join_dyn(pts, config);
         };
         let r = run_join_dyn_with(pts, config, sink.as_ref());
-        sink.record(
-            Event::new("bench", "gpu_run")
-                .str("variant", r.label.clone())
-                .u64("pairs", r.pairs as u64)
-                .u64("batches", r.batches as u64)
-                .u64("distance_calcs", r.distance_calcs)
-                .f64("response_model_s", r.response_s)
-                .f64("wee", r.wee)
-                .f64("warp_cv", r.warp_cv)
-                .f64("sim_wall_s", r.sim_wall.as_secs_f64()),
-        );
+        record_gpu_run(sink.as_ref(), &r);
         r
+    }
+
+    /// Runs one cell sharded across `devices` simulated devices, returning
+    /// the canonical merged result (bit-identical to [`Self::run`]) plus the
+    /// per-shard fleet report.
+    fn run_sharded(
+        &self,
+        pts: &DynPoints,
+        config: SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+    ) -> GpuRunResult {
+        self.run_sharded_with_fleet(pts, config, devices, strategy)
+            .0
+    }
+
+    fn run_sharded_with_fleet(
+        &self,
+        pts: &DynPoints,
+        config: SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+    ) -> (GpuRunResult, simjoin::FleetReport) {
+        match self.sink.as_ref() {
+            Some(sink) => {
+                let (r, fleet) =
+                    run_join_dyn_sharded_with(pts, config, devices, strategy, sink.as_ref());
+                record_gpu_run(sink.as_ref(), &r);
+                (r, fleet)
+            }
+            None => run_join_dyn_sharded(pts, config, devices, strategy),
+        }
     }
 
     fn sego(&self, pts: &DynPoints, eps: f32) -> CpuRunResult {
@@ -122,6 +153,21 @@ impl CellRunner {
             None => run_superego_dyn(pts, eps, &self.cpu, &CostModel::default()),
         }
     }
+}
+
+/// Records the canonical summary event of one GPU cell run.
+fn record_gpu_run(sink: &JsonTelemetry, r: &GpuRunResult) {
+    sink.record(
+        Event::new("bench", "gpu_run")
+            .str("variant", r.label.clone())
+            .u64("pairs", r.pairs as u64)
+            .u64("batches", r.batches as u64)
+            .u64("distance_calcs", r.distance_calcs)
+            .f64("response_model_s", r.response_s)
+            .f64("wee", r.wee)
+            .f64("warp_cv", r.warp_cv)
+            .f64("sim_wall_s", r.sim_wall.as_secs_f64()),
+    );
 }
 
 /// One sweep cell of a figure experiment: a GPU variant run or the SUPER-EGO
@@ -208,6 +254,7 @@ impl Experiments {
             artifact_dir: None,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             step_mode: StepMode::default(),
+            devices: 1,
             sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
@@ -256,6 +303,7 @@ impl Experiments {
         CellRunner {
             sink: self.sink.borrow().clone(),
             cpu: self.cpu,
+            devices: self.devices,
         }
     }
 
@@ -1043,6 +1091,93 @@ impl Experiments {
         out
     }
 
+    /// One measured point of [`Self::scaling`]: the fleet sweep over
+    /// `devices × partition strategy`, all from the same global plan.
+    pub fn scaling_points(&self) -> Vec<ScalingPoint> {
+        let (spec, pts) = self.dataset("Expo2D2M");
+        let eps = selected_eps(&spec);
+        // Probe the result size, then tighten the batch capacity so the
+        // plan holds enough units for an 8-way partition to be meaningful.
+        let probe = self.run(
+            &pts,
+            SelfJoinConfig::optimized(eps).with_batching(self.batching),
+        );
+        let batching = BatchingConfig {
+            batch_result_capacity: probe.pairs / 24 + 64,
+            max_batches: 64,
+            ..self.batching
+        };
+        let config = SelfJoinConfig::optimized(eps).with_batching(batching);
+        let runner = self.runner();
+        let mut points = Vec::new();
+        for devices in [1usize, 2, 4, 8] {
+            for strategy in [ShardStrategy::WorkloadAware, ShardStrategy::EqualCount] {
+                if devices == 1 && strategy != ShardStrategy::WorkloadAware {
+                    continue;
+                }
+                let (r, fleet) =
+                    runner.run_sharded_with_fleet(&pts, config.clone(), devices, strategy);
+                if let Some(sink) = self.sink.borrow().as_ref() {
+                    sink.record(
+                        Event::new("bench", "scaling_run")
+                            .u64("devices", devices as u64)
+                            .str("partition", strategy.label())
+                            .f64("makespan_model_s", fleet.makespan_s)
+                            .f64("workload_imbalance", fleet.workload_imbalance())
+                            .f64("canonical_model_s", r.response_s),
+                    );
+                }
+                points.push(ScalingPoint {
+                    devices,
+                    partition: strategy.label(),
+                    makespan_s: fleet.makespan_s,
+                    imbalance: fleet.workload_imbalance(),
+                    canonical_s: r.response_s,
+                    batches: r.batches,
+                });
+            }
+        }
+        points
+    }
+
+    /// Multi-device scaling table (not part of the paper; not in
+    /// `run_all`): the optimized variant on the skewed Expo2D dataset,
+    /// sharded across 1–8 simulated devices with workload-aware vs
+    /// equal-count partitioning. The canonical merged time is device-count
+    /// invariant by construction; what scales is the *fleet makespan*, and
+    /// on skewed data the workload-aware cut should beat equal-count.
+    pub fn scaling(&self) -> String {
+        self.begin_experiment("scaling");
+        let mut t = Table::new(vec![
+            "devices",
+            "partition",
+            "makespan",
+            "speedup",
+            "imbalance",
+            "canonical time",
+            "batches",
+        ]);
+        let points = self.scaling_points();
+        let single = points.first().map_or(0.0, |p| p.makespan_s);
+        for p in &points {
+            t.row(vec![
+                p.devices.to_string(),
+                p.partition.to_string(),
+                fmt_time(p.makespan_s),
+                fmt_speedup(single / p.makespan_s),
+                format!("{:.3}", p.imbalance),
+                fmt_time(p.canonical_s),
+                p.batches.to_string(),
+            ]);
+        }
+        let out = emit(
+            "Scaling — multi-device sharding, workload-aware vs equal-count",
+            t.render(),
+        );
+        self.end_experiment("scaling");
+        out
+    }
+
     pub fn run_all(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.table1());
@@ -1058,6 +1193,25 @@ impl Experiments {
         out.push_str(&self.ablations());
         out
     }
+}
+
+/// One measured point of the multi-device scaling sweep
+/// ([`Experiments::scaling_points`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Simulated devices in the fleet.
+    pub devices: usize,
+    /// Partition strategy label (`"workload"` or `"count"`).
+    pub partition: &'static str,
+    /// Fleet makespan (slowest shard) in model seconds.
+    pub makespan_s: f64,
+    /// Max/mean per-shard workload ratio (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Canonical merged response time in model seconds (device-count
+    /// invariant).
+    pub canonical_s: f64,
+    /// Batches in the canonical merged report.
+    pub batches: usize,
 }
 
 /// The ε each table reports (the paper picks one representative ε per
@@ -1106,6 +1260,25 @@ mod tests {
             assert!(out.contains(profile), "missing profile {profile}");
         }
         assert!(out.contains("clean"));
+    }
+
+    #[test]
+    fn scaling_table_covers_every_fleet_size_and_both_partitions() {
+        let out = tiny().scaling();
+        assert!(out.contains("workload"), "missing workload-aware rows");
+        assert!(out.contains("count"), "missing equal-count rows");
+        for devices in ["1", "2", "4", "8"] {
+            assert!(out.contains(devices), "missing {devices}-device row");
+        }
+    }
+
+    #[test]
+    fn sharded_driver_reproduces_the_single_device_tables() {
+        let exp = tiny();
+        let single = exp.table3();
+        let mut sharded = tiny();
+        sharded.devices = 4;
+        assert_eq!(single, sharded.table3(), "table3 must be devices-invariant");
     }
 
     #[test]

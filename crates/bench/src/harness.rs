@@ -93,6 +93,105 @@ pub fn run_join_dyn_with(
     }
 }
 
+fn run_join_sharded_fixed<const N: usize>(
+    points: &[[f32; N]],
+    config: SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+    telemetry: &dyn Telemetry,
+) -> (GpuRunResult, simjoin::FleetReport) {
+    let start = Instant::now();
+    let label = config.label();
+    let fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+    let join = SelfJoin::new(points, config)
+        .expect("join configuration must be valid")
+        .with_telemetry(telemetry);
+    let outcome = join
+        .run_on_fleet(&fleet, strategy)
+        .expect("fleet join execution must succeed");
+    let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
+    (
+        GpuRunResult {
+            label,
+            response_s: outcome.report.response_time_s(),
+            wee: outcome.report.wee(),
+            pairs: outcome.result.len(),
+            batches: outcome.report.num_batches,
+            distance_calcs: outcome.report.distance_calcs(),
+            warp_cv,
+            sim_wall: start.elapsed(),
+        },
+        outcome.fleet,
+    )
+}
+
+/// Runs a GPU join sharded across `devices` homogeneous simulated devices.
+/// The [`GpuRunResult`] is built from the *canonical* merged report, so its
+/// fields are bit-identical to [`run_join_dyn`] on the same input; the
+/// [`simjoin::FleetReport`] carries the per-shard view and the fleet
+/// makespan.
+///
+/// # Panics
+/// Panics on unsupported dimensionality, invalid configuration, or an empty
+/// fleet (`devices == 0`).
+pub fn run_join_dyn_sharded(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+) -> (GpuRunResult, simjoin::FleetReport) {
+    run_join_dyn_sharded_with(points, config, devices, strategy, &sj_telemetry::NULL)
+}
+
+/// [`run_join_dyn_sharded`] recording executor, kernel, and per-device fleet
+/// telemetry to `telemetry`.
+pub fn run_join_dyn_sharded_with(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+    telemetry: &dyn Telemetry,
+) -> (GpuRunResult, simjoin::FleetReport) {
+    match points.dims() {
+        2 => run_join_sharded_fixed(
+            &points.as_fixed::<2>().unwrap(),
+            config,
+            devices,
+            strategy,
+            telemetry,
+        ),
+        3 => run_join_sharded_fixed(
+            &points.as_fixed::<3>().unwrap(),
+            config,
+            devices,
+            strategy,
+            telemetry,
+        ),
+        4 => run_join_sharded_fixed(
+            &points.as_fixed::<4>().unwrap(),
+            config,
+            devices,
+            strategy,
+            telemetry,
+        ),
+        5 => run_join_sharded_fixed(
+            &points.as_fixed::<5>().unwrap(),
+            config,
+            devices,
+            strategy,
+            telemetry,
+        ),
+        6 => run_join_sharded_fixed(
+            &points.as_fixed::<6>().unwrap(),
+            config,
+            devices,
+            strategy,
+            telemetry,
+        ),
+        d => panic!("unsupported dimensionality {d}"),
+    }
+}
+
 fn run_join_chaos_fixed<const N: usize>(
     points: &[[f32; N]],
     config: SelfJoinConfig,
@@ -246,6 +345,34 @@ mod tests {
         assert_eq!(gpu.pairs, cpu.pairs);
         assert!(gpu.response_s > 0.0);
         assert!(cpu.model_s > 0.0);
+    }
+
+    #[test]
+    fn sharded_canonical_result_matches_single_device_bit_for_bit() {
+        let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+        let pts = spec.generate(1_200);
+        let eps = spec.epsilons[2];
+        let config = SelfJoinConfig::optimized(eps).with_batching(simjoin::BatchingConfig {
+            batch_result_capacity: 20_000,
+            ..simjoin::BatchingConfig::default()
+        });
+        let single = run_join_dyn(&pts, config.clone());
+        for devices in [1usize, 4] {
+            let (sharded, fleet) = run_join_dyn_sharded(
+                &pts,
+                config.clone(),
+                devices,
+                simjoin::ShardStrategy::WorkloadAware,
+            );
+            assert_eq!(sharded.pairs, single.pairs);
+            assert_eq!(sharded.batches, single.batches);
+            assert_eq!(sharded.distance_calcs, single.distance_calcs);
+            assert_eq!(sharded.response_s.to_bits(), single.response_s.to_bits());
+            assert_eq!(sharded.wee.to_bits(), single.wee.to_bits());
+            assert_eq!(sharded.warp_cv.to_bits(), single.warp_cv.to_bits());
+            assert_eq!(fleet.shards.len(), devices);
+            assert!(fleet.makespan_s <= single.response_s + 1e-12);
+        }
     }
 
     #[test]

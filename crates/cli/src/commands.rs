@@ -19,9 +19,14 @@ USAGE:
       Generate a dataset (.csv or binary by extension).
   simjoin join --input <path> --eps <f> [--k <n>|--k auto]
                [--pattern full|unicomp|lid] [--balancing none|sort|queue]
-               [--balanced-queue] [--output <pairs.csv>] [--verify]
+               [--balanced-queue] [--devices <n>] [--shard-strategy workload|count]
+               [--output <pairs.csv>] [--verify]
       Run the self-join and print the execution report. --verify checks the
-      result against the SUPER-EGO CPU join.
+      result against the SUPER-EGO CPU join. With --devices N > 1 the batch
+      plan is sharded across N simulated GPUs (workload-aware by default)
+      and the per-device breakdown plus the fleet makespan are printed; the
+      merged result and the canonical report are identical to a
+      single-device run.
   simjoin stats --input <path> --eps <f>
       Print workload statistics (mean neighbors, cells, imbalance).
   simjoin profile --input <path> --eps <f> [join flags] [--output <telemetry.json>]
@@ -131,6 +136,18 @@ fn with_fixed<R>(
 /// `k` that was actually used (relevant under `--auto-k`).
 type RunOutput = Result<(Vec<(u32, u32)>, simjoin::JoinReport, u32), String>;
 
+/// What a sharded join hands back: the merged pairs, the canonical report,
+/// the per-device fleet breakdown, and the `k` that was used.
+type FleetRunOutput = Result<
+    (
+        Vec<(u32, u32)>,
+        simjoin::JoinReport,
+        simjoin::FleetReport,
+        u32,
+    ),
+    String,
+>;
+
 /// What a chaos run produced: either a completed join (possibly degraded)
 /// or a typed error — both acceptable under injected faults; only a wrong
 /// pair set is not.
@@ -147,6 +164,14 @@ enum ChaosOutcome {
 /// Dimension-erased access to the join for the CLI.
 trait JoinRunner {
     fn run(&self, config: SelfJoinConfig, auto_k: bool, telemetry: &dyn Telemetry) -> RunOutput;
+    fn run_fleet(
+        &self,
+        config: SelfJoinConfig,
+        auto_k: bool,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+        telemetry: &dyn Telemetry,
+    ) -> FleetRunOutput;
     fn run_chaos(
         &self,
         config: SelfJoinConfig,
@@ -178,6 +203,34 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
             .with_telemetry(telemetry);
         let outcome = join.run().map_err(|e| e.to_string())?;
         Ok((outcome.result.sorted_pairs(), outcome.report, k))
+    }
+
+    fn run_fleet(
+        &self,
+        mut config: SelfJoinConfig,
+        auto_k: bool,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+        telemetry: &dyn Telemetry,
+    ) -> FleetRunOutput {
+        if auto_k {
+            let probe = SelfJoin::new(&self.points, config.clone()).map_err(|e| e.to_string())?;
+            config.k = probe.recommended_k();
+        }
+        let k = config.k;
+        let fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry);
+        let outcome = join
+            .run_on_fleet(&fleet, strategy)
+            .map_err(|e| e.to_string())?;
+        Ok((
+            outcome.result.sorted_pairs(),
+            outcome.report,
+            outcome.fleet,
+            k,
+        ))
     }
 
     fn run_chaos(
@@ -240,14 +293,34 @@ fn join(parsed: &Parsed) -> Result<(), String> {
         ),
         None => (false, 1),
     };
+    let devices: usize = parsed.parse_or("devices", 1)?;
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let strategy_name = parsed.optional("shard-strategy").unwrap_or("workload");
+    let strategy = simjoin::ShardStrategy::by_name(strategy_name)
+        .ok_or_else(|| format!("unknown shard strategy `{strategy_name}` (workload|count)"))?;
     let mut config = SelfJoinConfig::new(eps)
         .with_pattern(pattern)
         .with_balancing(balancing)
         .with_k(k);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
 
-    let (pairs, report, used_k) = with_fixed(&points, |runner| {
-        let (pairs, report, used_k) = runner.run(config.clone(), auto_k, &sj_telemetry::NULL)?;
+    let (pairs, report, fleet, used_k) = with_fixed(&points, |runner| {
+        let (pairs, report, fleet, used_k) = if devices > 1 {
+            let (pairs, report, fleet, used_k) = runner.run_fleet(
+                config.clone(),
+                auto_k,
+                devices,
+                strategy,
+                &sj_telemetry::NULL,
+            )?;
+            (pairs, report, Some(fleet), used_k)
+        } else {
+            let (pairs, report, used_k) =
+                runner.run(config.clone(), auto_k, &sj_telemetry::NULL)?;
+            (pairs, report, None, used_k)
+        };
         if parsed.switch("verify") {
             let reference = runner.superego_pairs(eps);
             if pairs != reference {
@@ -262,7 +335,7 @@ fn join(parsed: &Parsed) -> Result<(), String> {
                 pairs.len()
             );
         }
-        Ok((pairs, report, used_k))
+        Ok((pairs, report, fleet, used_k))
     })?;
 
     println!(
@@ -274,6 +347,39 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     println!("distance calculations : {}", report.distance_calcs());
     println!("warp exec efficiency  : {:.1} %", report.wee() * 100.0);
     println!("response time (model) : {:.6} s", report.response_time_s());
+    if let Some(fleet) = &fleet {
+        println!(
+            "devices               : {} ({} partitioning)",
+            fleet.shards.len(),
+            fleet.strategy.label()
+        );
+        for s in &fleet.shards {
+            println!(
+                "  device {}: units {:>4}..{:<4} queries {:>7} workload {:>10} \
+                 batches {:>3} pairs {:>8} response {:.6} s{}",
+                s.device,
+                s.units.start,
+                s.units.end,
+                s.queries,
+                s.workload,
+                s.batches,
+                s.pairs,
+                s.response_time_s,
+                match &s.degradation {
+                    Some(d) if d.device_lost => " [device lost]",
+                    Some(_) => " [degraded]",
+                    None => "",
+                }
+            );
+        }
+        println!("fleet makespan (model): {:.6} s", fleet.makespan_s);
+        if fleet.makespan_s > 0.0 {
+            println!(
+                "speedup vs 1 device   : {:.2}x",
+                report.response_time_s() / fleet.makespan_s
+            );
+        }
+    }
 
     if let Some(output) = parsed.optional("output") {
         use std::io::Write;
@@ -602,6 +708,68 @@ mod tests {
             "gremlins",
         ]);
         assert!(dispatch(&p).is_err());
+    }
+
+    #[test]
+    fn join_shards_across_devices_and_stays_exact() {
+        let dir = std::env::temp_dir().join(format!("simjoin-fleet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "500",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        // --verify checks the merged pair set against SUPER-EGO on every
+        // device count and both partitioning strategies.
+        for devices in ["1", "2", "4"] {
+            for strategy in ["workload", "count"] {
+                dispatch(&argv(&[
+                    "join",
+                    "--input",
+                    &data_s,
+                    "--eps",
+                    "0.5",
+                    "--balancing",
+                    "queue",
+                    "--devices",
+                    devices,
+                    "--shard-strategy",
+                    strategy,
+                    "--verify",
+                ]))
+                .unwrap_or_else(|e| panic!("devices={devices} strategy={strategy}: {e}"));
+            }
+        }
+        assert!(dispatch(&argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--devices",
+            "0",
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--devices",
+            "2",
+            "--shard-strategy",
+            "bogus",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

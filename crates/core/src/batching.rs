@@ -128,6 +128,15 @@ pub fn estimate_prefix<const N: usize>(
     sample_fraction: f64,
     order: &[u32],
 ) -> ResultEstimate {
+    if order.is_empty() {
+        // `clamp(1, 0)` below would panic; an empty order has a trivially
+        // exact zero estimate.
+        return ResultEstimate {
+            sampled_points: 0,
+            sampled_pairs: 0,
+            estimated_total: 0,
+        };
+    }
     let n = ((order.len() as f64 * sample_fraction).ceil() as usize).clamp(1, order.len());
     finish_estimate(grid, points, epsilon, &order[..n], points.len())
 }
@@ -369,6 +378,39 @@ mod tests {
             prefix.estimated_total,
             exact.estimated_total
         );
+    }
+
+    #[test]
+    fn prefix_estimate_of_empty_order_is_zero() {
+        // The per-shard planner can hand an empty slice of the sorted
+        // dataset to the estimator; that must be a zero estimate, not a
+        // `clamp(1, 0)` panic.
+        let pts = blob(50);
+        let eps = 0.05;
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        let est = estimate_prefix(&grid, &pts, eps, 0.01, &[]);
+        assert_eq!(
+            est,
+            ResultEstimate {
+                sampled_points: 0,
+                sampled_pairs: 0,
+                estimated_total: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn estimators_handle_singleton_dataset() {
+        let pts: Vec<Point<2>> = vec![[0.5, 0.5]];
+        let eps = 0.1;
+        let grid = GridIndex::build(&pts, eps).unwrap();
+        let strided = estimate_strided(&grid, &pts, eps, 0.01);
+        assert_eq!(strided.sampled_points, 1);
+        assert_eq!(strided.estimated_total, 0);
+        let prefix = estimate_prefix(&grid, &pts, eps, 0.01, &[0]);
+        assert_eq!(prefix.sampled_points, 1);
+        assert_eq!(prefix.sampled_pairs, 0);
+        assert_eq!(prefix.estimated_total, 0);
     }
 
     #[test]

@@ -5,9 +5,9 @@ use std::collections::VecDeque;
 use epsgrid::{GridBuildError, GridIndex, Point};
 use sj_telemetry::{Event, Stopwatch, Telemetry};
 use warpsim::{
-    launch_with, BatchTiming, CoopGroups, CounterFault, DeviceBuffer, DeviceCounter, FaultPlane,
-    LaunchError, LaunchOptions, LaunchReport, PipelineReport, StreamPipeline, WarpExecution,
-    WarpStatsSummary,
+    launch_with, BatchTiming, CoopGroups, CounterFault, DeviceBuffer, DeviceCounter, DeviceFleet,
+    FaultPlane, GpuConfig, LaunchError, LaunchOptions, LaunchReport, PipelineReport,
+    StreamPipeline, WarpExecution, WarpStatsSummary,
 };
 
 use crate::batching::{
@@ -16,6 +16,9 @@ use crate::batching::{
 };
 use crate::config::{Balancing, SelfJoinConfig};
 use crate::fallback::cpu_join_queries;
+use crate::fleet::{
+    partition_units, unit_workloads, FleetOutcome, FleetReport, ShardReport, ShardStrategy,
+};
 use crate::kernels::{Assignment, JoinKernelSource, ResolvedPatterns};
 use crate::result::ResultSet;
 use crate::workload::WorkloadProfile;
@@ -30,6 +33,9 @@ pub enum JoinError {
     /// A batch kernel overflowed its result buffer — the batch plan failed
     /// its core guarantee (e.g. the sample under-estimated badly).
     Launch(LaunchError),
+    /// The device fleet cannot execute this join (no devices, or a device
+    /// whose configuration is incompatible with the configured kernels).
+    Fleet(String),
 }
 
 impl std::fmt::Display for JoinError {
@@ -38,6 +44,7 @@ impl std::fmt::Display for JoinError {
             JoinError::Grid(e) => write!(f, "grid index construction failed: {e}"),
             JoinError::InvalidK(e) => write!(f, "invalid thread granularity: {e}"),
             JoinError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            JoinError::Fleet(msg) => write!(f, "fleet configuration error: {msg}"),
         }
     }
 }
@@ -48,6 +55,7 @@ impl std::error::Error for JoinError {
             JoinError::Grid(e) => Some(e),
             JoinError::InvalidK(e) => Some(e),
             JoinError::Launch(e) => Some(e),
+            JoinError::Fleet(_) => None,
         }
     }
 }
@@ -352,8 +360,291 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     ///
     /// [`RetryPolicy::max_overflow_splits`]: crate::RetryPolicy::max_overflow_splits
     pub fn run(&self) -> Result<JoinOutcome, JoinError> {
+        let (estimate, plan) = self.plan_with_telemetry();
+        let c = &self.config;
+        let capacity = self.capacity_for(&estimate, &plan);
+        let counter = DeviceCounter::new();
+        let queue_limit = match &plan {
+            BatchPlan::Queue { order, .. } => order.len() as u64,
+            _ => 0,
+        };
+        let units: Vec<usize> = (0..plan.num_batches()).collect();
+        let ctx = ShardCtx {
+            device: None,
+            gpu: &c.gpu,
+            fault: self.fault,
+            counter: &counter,
+            capacity,
+            queue_limit,
+            expected_final: queue_limit,
+        };
+        let ShardExecution {
+            result,
+            batch_reports,
+            totals,
+            gather_ns,
+            recovery,
+        } = self.execute_units(&plan, &units, &ctx)?;
+        let timings: Vec<BatchTiming> = batch_reports
+            .iter()
+            .map(|b| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
+            .collect();
+        let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
+        let total_pairs = result.len();
+        let degradation = recovery.into_report(batch_reports.len());
+        let recovery_s = degradation
+            .as_ref()
+            .map_or(0.0, |d| d.backoff_s + d.cpu_model_s);
+        if self.telemetry.is_enabled() {
+            self.record_tail_events(
+                &estimate,
+                gather_ns,
+                batch_reports.len(),
+                total_pairs,
+                pipeline.total_s + recovery_s,
+                &totals,
+                degradation.as_ref().is_some_and(|d| d.points_degraded > 0),
+            );
+        }
+        Ok(JoinOutcome {
+            result,
+            report: JoinReport {
+                estimate,
+                num_batches: batch_reports.len(),
+                batches: batch_reports,
+                pipeline,
+                totals,
+                total_pairs,
+                degradation,
+            },
+        })
+    }
+
+    /// Executes the join sharded across a [`DeviceFleet`].
+    ///
+    /// The join is planned **once**, exactly as [`SelfJoin::run`] plans it;
+    /// the plan's units are then cut into one contiguous region per device
+    /// by `strategy` (see [`crate::fleet`]) and each region executes on its
+    /// own device — own queue head, own result buffer, own stream pipeline,
+    /// own fault plane. Per-batch launches are parameterized identically to
+    /// the single-device run, so on a clean homogeneous fleet the merged
+    /// pair set and the canonical [`FleetOutcome::report`] are bit-identical
+    /// to [`SelfJoin::run`] for **any** device count; the fleet adds the
+    /// per-shard breakdown and the makespan (maximum shard response time).
+    ///
+    /// Faults are per-device (attach schedules via
+    /// [`DeviceFleet::with_fault_schedule`]): a device lost mid-shard
+    /// degrades only its own region to the exact CPU fallback, and the
+    /// merged join stays exact. One difference from the single-device
+    /// executor under faults: the overflow-split and retry budgets of
+    /// [`crate::RetryPolicy`] apply **per shard**, since each device
+    /// recovers independently.
+    pub fn run_on_fleet(
+        &self,
+        fleet: &DeviceFleet,
+        strategy: ShardStrategy,
+    ) -> Result<FleetOutcome, JoinError> {
+        let c = &self.config;
+        if fleet.is_empty() {
+            return Err(JoinError::Fleet("fleet has no devices".into()));
+        }
+        for dev in fleet.iter() {
+            if dev.gpu().warp_size != c.gpu.warp_size {
+                return Err(JoinError::Fleet(format!(
+                    "device {} warp size {} differs from the configured {} \
+                     (a heterogeneous warp width would change the coop-group \
+                     layout per shard)",
+                    dev.id(),
+                    dev.gpu().warp_size,
+                    c.gpu.warp_size
+                )));
+            }
+        }
         let telemetry_on = self.telemetry.is_enabled();
+        let (estimate, plan) = self.plan_with_telemetry();
+        let capacity = self.capacity_for(&estimate, &plan);
+        // Quantified per-unit workload for the cut: reuse the balancing
+        // profile when one exists; otherwise profile here. Host-side only —
+        // it cannot change kernel behaviour or model times.
+        let fallback_profile;
+        let per_point: &[u64] = match self.profile.as_ref() {
+            Some(profile) => profile.per_point(),
+            None => {
+                fallback_profile = WorkloadProfile::compute(&self.grid);
+                fallback_profile.per_point()
+            }
+        };
+        let weights = unit_workloads(&plan, per_point);
+        let regions = partition_units(&weights, fleet.len(), strategy);
+        let (queue_limit, chunk_bounds) = match &plan {
+            BatchPlan::Queue { order, chunks } => (order.len() as u64, Some(chunks)),
+            _ => (0, None),
+        };
+        let mut result = ResultSet::default();
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
+        let mut totals = WarpExecution {
+            warp_size: c.gpu.warp_size,
+            ..WarpExecution::default()
+        };
+        let mut gather_ns: u64 = 0;
+        let mut recovery = RecoveryCounters::default();
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(fleet.len());
+        let mut makespan_s = 0.0f64;
+        for (d, region) in regions.iter().enumerate() {
+            let device = fleet.device(d);
+            let units: Vec<usize> = (region.start..region.end).collect();
+            let queries: usize = match &plan {
+                BatchPlan::Strided { batches } => units.iter().map(|&u| batches[u].len()).sum(),
+                BatchPlan::Queue { chunks, .. } => units.iter().map(|&u| chunks[u].len()).sum(),
+            };
+            let workload: u64 = weights[region.clone()].iter().sum();
+            if telemetry_on {
+                self.telemetry.record(
+                    Event::new("executor.fleet", "shard_plan")
+                        .u64("device", d as u64)
+                        .u64("first_unit", region.start as u64)
+                        .u64("units", units.len() as u64)
+                        .u64("queries", queries as u64)
+                        .u64("workload", workload)
+                        .str("strategy", strategy.label()),
+                );
+            }
+            // Aim this device's queue head at its first chunk; the chunks
+            // behind it then pop exactly the ranges they would have popped
+            // on a single device.
+            let mut expected_final = 0;
+            if let Some(chunks) = chunk_bounds {
+                if let (Some(&first), Some(&last)) = (units.first(), units.last()) {
+                    device.counter().store(chunks[first].start as u64);
+                    expected_final = chunks[last].end as u64;
+                }
+            }
+            let ctx = ShardCtx {
+                device: Some(d as u64),
+                gpu: device.gpu(),
+                fault: device.fault_plane(),
+                counter: device.counter(),
+                capacity,
+                queue_limit,
+                expected_final,
+            };
+            let shard = self.execute_units(&plan, &units, &ctx)?;
+            let timings: Vec<BatchTiming> = shard
+                .batch_reports
+                .iter()
+                .map(|b| BatchTiming {
+                    kernel_s: b.kernel_s,
+                    transfer_s: b.transfer_s,
+                })
+                .collect();
+            let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
+            let degradation = shard
+                .recovery
+                .clone()
+                .into_report(shard.batch_reports.len());
+            let response_time_s = pipeline.total_s
+                + degradation
+                    .as_ref()
+                    .map_or(0.0, |dg| dg.backoff_s + dg.cpu_model_s);
+            makespan_s = makespan_s.max(response_time_s);
+            if telemetry_on {
+                self.telemetry.record(
+                    Event::new("executor.fleet", "shard_done")
+                        .u64("device", d as u64)
+                        .u64("batches", shard.batch_reports.len() as u64)
+                        .u64("pairs", shard.result.len() as u64)
+                        .f64("pipeline_model_s", pipeline.total_s)
+                        .f64("response_model_s", response_time_s)
+                        .bool(
+                            "degraded",
+                            degradation
+                                .as_ref()
+                                .is_some_and(|dg| dg.points_degraded > 0),
+                        ),
+                );
+            }
+            shards.push(ShardReport {
+                device: d as u64,
+                units: region.clone(),
+                queries,
+                workload,
+                batches: shard.batch_reports.len(),
+                pairs: shard.result.len(),
+                pipeline,
+                degradation,
+                response_time_s,
+            });
+            // Canonical merge: regions are contiguous in plan order, so
+            // appending shard outputs in device order reproduces the
+            // single-device production order exactly.
+            result.extend(shard.result.pairs());
+            batch_reports.extend(shard.batch_reports);
+            totals.accumulate(&shard.totals);
+            gather_ns += shard.gather_ns;
+            recovery.merge(&shard.recovery);
+        }
+        let timings: Vec<BatchTiming> = batch_reports
+            .iter()
+            .map(|b| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
+            .collect();
+        let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
+        let total_pairs = result.len();
+        let degradation = recovery.into_report(batch_reports.len());
+        let recovery_s = degradation
+            .as_ref()
+            .map_or(0.0, |dg| dg.backoff_s + dg.cpu_model_s);
         if telemetry_on {
+            self.record_tail_events(
+                &estimate,
+                gather_ns,
+                batch_reports.len(),
+                total_pairs,
+                pipeline.total_s + recovery_s,
+                &totals,
+                degradation
+                    .as_ref()
+                    .is_some_and(|dg| dg.points_degraded > 0),
+            );
+            self.telemetry.record(
+                Event::new("executor.fleet", "fleet_summary")
+                    .u64("devices", fleet.len() as u64)
+                    .str("strategy", strategy.label())
+                    .f64("makespan_model_s", makespan_s)
+                    .f64("canonical_response_model_s", pipeline.total_s + recovery_s)
+                    .u64("devices_lost", fleet.lost_devices() as u64),
+            );
+        }
+        Ok(FleetOutcome {
+            result,
+            report: JoinReport {
+                estimate,
+                num_batches: batch_reports.len(),
+                batches: batch_reports,
+                pipeline,
+                totals,
+                total_pairs,
+                degradation,
+            },
+            fleet: FleetReport {
+                strategy,
+                shards,
+                makespan_s,
+            },
+        })
+    }
+
+    /// Emits the setup-phase telemetry (index build, workload profile) and
+    /// builds the batch plan, recording the estimate-and-plan event. Both
+    /// the single-device and the fleet paths plan through here, so their
+    /// planning telemetry is identical.
+    fn plan_with_telemetry(&self) -> (ResultEstimate, BatchPlan) {
+        if self.telemetry.is_enabled() {
             // Index build and workload profiling happened in `new()`; their
             // host durations were captured there and are reported once.
             self.telemetry.record(
@@ -371,7 +662,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         }
         let sw_plan = Stopwatch::start();
         let (estimate, plan) = self.plan_with(1);
-        if telemetry_on {
+        if self.telemetry.is_enabled() {
             self.telemetry.record(
                 Event::new("executor.phase", "estimate_and_plan")
                     .u64("multiplier", 1)
@@ -382,36 +673,105 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     .u64("host_ns", sw_plan.elapsed_ns()),
             );
         }
+        (estimate, plan)
+    }
+
+    /// Result-buffer capacity for a plan. With the device-saturation floor
+    /// enabled, the pinned buffer grows to fit the fewer, larger batches;
+    /// otherwise it is exactly `b_s`.
+    fn capacity_for(&self, estimate: &ResultEstimate, plan: &BatchPlan) -> usize {
+        if self.config.batching.max_batches > 0 {
+            buffer_capacity_for(estimate, plan.num_batches(), &self.config.batching)
+        } else {
+            self.config.batching.batch_result_capacity
+        }
+    }
+
+    /// Records the end-of-join telemetry: gather phase, estimator accuracy,
+    /// and the join summary. Shared verbatim by the single-device and fleet
+    /// paths so their canonical event streams match.
+    #[allow(clippy::too_many_arguments)]
+    fn record_tail_events(
+        &self,
+        estimate: &ResultEstimate,
+        gather_ns: u64,
+        num_batches: usize,
+        total_pairs: usize,
+        response_s: f64,
+        totals: &WarpExecution,
+        degraded: bool,
+    ) {
+        self.telemetry
+            .record(Event::new("executor.phase", "gather").u64("host_ns", gather_ns));
+        // How well the 1 % sample predicted the true result size — the
+        // quantity that decides whether the batch plan over- or
+        // under-provisions the result buffers (§III-D). A zero-pair join
+        // has no meaningful ratio: the field is omitted (NaN is not valid
+        // JSON) and `zero_actual` flags the case instead.
+        let mut accuracy = Event::new("executor", "estimator_accuracy")
+            .u64("estimated_total", estimate.estimated_total)
+            .u64("actual_total", total_pairs as u64)
+            .bool("zero_actual", total_pairs == 0);
+        if total_pairs > 0 {
+            accuracy = accuracy.f64(
+                "estimate_over_actual",
+                estimate.estimated_total as f64 / total_pairs as f64,
+            );
+        }
+        self.telemetry.record(accuracy);
+        self.telemetry.record(
+            Event::new("executor", "join_summary")
+                .str("config", self.config.label())
+                .u64("num_batches", num_batches as u64)
+                .u64("total_pairs", total_pairs as u64)
+                .f64("response_model_s", response_s)
+                .f64("wee", totals.efficiency())
+                .u64(
+                    "distance_calcs",
+                    totals.lane_ops_by_kind[warpsim::OpKind::Distance.index()],
+                )
+                .bool("degraded", degraded),
+        );
+    }
+
+    /// Executes the given plan units on one device, with the full per-batch
+    /// fault-recovery loop, and hands back the raw shard output (pairs,
+    /// batch reports, counters) for the caller to schedule and merge. The
+    /// single-device [`SelfJoin::run`] passes every unit with
+    /// `ctx.device = None`, which keeps its behaviour and telemetry
+    /// bit-identical to the pre-fleet executor; the fleet path passes each
+    /// shard's contiguous unit region with its device's context.
+    fn execute_units(
+        &self,
+        plan: &BatchPlan,
+        units: &[usize],
+        ctx: &ShardCtx<'_>,
+    ) -> Result<ShardExecution, JoinError> {
+        let telemetry_on = self.telemetry.is_enabled();
         let c = &self.config;
         let issue_order = c.issue_order();
+        let tag = |event: Event| match ctx.device {
+            Some(d) => event.u64("device", d),
+            None => event,
+        };
         let mut result = ResultSet::default();
-        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(units.len());
         let mut totals = WarpExecution {
-            warp_size: c.gpu.warp_size,
+            warp_size: ctx.gpu.warp_size,
             ..WarpExecution::default()
         };
-        // With the device-saturation floor enabled, the pinned buffer grows
-        // to fit the fewer, larger batches; otherwise it is exactly `b_s`.
-        let capacity = if c.batching.max_batches > 0 {
-            buffer_capacity_for(&estimate, plan.num_batches(), &c.batching)
-        } else {
-            c.batching.batch_result_capacity
-        };
-        let mut buffer = DeviceBuffer::with_capacity(capacity);
+        let mut buffer = DeviceBuffer::with_capacity(ctx.capacity);
         let mut gather_ns: u64 = 0;
 
-        let counter = DeviceCounter::new();
-        let queue_limit = match &plan {
-            BatchPlan::Queue { order, .. } => order.len() as u64,
-            _ => 0,
-        };
-        let mut pending: VecDeque<Pending> = match &plan {
-            BatchPlan::Strided { batches } => (0..batches.len()).map(Pending::planned).collect(),
-            BatchPlan::Queue { chunks, .. } => chunks
+        let counter = ctx.counter;
+        let queue_limit = ctx.queue_limit;
+        let mut pending: VecDeque<Pending> = match plan {
+            BatchPlan::Strided { .. } => units.iter().copied().map(Pending::planned).collect(),
+            BatchPlan::Queue { chunks, .. } => units
                 .iter()
-                .enumerate()
-                .filter(|(_, chunk)| !chunk.is_empty())
-                .map(|(i, _)| Pending::planned(i))
+                .copied()
+                .filter(|&i| !chunks[i].is_empty())
+                .map(Pending::planned)
                 .collect(),
         };
         let mut recovery = RecoveryCounters::default();
@@ -420,7 +780,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         // Resolves a unit back to its query set (for splits, counter
         // repairs, and degradation hand-off).
         let queries_of = |work: &Work| -> Vec<u32> {
-            match (work, &plan) {
+            match (work, plan) {
                 (Work::Planned(i), BatchPlan::Strided { batches }) => batches[*i].clone(),
                 (Work::Planned(i), BatchPlan::Queue { order, chunks }) => {
                     order[chunks[*i].clone()].to_vec()
@@ -430,27 +790,26 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         };
 
         while let Some(mut unit) = pending.pop_front() {
-            let chunk_range = match (&unit.work, &plan) {
+            let chunk_range = match (&unit.work, plan) {
                 (Work::Planned(i), BatchPlan::Queue { chunks, .. }) => Some(chunks[*i].clone()),
                 _ => None,
             };
             if chunk_range.is_some() {
                 // Host-side injection: a stuck/corrupted device counter,
                 // observed just before this chunk launches.
-                if let Some(plane) = self.fault {
+                if let Some(plane) = ctx.fault {
                     if let Some(bump) = plane.take_counter_bump() {
                         counter.fetch_add(bump);
                         if telemetry_on {
-                            self.telemetry.record(
-                                Event::new("executor", "fault_injected")
+                            self.telemetry
+                                .record(tag(Event::new("executor", "fault_injected")
                                     .str("kind", "counter_bump")
-                                    .u64("bump", bump),
-                            );
+                                    .u64("bump", bump)));
                         }
                     }
                 }
             }
-            let (assignment, num_groups) = match (&unit.work, &plan) {
+            let (assignment, num_groups) = match (&unit.work, plan) {
                 (Work::Planned(i), BatchPlan::Strided { batches }) => (
                     Assignment::Static {
                         queries: &batches[*i],
@@ -460,7 +819,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 (Work::Planned(i), BatchPlan::Queue { order, chunks }) => (
                     Assignment::Queue {
                         order,
-                        counter: &counter,
+                        counter,
                         limit: queue_limit,
                     },
                     chunks[*i].len(),
@@ -473,15 +832,15 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 resolved: &self.resolved,
                 epsilon: c.epsilon,
                 k: c.k,
-                warp_size: c.gpu.warp_size,
-                cost: c.gpu.cost,
+                warp_size: ctx.gpu.warp_size,
+                cost: ctx.gpu.cost,
                 assignment,
                 num_groups,
             };
             let mut opts = LaunchOptions::with_telemetry(self.telemetry);
-            opts.fault_plane = self.fault;
+            opts.fault_plane = ctx.fault;
             opts.step_mode = c.step_mode;
-            match launch_with(&c.gpu, &source, issue_order, &mut buffer, &opts) {
+            match launch_with(ctx.gpu, &source, issue_order, &mut buffer, &opts) {
                 Ok(launch_report) => {
                     // Queue-drain invariant, promoted from a debug assert:
                     // each pop advances the counter by the group's slot
@@ -502,14 +861,13 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                             // serial host time, not pipeline time.
                             recovery.backoff_s += backoff + launch_report.elapsed_seconds();
                             if telemetry_on {
-                                self.telemetry.record(
-                                    Event::new("executor", "fault_retry")
+                                self.telemetry
+                                    .record(tag(Event::new("executor", "fault_retry")
                                         .str("class", "counter")
                                         .u64("attempt", unit.counter_attempts as u64)
                                         .u64("expected", expected)
                                         .u64("observed", observed)
-                                        .f64("backoff_model_s", backoff),
-                                );
+                                        .f64("backoff_model_s", backoff)));
                             }
                             if unit.counter_attempts > c.retry.max_counter_retries {
                                 return Err(JoinError::Launch(LaunchError::CounterFault(
@@ -524,6 +882,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                                 work: Work::Split(queries),
                                 transient_attempts: unit.transient_attempts,
                                 counter_attempts: unit.counter_attempts,
+                                split_attempts: unit.split_attempts,
                             });
                             continue;
                         }
@@ -536,7 +895,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     totals.accumulate(&launch_report.totals);
                     let kernel_s = launch_report.elapsed_seconds();
                     let mut transfer_s = c.batching.transfer_seconds(pairs);
-                    if let Some(plane) = self.fault {
+                    if let Some(plane) = ctx.fault {
                         if let Some(stall_s) = plane.take_transfer_stall() {
                             // A stalled copy engine lengthens this batch's
                             // transfer; it flows through the stream
@@ -544,22 +903,21 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                             transfer_s += stall_s;
                             recovery.transfer_stalls += 1;
                             if telemetry_on {
-                                self.telemetry.record(
-                                    Event::new("executor", "fault_injected")
-                                        .str("kind", "transfer_stall")
-                                        .f64("stall_model_s", stall_s),
-                                );
+                                self.telemetry.record(tag(Event::new(
+                                    "executor",
+                                    "fault_injected",
+                                )
+                                .str("kind", "transfer_stall")
+                                .f64("stall_model_s", stall_s)));
                             }
                         }
                     }
                     if telemetry_on {
-                        self.telemetry.record(
-                            Event::new("executor", "batch")
-                                .u64("index", batch_reports.len() as u64)
-                                .u64("pairs", pairs as u64)
-                                .f64("kernel_model_s", kernel_s)
-                                .f64("transfer_model_s", transfer_s),
-                        );
+                        self.telemetry.record(tag(Event::new("executor", "batch")
+                            .u64("index", batch_reports.len() as u64)
+                            .u64("pairs", pairs as u64)
+                            .f64("kernel_model_s", kernel_s)
+                            .f64("transfer_model_s", transfer_s)));
                     }
                     batch_reports.push(BatchReport {
                         launch: launch_report,
@@ -584,35 +942,36 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     if queries.len() <= 1 || recovery.overflow_splits >= c.retry.max_overflow_splits
                     {
                         if telemetry_on {
-                            self.telemetry.record(
-                                Event::new("executor", "overflow_recovery")
+                            self.telemetry
+                                .record(tag(Event::new("executor", "overflow_recovery")
                                     .bool("terminal", true)
                                     .u64("splits_used", recovery.overflow_splits as u64)
                                     .u64("batch_queries", queries.len() as u64)
                                     .u64("attempted", overflow.attempted as u64)
-                                    .u64("capacity", overflow.capacity as u64),
-                            );
+                                    .u64("capacity", overflow.capacity as u64)));
                         }
                         return Err(JoinError::Launch(LaunchError::ResultOverflow(overflow)));
                     }
                     recovery.overflow_splits += 1;
-                    let backoff = c
-                        .retry
-                        .backoff_for(c.retry.overflow_backoff_s, recovery.overflow_splits);
+                    // Escalate with this unit's own split ancestry, not the
+                    // run-wide split count: per-unit attempt keying keeps
+                    // recovery deterministic under any sharding of the plan.
+                    let attempt = unit.split_attempts + 1;
+                    let backoff = c.retry.backoff_for(c.retry.overflow_backoff_s, attempt);
                     recovery.backoff_s += backoff;
                     let right = queries.split_off(queries.len() / 2);
                     if telemetry_on {
-                        self.telemetry.record(
-                            Event::new("executor", "overflow_recovery")
+                        self.telemetry
+                            .record(tag(Event::new("executor", "overflow_recovery")
                                 .bool("terminal", false)
                                 .u64("split", recovery.overflow_splits as u64)
+                                .u64("attempt", attempt as u64)
                                 .u64("left_queries", queries.len() as u64)
                                 .u64("right_queries", right.len() as u64)
-                                .f64("backoff_model_s", backoff),
-                        );
+                                .f64("backoff_model_s", backoff)));
                     }
-                    pending.push_front(Pending::split(right));
-                    pending.push_front(Pending::split(queries));
+                    pending.push_front(Pending::split(right, attempt));
+                    pending.push_front(Pending::split(queries, attempt));
                 }
                 Err(err @ LaunchError::Transient(_)) => {
                     // Transient faults fail at admission, before any queue
@@ -625,12 +984,11 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                         .backoff_for(c.retry.transient_backoff_s, unit.transient_attempts);
                     recovery.backoff_s += backoff;
                     if telemetry_on {
-                        self.telemetry.record(
-                            Event::new("executor", "fault_retry")
+                        self.telemetry
+                            .record(tag(Event::new("executor", "fault_retry")
                                 .str("class", "transient")
                                 .u64("attempt", unit.transient_attempts as u64)
-                                .f64("backoff_model_s", backoff),
-                        );
+                                .f64("backoff_model_s", backoff)));
                     }
                     if unit.transient_attempts <= c.retry.max_transient_retries {
                         pending.push_front(unit);
@@ -680,92 +1038,75 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 &mut cpu_pairs,
             );
             result.extend(&cpu_pairs);
-            let cpu_model_s = c.cpu_fallback.model_seconds(&stats, N as u32, &c.gpu.cost);
+            let cpu_model_s = c
+                .cpu_fallback
+                .model_seconds(&stats, N as u32, &ctx.gpu.cost);
             recovery.cpu = Some((remaining.len(), stats.pairs, cpu_model_s));
             if telemetry_on {
-                self.telemetry.record(
-                    Event::new("executor", "degradation")
+                self.telemetry
+                    .record(tag(Event::new("executor", "degradation")
                         .u64("batches_salvaged", batch_reports.len() as u64)
                         .u64("points_degraded", remaining.len() as u64)
                         .u64("cpu_pairs", stats.pairs)
                         .u64("cpu_distance_calcs", stats.distance_calcs)
                         .f64("cpu_model_s", cpu_model_s)
                         .bool("device_lost", recovery.device_lost)
-                        .u64("host_ns", sw_cpu.elapsed_ns()),
-                );
+                        .u64("host_ns", sw_cpu.elapsed_ns())));
             }
-        } else if let BatchPlan::Queue { .. } = &plan {
-            // Final queue-drain invariant: a fully GPU-completed queue join
-            // must have consumed the whole sorted dataset.
+        } else if let BatchPlan::Queue { .. } = plan {
+            // Final queue-drain invariant: a fully GPU-completed queue shard
+            // must have consumed exactly its slice of the sorted dataset
+            // (for the single-device path, the whole of it).
             let observed = counter.load();
-            if observed != queue_limit {
+            if observed != ctx.expected_final {
                 return Err(JoinError::Launch(LaunchError::CounterFault(CounterFault {
-                    expected: queue_limit,
+                    expected: ctx.expected_final,
                     observed,
                 })));
             }
         }
 
-        let timings: Vec<BatchTiming> = batch_reports
-            .iter()
-            .map(|b| BatchTiming {
-                kernel_s: b.kernel_s,
-                transfer_s: b.transfer_s,
-            })
-            .collect();
-        let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
-        let total_pairs = result.len();
-        let degradation = recovery.into_report(batch_reports.len());
-        let recovery_s = degradation
-            .as_ref()
-            .map_or(0.0, |d| d.backoff_s + d.cpu_model_s);
-        if telemetry_on {
-            self.telemetry
-                .record(Event::new("executor.phase", "gather").u64("host_ns", gather_ns));
-            // How well the 1 % sample predicted the true result size — the
-            // quantity that decides whether the batch plan over- or
-            // under-provisions the result buffers (§III-D).
-            let ratio = if total_pairs > 0 {
-                estimate.estimated_total as f64 / total_pairs as f64
-            } else {
-                f64::NAN
-            };
-            self.telemetry.record(
-                Event::new("executor", "estimator_accuracy")
-                    .u64("estimated_total", estimate.estimated_total)
-                    .u64("actual_total", total_pairs as u64)
-                    .f64("estimate_over_actual", ratio),
-            );
-            self.telemetry.record(
-                Event::new("executor", "join_summary")
-                    .str("config", c.label())
-                    .u64("num_batches", batch_reports.len() as u64)
-                    .u64("total_pairs", total_pairs as u64)
-                    .f64("response_model_s", pipeline.total_s + recovery_s)
-                    .f64("wee", totals.efficiency())
-                    .u64(
-                        "distance_calcs",
-                        totals.lane_ops_by_kind[warpsim::OpKind::Distance.index()],
-                    )
-                    .bool(
-                        "degraded",
-                        degradation.as_ref().is_some_and(|d| d.points_degraded > 0),
-                    ),
-            );
-        }
-        Ok(JoinOutcome {
+        Ok(ShardExecution {
             result,
-            report: JoinReport {
-                estimate,
-                num_batches: batch_reports.len(),
-                batches: batch_reports,
-                pipeline,
-                totals,
-                total_pairs,
-                degradation,
-            },
+            batch_reports,
+            totals,
+            gather_ns,
+            recovery,
         })
     }
+}
+
+/// Execution context of one shard — or, on the single-device path, of the
+/// whole join: which device runs it (for telemetry tagging and the GPU
+/// configuration), through which fault plane and queue head, and how its
+/// result buffer is sized.
+struct ShardCtx<'s> {
+    /// Device id for telemetry; `None` on the single-device path keeps its
+    /// event stream bit-identical to the pre-fleet executor.
+    device: Option<u64>,
+    /// The GPU executing this shard's launches.
+    gpu: &'s GpuConfig,
+    /// This device's fault plane, if any.
+    fault: Option<&'s FaultPlane>,
+    /// This device's queue-head atomic.
+    counter: &'s DeviceCounter,
+    /// Result-buffer capacity in pairs.
+    capacity: usize,
+    /// Global queue length (`order.len()`), the pop limit shared by every
+    /// shard so per-chunk launches stay bit-identical to a single device.
+    queue_limit: u64,
+    /// Queue-plan drain target: where the head must land once this shard's
+    /// chunks are done (the shard's last chunk end).
+    expected_final: u64,
+}
+
+/// What one shard's execution produced, before pipeline scheduling.
+struct ShardExecution {
+    result: ResultSet,
+    batch_reports: Vec<BatchReport>,
+    totals: WarpExecution,
+    gather_ns: u64,
+    recovery: RecoveryCounters,
 }
 
 /// A unit of pending executor work: a batch/chunk of the original plan, or
@@ -780,6 +1121,10 @@ struct Pending {
     work: Work,
     transient_attempts: u32,
     counter_attempts: u32,
+    /// How many overflow splits produced this unit (its ancestry depth):
+    /// the geometric overflow backoff escalates with it, like the other
+    /// retry classes escalate with their per-unit attempt counts.
+    split_attempts: u32,
 }
 
 impl Pending {
@@ -788,20 +1133,22 @@ impl Pending {
             work: Work::Planned(index),
             transient_attempts: 0,
             counter_attempts: 0,
+            split_attempts: 0,
         }
     }
 
-    fn split(queries: Vec<u32>) -> Self {
+    fn split(queries: Vec<u32>, split_attempts: u32) -> Self {
         Pending {
             work: Work::Split(queries),
             transient_attempts: 0,
             counter_attempts: 0,
+            split_attempts,
         }
     }
 }
 
-/// Tallies of what recovery had to do during one [`SelfJoin::run`].
-#[derive(Default)]
+/// Tallies of what recovery had to do during one shard's execution.
+#[derive(Clone, Default)]
 struct RecoveryCounters {
     transient_retries: u32,
     overflow_splits: u32,
@@ -814,6 +1161,24 @@ struct RecoveryCounters {
 }
 
 impl RecoveryCounters {
+    /// Folds another shard's tallies into this one (fleet merge). The
+    /// `device_lost` flag becomes "any device lost"; CPU fallback accounting
+    /// sums across shards.
+    fn merge(&mut self, other: &RecoveryCounters) {
+        self.transient_retries += other.transient_retries;
+        self.overflow_splits += other.overflow_splits;
+        self.counter_retries += other.counter_retries;
+        self.transfer_stalls += other.transfer_stalls;
+        self.backoff_s += other.backoff_s;
+        self.device_lost |= other.device_lost;
+        if let Some((points, pairs, model_s)) = other.cpu {
+            let acc = self.cpu.get_or_insert((0, 0, 0.0));
+            acc.0 += points;
+            acc.1 += pairs;
+            acc.2 += model_s;
+        }
+    }
+
     fn into_report(self, batches_salvaged: usize) -> Option<DegradationReport> {
         let clean = self.transient_retries == 0
             && self.overflow_splits == 0
@@ -1304,5 +1669,240 @@ mod tests {
         });
         let outcome = SelfJoin::new(&pts, config).unwrap().run().unwrap();
         assert_eq!(outcome.result.sorted_pairs(), reference(&pts, 0.1));
+    }
+
+    /// Asserts the fleet's canonical outcome is bit-identical to a
+    /// single-device run: same pairs in the same production order, same
+    /// batches with the same model times, same canonical report.
+    fn assert_canonical_match(single: &JoinOutcome, fleet: &crate::FleetOutcome, ctx: &str) {
+        assert_eq!(single.result.pairs(), fleet.result.pairs(), "{ctx}: pairs");
+        assert_eq!(
+            single.report.estimate, fleet.report.estimate,
+            "{ctx}: estimate"
+        );
+        assert_eq!(
+            single.report.num_batches, fleet.report.num_batches,
+            "{ctx}: num_batches"
+        );
+        assert_eq!(
+            single.report.total_pairs, fleet.report.total_pairs,
+            "{ctx}: total_pairs"
+        );
+        assert_eq!(single.report.totals, fleet.report.totals, "{ctx}: totals");
+        assert_eq!(
+            single.report.pipeline.total_s.to_bits(),
+            fleet.report.pipeline.total_s.to_bits(),
+            "{ctx}: pipeline total"
+        );
+        assert_eq!(
+            single.report.response_time_s().to_bits(),
+            fleet.report.response_time_s().to_bits(),
+            "{ctx}: response time"
+        );
+        assert_eq!(
+            single.report.degradation, fleet.report.degradation,
+            "{ctx}: degradation"
+        );
+        for (i, (a, b)) in single
+            .report
+            .batches
+            .iter()
+            .zip(&fleet.report.batches)
+            .enumerate()
+        {
+            assert_eq!(a.pairs, b.pairs, "{ctx}: batch {i} pairs");
+            assert_eq!(
+                a.kernel_s.to_bits(),
+                b.kernel_s.to_bits(),
+                "{ctx}: batch {i} kernel"
+            );
+            assert_eq!(
+                a.transfer_s.to_bits(),
+                b.transfer_s.to_bits(),
+                "{ctx}: batch {i} transfer"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_of_one_is_bit_identical_to_run() {
+        let pts = skewed_points(200);
+        let eps = 0.1;
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: reference(&pts, eps).len() / 3 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(small_batches);
+            let single = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+            let join = SelfJoin::new(&pts, config.clone()).unwrap();
+            let fleet = warpsim::DeviceFleet::homogeneous(1, config.gpu);
+            let sharded = join
+                .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+                .unwrap();
+            assert_canonical_match(&single, &sharded, &format!("{balancing:?}"));
+            assert_eq!(sharded.fleet.shards.len(), 1);
+            assert_eq!(
+                sharded.fleet.shards[0].batches, single.report.num_batches,
+                "{balancing:?}: the only shard holds the whole plan"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_canonical_report_is_device_count_invariant() {
+        let pts = skewed_points(300);
+        let eps = 0.12;
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: reference(&pts, eps).len() / 6 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            for strategy in [
+                crate::ShardStrategy::WorkloadAware,
+                crate::ShardStrategy::EqualCount,
+            ] {
+                let config = SelfJoinConfig::new(eps)
+                    .with_balancing(balancing)
+                    .with_batching(small_batches);
+                let single = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+                assert!(single.report.num_batches >= 4, "want several units");
+                let join = SelfJoin::new(&pts, config.clone()).unwrap();
+                let fleet = warpsim::DeviceFleet::homogeneous(4, config.gpu);
+                let sharded = join.run_on_fleet(&fleet, strategy).unwrap();
+                let ctx = format!("{balancing:?}/{}", strategy.label());
+                assert_canonical_match(&single, &sharded, &ctx);
+                assert_eq!(sharded.fleet.shards.len(), 4, "{ctx}");
+                // Shards tile the plan: per-shard batch and pair counts sum
+                // to the canonical totals (splits included).
+                let shard_batches: usize = sharded.fleet.shards.iter().map(|s| s.batches).sum();
+                let shard_pairs: usize = sharded.fleet.shards.iter().map(|s| s.pairs).sum();
+                assert_eq!(shard_batches, sharded.report.num_batches, "{ctx}");
+                assert_eq!(shard_pairs, sharded.report.total_pairs, "{ctx}");
+                // Every shard runs no longer than the fleet makespan, and the
+                // makespan is no longer than the serialized canonical time.
+                for s in &sharded.fleet.shards {
+                    assert!(
+                        s.response_time_s <= sharded.fleet.makespan_s + 1e-12,
+                        "{ctx}"
+                    );
+                }
+                assert!(
+                    sharded.fleet.makespan_s <= sharded.report.response_time_s() + 1e-12,
+                    "{ctx}: makespan {} vs canonical {}",
+                    sharded.fleet.makespan_s,
+                    sharded.report.response_time_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_device_loss_degrades_only_that_shard() {
+        let pts = skewed_points(240);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 6 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(small_batches);
+            let join = SelfJoin::new(&pts, config.clone()).unwrap();
+            let fleet = warpsim::DeviceFleet::homogeneous(3, config.gpu)
+                .with_fault_schedule(1, warpsim::FaultSchedule::new().device_lost_at(0));
+            let outcome = join
+                .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+                .unwrap();
+            // The merged join is still exact.
+            assert_eq!(outcome.result.sorted_pairs(), expected, "{balancing:?}");
+            assert_eq!(fleet.lost_devices(), 1, "{balancing:?}");
+            // Only device 1's shard reports a degradation.
+            let lost = &outcome.fleet.shards[1];
+            let d = lost.degradation.as_ref().expect("lost shard must report");
+            assert!(d.device_lost, "{balancing:?}");
+            assert!(d.points_degraded > 0, "{balancing:?}");
+            for s in [&outcome.fleet.shards[0], &outcome.fleet.shards[2]] {
+                assert!(
+                    s.degradation.is_none(),
+                    "{balancing:?}: clean shard {} must not degrade",
+                    s.device
+                );
+            }
+            // The canonical report carries the merged degradation.
+            let merged = outcome.report.degradation.as_ref().unwrap();
+            assert!(merged.device_lost, "{balancing:?}");
+            assert_eq!(merged.points_degraded, d.points_degraded, "{balancing:?}");
+        }
+    }
+
+    #[test]
+    fn fleet_with_more_devices_than_units_stays_exact() {
+        let pts = skewed_points(80);
+        let eps = 0.1;
+        let config = SelfJoinConfig::optimized(eps);
+        let single = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+        let join = SelfJoin::new(&pts, config.clone()).unwrap();
+        let fleet = warpsim::DeviceFleet::homogeneous(8, config.gpu);
+        let sharded = join
+            .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+            .unwrap();
+        assert_canonical_match(&single, &sharded, "8 devices, few units");
+        assert_eq!(sharded.fleet.shards.len(), 8);
+        let idle = sharded
+            .fleet
+            .shards
+            .iter()
+            .filter(|s| s.units.is_empty())
+            .count();
+        assert!(idle > 0, "some devices must sit idle");
+        for s in sharded.fleet.shards.iter().filter(|s| s.units.is_empty()) {
+            assert_eq!(s.batches, 0);
+            assert_eq!(s.pairs, 0);
+            assert_eq!(s.response_time_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn fleet_configuration_errors_are_typed() {
+        let pts = skewed_points(40);
+        let config = SelfJoinConfig::new(0.1);
+        let join = SelfJoin::new(&pts, config.clone()).unwrap();
+        let empty = warpsim::DeviceFleet::homogeneous(0, config.gpu);
+        let err = join
+            .run_on_fleet(&empty, crate::ShardStrategy::WorkloadAware)
+            .unwrap_err();
+        assert!(matches!(err, JoinError::Fleet(_)), "{err}");
+        let narrow = warpsim::DeviceFleet::homogeneous(
+            2,
+            GpuConfig {
+                warp_size: 8,
+                block_size: 16,
+                ..GpuConfig::small_test()
+            },
+        );
+        let err = join
+            .run_on_fleet(&narrow, crate::ShardStrategy::WorkloadAware)
+            .unwrap_err();
+        assert!(
+            matches!(&err, JoinError::Fleet(msg) if msg.contains("warp size")),
+            "{err}"
+        );
     }
 }

@@ -40,6 +40,7 @@ pub mod brute;
 pub mod config;
 pub mod executor;
 pub mod fallback;
+pub mod fleet;
 pub mod kernels;
 pub mod patterns;
 pub mod result;
@@ -50,5 +51,8 @@ pub use brute::brute_force_join;
 pub use config::{AccessPattern, Balancing, RetryPolicy, SelfJoinConfig};
 pub use executor::{DegradationReport, JoinError, JoinOutcome, JoinReport, SelfJoin};
 pub use fallback::{cpu_join_queries, CpuFallbackModel, CpuFallbackStats};
+pub use fleet::{
+    partition_units, unit_workloads, FleetOutcome, FleetReport, ShardReport, ShardStrategy,
+};
 pub use result::ResultSet;
 pub use workload::{CellWorkload, WorkloadProfile};

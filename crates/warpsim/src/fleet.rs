@@ -1,0 +1,215 @@
+//! A fleet of independent simulated devices.
+//!
+//! The single-GPU model in this crate is one [`GpuConfig`] plus the
+//! device-side primitives a kernel touches: the queue-head atomic
+//! ([`DeviceCounter`]), the result buffer, and (optionally) a fault plane.
+//! A [`DeviceFleet`] instantiates *N* of those devices side by side, each
+//! with its **own** counter, occupancy/clock configuration, and
+//! fault-injection plane — nothing is shared between devices, exactly like
+//! N boards on one host. The multi-device executor in the `core` crate
+//! assigns each device a contiguous shard of the batch plan and drives its
+//! launches against that device's counter and plane; a fault on one device
+//! (including a sticky device-lost condition) is invisible to the others.
+//!
+//! Streams are a host-side concept in this model (an analytic
+//! kernel/transfer overlap schedule, [`crate::stream::StreamPipeline`]);
+//! the executor builds one pipeline per device, so each device also has its
+//! own streams.
+
+use crate::atomics::DeviceCounter;
+use crate::config::GpuConfig;
+use crate::fault::{FaultPlane, FaultProfile, FaultSchedule};
+
+/// One simulated GPU in a [`DeviceFleet`].
+///
+/// Owns the per-device state the executor must not share across shards: the
+/// device configuration (SM count, warp width, clock — the occupancy
+/// model), the work-queue head atomic, and an optional fault plane whose
+/// launch indices count only this device's launches.
+#[derive(Debug)]
+pub struct SimDevice {
+    id: usize,
+    gpu: GpuConfig,
+    counter: DeviceCounter,
+    fault: Option<FaultPlane>,
+}
+
+impl SimDevice {
+    /// Creates a device with the given id and configuration, a fresh
+    /// counter, and no fault plane.
+    pub fn new(id: usize, gpu: GpuConfig) -> Self {
+        Self {
+            id,
+            gpu,
+            counter: DeviceCounter::new(),
+            fault: None,
+        }
+    }
+
+    /// The device's index within its fleet.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device's configuration.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The device's work-queue head.
+    pub fn counter(&self) -> &DeviceCounter {
+        &self.counter
+    }
+
+    /// The device's fault plane, if one is attached.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault.as_ref()
+    }
+
+    /// Whether this device has latched a device-lost fault.
+    pub fn is_lost(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultPlane::device_lost)
+    }
+}
+
+/// N independent simulated GPUs.
+///
+/// Construction is homogeneous (the common case and the one under which the
+/// sharded executor's merged report is bit-identical to a single-device
+/// run); per-device fault schedules are attached afterwards with
+/// [`DeviceFleet::with_fault_schedule`] or
+/// [`DeviceFleet::with_seeded_faults`].
+#[derive(Debug)]
+pub struct DeviceFleet {
+    devices: Vec<SimDevice>,
+}
+
+impl DeviceFleet {
+    /// Builds a fleet of `n` identically configured devices (ids `0..n`).
+    pub fn homogeneous(n: usize, gpu: GpuConfig) -> Self {
+        Self {
+            devices: (0..n).map(|id| SimDevice::new(id, gpu)).collect(),
+        }
+    }
+
+    /// Attaches an explicit fault schedule to device `device`.
+    ///
+    /// # Panics
+    /// If `device` is out of range.
+    pub fn with_fault_schedule(mut self, device: usize, schedule: FaultSchedule) -> Self {
+        self.devices[device].fault = Some(FaultPlane::new(schedule));
+        self
+    }
+
+    /// Attaches a seeded fault plane rolled from `profile` to device
+    /// `device`.
+    ///
+    /// # Panics
+    /// If `device` is out of range.
+    pub fn with_seeded_faults(mut self, device: usize, seed: u64, profile: &FaultProfile) -> Self {
+        self.devices[device].fault = Some(FaultPlane::seeded(seed, profile));
+        self
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device at index `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn device(&self, i: usize) -> &SimDevice {
+        &self.devices[i]
+    }
+
+    /// Iterates over the devices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &SimDevice> {
+        self.devices.iter()
+    }
+
+    /// How many devices have latched a device-lost fault.
+    pub fn lost_devices(&self) -> usize {
+        self.devices.iter().filter(|d| d.is_lost()).count()
+    }
+
+    /// Total faults injected across all devices' planes.
+    pub fn injected_faults(&self) -> u64 {
+        self.devices
+            .iter()
+            .filter_map(|d| d.fault_plane())
+            .map(FaultPlane::injected_faults)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_fleet_has_independent_counters() {
+        let fleet = DeviceFleet::homogeneous(3, GpuConfig::default());
+        assert_eq!(fleet.len(), 3);
+        fleet.device(0).counter().store(10);
+        fleet.device(1).counter().fetch_add(5);
+        assert_eq!(fleet.device(0).counter().load(), 10);
+        assert_eq!(fleet.device(1).counter().load(), 5);
+        assert_eq!(fleet.device(2).counter().load(), 0);
+    }
+
+    #[test]
+    fn device_ids_and_configs() {
+        let gpu = GpuConfig {
+            num_sms: 4,
+            ..GpuConfig::default()
+        };
+        let fleet = DeviceFleet::homogeneous(2, gpu);
+        for (i, dev) in fleet.iter().enumerate() {
+            assert_eq!(dev.id(), i);
+            assert_eq!(dev.gpu().num_sms, 4);
+            assert!(dev.fault_plane().is_none());
+            assert!(!dev.is_lost());
+        }
+    }
+
+    #[test]
+    fn fault_planes_are_per_device() {
+        let fleet = DeviceFleet::homogeneous(3, GpuConfig::default())
+            .with_fault_schedule(1, FaultSchedule::new().device_lost_at(0));
+        assert!(fleet.device(0).fault_plane().is_none());
+        assert!(fleet.device(2).fault_plane().is_none());
+        let plane = fleet.device(1).fault_plane().unwrap();
+        // Latch the device-lost fault by admitting a launch.
+        assert!(plane.admit_launch().is_err());
+        assert!(fleet.device(1).is_lost());
+        assert!(!fleet.device(0).is_lost());
+        assert_eq!(fleet.lost_devices(), 1);
+        assert_eq!(fleet.injected_faults(), 1);
+    }
+
+    #[test]
+    fn seeded_faults_attach_a_plane() {
+        let fleet = DeviceFleet::homogeneous(2, GpuConfig::default()).with_seeded_faults(
+            0,
+            42,
+            &FaultProfile::transient(),
+        );
+        assert!(fleet.device(0).fault_plane().is_some());
+        assert!(fleet.device(1).fault_plane().is_none());
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let fleet = DeviceFleet::homogeneous(0, GpuConfig::default());
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.lost_devices(), 0);
+        assert_eq!(fleet.injected_faults(), 0);
+    }
+}

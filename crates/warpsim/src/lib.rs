@@ -41,6 +41,7 @@ pub mod atomics;
 pub mod config;
 pub mod coop;
 pub mod fault;
+pub mod fleet;
 pub mod kernel;
 pub mod lane;
 pub mod machine;
@@ -60,6 +61,7 @@ pub use fault::{
     CounterFault, DeviceLostFault, FaultPlane, FaultProfile, FaultSchedule, LaunchAdmission,
     TransientFault,
 };
+pub use fleet::{DeviceFleet, SimDevice};
 pub use kernel::{launch, launch_with, LaunchError, LaunchOptions, LaunchReport, WarpSource};
 pub use lane::{LaneProgram, LaneSink, RunClaim};
 pub use machine::{MachineModel, MakespanReport};

@@ -1,0 +1,179 @@
+//! End-to-end suite for the multi-device sharded executor: on a clean
+//! homogeneous fleet the canonical outcome must be bit-identical to the
+//! single-device run for **any** device count and either partitioning
+//! strategy, the merged pair set must stay exact under per-device faults,
+//! and on the paper's skewed (exponential) data the workload-aware cut must
+//! beat naive equal-count partitioning on makespan.
+
+use simjoin::{Balancing, BatchingConfig, JoinReport, SelfJoinConfig, ShardStrategy};
+use sj_integration_support::{brute_force_dyn, join_dyn, join_fleet_dyn, small_datasets};
+use sjdata::DatasetSpec;
+
+const STRATEGIES: [ShardStrategy; 2] = [ShardStrategy::WorkloadAware, ShardStrategy::EqualCount];
+
+fn assert_canonical_reports_identical(single: &JoinReport, fleet: &JoinReport, ctx: &str) {
+    assert_eq!(single.estimate, fleet.estimate, "estimate differs [{ctx}]");
+    assert_eq!(
+        single.num_batches, fleet.num_batches,
+        "batch count differs [{ctx}]"
+    );
+    assert_eq!(
+        single.total_pairs, fleet.total_pairs,
+        "pair count differs [{ctx}]"
+    );
+    assert_eq!(single.totals, fleet.totals, "warp totals differ [{ctx}]");
+    assert_eq!(
+        single.degradation, fleet.degradation,
+        "degradation differs [{ctx}]"
+    );
+    assert_eq!(
+        single.pipeline.total_s.to_bits(),
+        fleet.pipeline.total_s.to_bits(),
+        "pipeline time differs [{ctx}]"
+    );
+    assert_eq!(
+        single.response_time_s().to_bits(),
+        fleet.response_time_s().to_bits(),
+        "response time differs [{ctx}]"
+    );
+    for (i, (s, f)) in single.batches.iter().zip(&fleet.batches).enumerate() {
+        assert_eq!(s.pairs, f.pairs, "batch {i} pairs differ [{ctx}]");
+        assert_eq!(
+            s.kernel_s.to_bits(),
+            f.kernel_s.to_bits(),
+            "batch {i} kernel time differs [{ctx}]"
+        );
+        assert_eq!(
+            s.transfer_s.to_bits(),
+            f.transfer_s.to_bits(),
+            "batch {i} transfer time differs [{ctx}]"
+        );
+        assert_eq!(
+            s.launch.totals, f.launch.totals,
+            "batch {i} launch totals differ [{ctx}]"
+        );
+    }
+}
+
+/// Across every Table-I dataset family, every balancing, and both
+/// strategies: the fleet result is exact, and the canonical report is
+/// bit-identical between 1 and 4 devices and to the plain single-device
+/// executor.
+#[test]
+fn fleet_is_exact_and_canonical_across_datasets() {
+    for (name, pts, eps) in small_datasets(250) {
+        let truth = brute_force_dyn(&pts, eps);
+        let batching = BatchingConfig {
+            batch_result_capacity: truth.len() / 5 + 8,
+            ..BatchingConfig::default()
+        };
+        for balancing in [Balancing::None, Balancing::WorkQueue] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(batching);
+            let (single_pairs, single_report) = join_dyn(&pts, config.clone());
+            assert_eq!(single_pairs, truth, "{name}: single-device exactness");
+            for strategy in STRATEGIES {
+                for devices in [1usize, 4] {
+                    let ctx = format!("{name}, {balancing:?}, {} x{devices}", strategy.label());
+                    let (pairs, report, fleet) =
+                        join_fleet_dyn(&pts, config.clone(), devices, strategy);
+                    assert_eq!(pairs, truth, "pairs wrong [{ctx}]");
+                    assert_canonical_reports_identical(&single_report, &report, &ctx);
+                    assert_eq!(fleet.shards.len(), devices, "[{ctx}]");
+                    assert!(
+                        fleet.makespan_s <= report.response_time_s() + 1e-12,
+                        "makespan exceeds serialized time [{ctx}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance experiment: on an exponential (λ = 40) dataset — the
+/// paper's most skewed regime — a 4-device workload-aware partition of the
+/// workload-sorted queue plan must report a lower makespan than naive
+/// equal-count partitioning, because the sorted plan front-loads the
+/// heaviest chunks into the first region.
+#[test]
+fn workload_aware_partition_beats_equal_count_makespan_on_skewed_data() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(600);
+    let eps = spec.epsilons[2] * 1.5;
+    let truth = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(BatchingConfig {
+            batch_result_capacity: truth.len() / 12 + 8,
+            ..BatchingConfig::default()
+        });
+    let (pairs_w, report_w, fleet_w) =
+        join_fleet_dyn(&pts, config.clone(), 4, ShardStrategy::WorkloadAware);
+    let (pairs_c, report_c, fleet_c) = join_fleet_dyn(&pts, config, 4, ShardStrategy::EqualCount);
+    // Both are exact and canonically identical — only the cut differs.
+    assert_eq!(pairs_w, truth);
+    assert_eq!(pairs_c, truth);
+    assert!(
+        report_w.num_batches >= 8,
+        "need enough chunks for a meaningful cut, got {}",
+        report_w.num_batches
+    );
+    assert_eq!(
+        report_w.response_time_s().to_bits(),
+        report_c.response_time_s().to_bits(),
+        "canonical time must not depend on the cut"
+    );
+    assert!(
+        fleet_w.makespan_s < fleet_c.makespan_s,
+        "workload-aware makespan {:.6} must beat equal-count {:.6}",
+        fleet_w.makespan_s,
+        fleet_c.makespan_s
+    );
+    assert!(
+        fleet_w.workload_imbalance() <= fleet_c.workload_imbalance(),
+        "workload imbalance: aware {:.3} vs count {:.3}",
+        fleet_w.workload_imbalance(),
+        fleet_c.workload_imbalance()
+    );
+}
+
+/// Scaling sanity: with more devices the makespan never grows, and with
+/// enough devices it drops strictly below the single-device response time.
+#[test]
+fn makespan_is_monotone_in_device_count() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(500);
+    let eps = spec.epsilons[2] * 1.5;
+    let truth = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(BatchingConfig {
+            batch_result_capacity: truth.len() / 10 + 8,
+            ..BatchingConfig::default()
+        });
+    let mut last = f64::INFINITY;
+    for devices in [1usize, 2, 4, 8] {
+        let (pairs, _, fleet) =
+            join_fleet_dyn(&pts, config.clone(), devices, ShardStrategy::WorkloadAware);
+        assert_eq!(pairs, truth, "{devices} devices");
+        assert!(
+            fleet.makespan_s <= last + 1e-12,
+            "makespan grew from {last:.6} to {:.6} at {devices} devices",
+            fleet.makespan_s
+        );
+        last = fleet.makespan_s;
+    }
+    let (_, report_1, fleet_1) =
+        join_fleet_dyn(&pts, config.clone(), 1, ShardStrategy::WorkloadAware);
+    assert_eq!(
+        fleet_1.makespan_s.to_bits(),
+        report_1.response_time_s().to_bits(),
+        "one device: makespan is the whole join"
+    );
+    assert!(
+        last < fleet_1.makespan_s,
+        "8 devices ({last:.6}) must beat 1 device ({:.6})",
+        fleet_1.makespan_s
+    );
+}

@@ -6,11 +6,12 @@
 //! fault profile. The step mode is a host-side knob only; any observable
 //! difference is a bug in the fast path.
 
+use proptest::prelude::*;
 use simjoin::{AccessPattern, Balancing, BatchingConfig, JoinReport, SelfJoinConfig};
 use sj_integration_support::{brute_force_dyn, join_dyn, join_dyn_chaos};
 use sj_telemetry::NULL;
 use sjdata::DatasetSpec;
-use warpsim::{FaultPlane, FaultProfile, IssueOrder, StepMode};
+use warpsim::{FaultPlane, FaultProfile, FaultSchedule, IssueOrder, StepMode};
 
 const PATTERNS: [AccessPattern; 3] = [
     AccessPattern::FullWindow,
@@ -161,6 +162,105 @@ fn step_modes_agree_across_batch_plans() {
             .with_batching(batching);
         let ctx = format!("{pattern:?}, tight batches");
         check_cell(&pts, config, &truth, &ctx);
+    }
+}
+
+/// Degenerate datasets and thresholds must be rejected (or answered)
+/// *consistently* by every kernel variant and both step modes: an empty
+/// dataset and ε = 0 are typed grid errors for all of them, never a panic
+/// or a variant-dependent outcome.
+#[test]
+fn degenerate_empty_dataset_and_zero_epsilon_are_rejected_everywhere() {
+    let empty = epsgrid::DynPoints::new(2);
+    let pts = epsgrid::point::to_dyn(&[[0.0f32, 0.0], [1.0, 1.0], [2.0, 0.5]]);
+    for pattern in PATTERNS {
+        for balancing in BALANCINGS {
+            for mode in [StepMode::Stepped, StepMode::RunLength] {
+                let config = SelfJoinConfig::new(0.1)
+                    .with_pattern(pattern)
+                    .with_balancing(balancing)
+                    .with_step_mode(mode);
+                let ctx = format!("{pattern:?}, {balancing:?}, {mode:?}");
+                let on_empty =
+                    simjoin::SelfJoin::new(&empty.as_fixed::<2>().unwrap(), config.clone())
+                        .map(|_| ());
+                assert!(
+                    matches!(on_empty, Err(simjoin::JoinError::Grid(_))),
+                    "empty dataset must be a typed grid error [{ctx}]"
+                );
+                let zero_eps = simjoin::SelfJoin::new(
+                    &pts.as_fixed::<2>().unwrap(),
+                    SelfJoinConfig {
+                        epsilon: 0.0,
+                        ..config
+                    },
+                )
+                .map(|_| ());
+                assert!(
+                    matches!(zero_eps, Err(simjoin::JoinError::Grid(_))),
+                    "epsilon = 0 must be a typed grid error [{ctx}]"
+                );
+            }
+        }
+    }
+}
+
+/// A singleton dataset joins to the empty pair set under every variant and
+/// step mode — exercising the estimator's single-point path end to end.
+#[test]
+fn degenerate_singleton_dataset_yields_no_pairs_everywhere() {
+    let pts = epsgrid::point::to_dyn(&[[0.25f32, 0.75]]);
+    for pattern in PATTERNS {
+        for balancing in BALANCINGS {
+            for mode in [StepMode::Stepped, StepMode::RunLength] {
+                let config = SelfJoinConfig::new(0.1)
+                    .with_pattern(pattern)
+                    .with_balancing(balancing)
+                    .with_step_mode(mode);
+                let ctx = format!("{pattern:?}, {balancing:?}, {mode:?}");
+                let (pairs, report) = join_dyn(&pts, config);
+                assert!(pairs.is_empty(), "singleton produced pairs [{ctx}]");
+                assert_eq!(report.total_pairs, 0, "[{ctx}]");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clusters of all-identical points are the worst-case degenerate
+    /// input: every point is every other point's neighbor, candidate sets
+    /// are maximal, and the pair count is exactly n·(n−1). Every kernel
+    /// variant, both step modes, and the CPU fallback (forced by losing
+    /// the device on launch 0) must agree with brute force.
+    #[test]
+    fn degenerate_identical_point_clusters_agree_everywhere(
+        n in 1usize..=16,
+        x in -40.0f32..40.0,
+        y in -40.0f32..40.0,
+        eps in 0.001f32..0.5,
+    ) {
+        let pts = epsgrid::point::to_dyn(&vec![[x, y]; n]);
+        let truth = brute_force_dyn(&pts, eps);
+        prop_assert_eq!(truth.len(), n * (n - 1));
+        for pattern in PATTERNS {
+            for balancing in BALANCINGS {
+                let config = SelfJoinConfig::new(eps)
+                    .with_pattern(pattern)
+                    .with_balancing(balancing);
+                let ctx = format!("{pattern:?}, {balancing:?}");
+                check_cell(&pts, config.clone(), &truth, &ctx);
+                // The exact CPU fallback replays the same probe lists.
+                let plane = FaultPlane::new(FaultSchedule::new().device_lost_at(0));
+                let (cpu_pairs, report) =
+                    join_dyn_chaos(&pts, config, &plane, &NULL).expect("fallback");
+                prop_assert_eq!(&cpu_pairs, &truth, "CPU fallback differs [{}]", ctx);
+                let d = report.degradation.expect("fallback must report");
+                prop_assert!(d.device_lost, "[{}]", ctx);
+                prop_assert_eq!(d.points_degraded, n, "[{}]", ctx);
+            }
+        }
     }
 }
 

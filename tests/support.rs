@@ -61,6 +61,37 @@ pub fn join_dyn(
     }
 }
 
+/// Runs a GPU self-join sharded across `devices` homogeneous simulated
+/// GPUs and returns `(sorted pairs, canonical report, fleet report)`.
+pub fn join_fleet_dyn(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+) -> (Vec<(u32, u32)>, simjoin::JoinReport, simjoin::FleetReport) {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+    ) -> (Vec<(u32, u32)>, simjoin::JoinReport, simjoin::FleetReport) {
+        let fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+        let outcome = simjoin::SelfJoin::new(pts, config)
+            .expect("config")
+            .run_on_fleet(&fleet, strategy)
+            .expect("fleet join");
+        (outcome.result.sorted_pairs(), outcome.report, outcome.fleet)
+    }
+    match points.dims() {
+        2 => run(&points.as_fixed::<2>().unwrap(), config, devices, strategy),
+        3 => run(&points.as_fixed::<3>().unwrap(), config, devices, strategy),
+        4 => run(&points.as_fixed::<4>().unwrap(), config, devices, strategy),
+        5 => run(&points.as_fixed::<5>().unwrap(), config, devices, strategy),
+        6 => run(&points.as_fixed::<6>().unwrap(), config, devices, strategy),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
 /// Runs a GPU self-join with a fault plane and telemetry attached. `Err`
 /// carries the typed error — an acceptable chaos outcome, unlike a wrong
 /// pair set.
