@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--quick | --scale <f>] [--eps-stride <n>] [--jobs <n>] \
 //!             [--step-mode stepped|runlength] [--devices <n>] \
+//!             [--sort-backend host|device] \
 //!             [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
 //! ```
 //!
@@ -14,20 +15,23 @@
 //! stepped-vs-run-length micro-benchmark of a fully converged 32-lane warp —
 //! to `results/bench_baseline.json`.
 //!
-//! Neither `--jobs`, `--step-mode`, nor `--devices` can change any table:
-//! sweep cells are reassembled in input order, the two step modes are
-//! bit-identical, and the sharded executor's canonical merged report is
-//! device-count invariant, so stdout diffs clean across all three knobs
-//! (CI verifies the step modes and `--devices 1` vs `--devices 4`).
+//! Neither `--jobs`, `--step-mode`, `--devices`, nor `--sort-backend` can
+//! change any table: sweep cells are reassembled in input order, the two
+//! step modes are bit-identical, the sharded executor's canonical merged
+//! report is device-count invariant, and the device sort/scan pre-pass is
+//! differentially tested against the host planner (its cost lands only in
+//! telemetry), so stdout diffs clean across all four knobs (CI verifies the
+//! step modes, `--devices 1` vs `--devices 4`, and host vs device sorting).
 
 use std::time::Instant;
 
+use simjoin::SortBackend;
 use sj_bench::experiments::{ExperimentScale, Experiments};
 use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--no-telemetry] [EXPERIMENT]...\n\
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--sort-backend host|device] [--no-telemetry] [EXPERIMENT]...\n\
          experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling\n\
          (chaos and scaling are not part of `all`: chaos exercises the fault-injection plane,\n\
           scaling shards the join across a simulated multi-device fleet)"
@@ -57,6 +61,36 @@ fn fastpath_micro(cands: u32) -> (f64, f64) {
     (time(StepMode::Stepped), time(StepMode::RunLength))
 }
 
+/// Wall-clock of the on-device primitive chains (radix argsort + exclusive
+/// scan over a heavy-tailed workload vector), per step mode — the cost of
+/// choosing `--sort-backend device`, recorded next to the fast-path micro.
+fn primitives_micro(n: usize) -> (f64, f64) {
+    use warpsim::{device_exclusive_scan, device_radix_argsort, DEFAULT_DIGIT_BITS};
+    const ITERS: u32 = 20;
+    let gpu = warpsim::GpuConfig::default();
+    let keys: Vec<u128> = (0..n)
+        .map(|i| {
+            if i % 17 == 0 {
+                500_000 + i as u128
+            } else {
+                (i as u128 * 13) % 64
+            }
+        })
+        .collect();
+    let values: Vec<u64> = keys.iter().map(|&k| k as u64 & 0xFFFF).collect();
+    let time = |mode: StepMode| {
+        let opts = warpsim::LaunchOptions::default().with_step_mode(mode);
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(device_radix_argsort(&gpu, &keys, DEFAULT_DIGIT_BITS, &opts))
+                .expect("argsort");
+            std::hint::black_box(device_exclusive_scan(&gpu, &values, &opts)).expect("scan");
+        }
+        start.elapsed().as_secs_f64() / ITERS as f64
+    };
+    (time(StepMode::Stepped), time(StepMode::RunLength))
+}
+
 /// Multi-device scaling rows recorded into the baseline artifact: the same
 /// sweep as the `scaling` experiment, pinned to quick scale so the recorded
 /// makespans (model seconds, machine-independent) stay comparable no matter
@@ -69,6 +103,7 @@ fn write_baseline(
     scale: ExperimentScale,
     jobs: usize,
     step_mode: StepMode,
+    sort_backend: SortBackend,
     timings: &[(String, f64)],
 ) {
     const FASTPATH_CANDS: u32 = 2_048;
@@ -80,11 +115,12 @@ fn write_baseline(
     };
     let mut json = String::from("{\n  \"schema\": \"bench_baseline/1\",\n");
     json.push_str(&format!(
-        "  \"points_scale\": {},\n  \"eps_stride\": {},\n  \"jobs\": {},\n  \"step_mode\": \"{}\",\n",
+        "  \"points_scale\": {},\n  \"eps_stride\": {},\n  \"jobs\": {},\n  \"step_mode\": \"{}\",\n  \"sort_backend\": \"{}\",\n",
         scale.points_scale,
         scale.eps_stride,
         jobs,
-        step_mode.name()
+        step_mode.name(),
+        sort_backend.label()
     ));
     json.push_str("  \"experiments\": [\n");
     for (i, (name, wall)) in timings.iter().enumerate() {
@@ -108,7 +144,13 @@ fn write_baseline(
     json.push_str(&format!(
         "  \"warp_fastpath\": {{\"lanes\": 32, \"candidates\": {FASTPATH_CANDS}, \
          \"stepped_s\": {stepped_s:.9}, \"runlength_s\": {runlength_s:.9}, \
-         \"speedup\": {speedup:.2}}}\n}}\n"
+         \"speedup\": {speedup:.2}}},\n"
+    ));
+    const PRIMITIVES_N: usize = 4_096;
+    let (prim_stepped_s, prim_runlength_s) = primitives_micro(PRIMITIVES_N);
+    json.push_str(&format!(
+        "  \"primitives\": {{\"n\": {PRIMITIVES_N}, \
+         \"stepped_s\": {prim_stepped_s:.9}, \"runlength_s\": {prim_runlength_s:.9}}}\n}}\n"
     ));
     let path = std::path::Path::new("results").join("bench_baseline.json");
     let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, json));
@@ -128,6 +170,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut step_mode = StepMode::default();
     let mut devices = 1usize;
+    let mut sort_backend = SortBackend::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -156,6 +199,10 @@ fn main() {
                     usage();
                 }
             }
+            "--sort-backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                sort_backend = SortBackend::by_name(&v).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => names.push(other.to_string()),
@@ -173,6 +220,7 @@ fn main() {
     }
     exp.step_mode = step_mode;
     exp.devices = devices;
+    exp.sort_backend = sort_backend;
     println!(
         "# Experiment suite (points_scale = {}, eps_stride = {})",
         scale.points_scale, scale.eps_stride
@@ -199,5 +247,5 @@ fn main() {
         }
         timings.push((name, start.elapsed().as_secs_f64()));
     }
-    write_baseline(scale, exp.jobs, step_mode, &timings);
+    write_baseline(scale, exp.jobs, step_mode, sort_backend, &timings);
 }

@@ -23,7 +23,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use epsgrid::DynPoints;
-use simjoin::{AccessPattern, Balancing, BatchingConfig, SelfJoinConfig, ShardStrategy};
+use simjoin::{
+    AccessPattern, Balancing, BatchingConfig, SelfJoinConfig, ShardStrategy, SortBackend,
+};
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
 use warpsim::{CostModel, IssueOrder, StepMode};
@@ -88,6 +90,11 @@ pub struct Experiments {
     /// partitioning). The canonical merged report is device-count invariant,
     /// so tables are bit-identical for any value — CI diffs 1 vs 4.
     pub devices: usize,
+    /// Where the planner's sorts and prefix sums run (host folds or the
+    /// on-device kernel chains). Planning is backend-invariant — the device
+    /// pre-pass shows up only in telemetry — so tables are bit-identical
+    /// across backends too; CI diffs host vs device.
+    pub sort_backend: SortBackend,
     sink: RefCell<Option<Arc<JsonTelemetry>>>,
 }
 
@@ -255,6 +262,7 @@ impl Experiments {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             step_mode: StepMode::default(),
             devices: 1,
+            sort_backend: SortBackend::default(),
             sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
@@ -295,6 +303,7 @@ impl Experiments {
         SelfJoinConfig::new(eps)
             .with_batching(self.batching)
             .with_step_mode(self.step_mode)
+            .with_sort_backend(self.sort_backend)
     }
 
     /// Snapshot of the state a sweep cell needs, detached from the

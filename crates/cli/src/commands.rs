@@ -3,7 +3,7 @@
 use std::path::Path;
 
 use epsgrid::DynPoints;
-use simjoin::{AccessPattern, Balancing, SelfJoin, SelfJoinConfig};
+use simjoin::{AccessPattern, Balancing, SelfJoin, SelfJoinConfig, SortBackend};
 use sj_telemetry::{JsonTelemetry, Telemetry, Value};
 use sjdata::{io as dataio, DatasetSpec};
 
@@ -20,7 +20,7 @@ USAGE:
   simjoin join --input <path> --eps <f> [--k <n>|--k auto]
                [--pattern full|unicomp|lid] [--balancing none|sort|queue]
                [--balanced-queue] [--devices <n>] [--shard-strategy workload|count]
-               [--output <pairs.csv>] [--verify]
+               [--sort-backend host|device] [--output <pairs.csv>] [--verify]
       Run the self-join and print the execution report. --verify checks the
       result against the SUPER-EGO CPU join. With --devices N > 1 the batch
       plan is sharded across N simulated GPUs (workload-aware by default)
@@ -111,6 +111,14 @@ fn balancing_flag(parsed: &Parsed) -> Result<Balancing, String> {
         "sort" | "sortbywl" => Ok(Balancing::SortByWorkload),
         "queue" | "workqueue" => Ok(Balancing::WorkQueue),
         other => Err(format!("unknown balancing `{other}` (none|sort|queue)")),
+    }
+}
+
+fn sort_backend_flag(parsed: &Parsed) -> Result<SortBackend, String> {
+    match parsed.optional("sort-backend") {
+        None => Ok(SortBackend::default()),
+        Some(name) => SortBackend::by_name(name)
+            .ok_or_else(|| format!("unknown sort backend `{name}` (host|device)")),
     }
 }
 
@@ -305,6 +313,7 @@ fn join(parsed: &Parsed) -> Result<(), String> {
         .with_balancing(balancing)
         .with_k(k);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
+    config.sort_backend = sort_backend_flag(parsed)?;
 
     let (pairs, report, fleet, used_k) = with_fixed(&points, |runner| {
         let (pairs, report, fleet, used_k) = if devices > 1 {
@@ -347,6 +356,21 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     println!("distance calculations : {}", report.distance_calcs());
     println!("warp exec efficiency  : {:.1} %", report.wee() * 100.0);
     println!("response time (model) : {:.6} s", report.response_time_s());
+    if let Some(pp) = &report.prepass {
+        println!(
+            "device pre-pass       : {:.6} s (sort {:.6} s / {} launches, scan {:.6} s / {} launches){}",
+            pp.model_s(),
+            pp.sort_model_s,
+            pp.sort_launches,
+            pp.scan_model_s,
+            pp.scan_launches,
+            if pp.degraded_to_host {
+                " [degraded to host]"
+            } else {
+                ""
+            }
+        );
+    }
     if let Some(fleet) = &fleet {
         println!(
             "devices               : {} ({} partitioning)",
@@ -411,6 +435,7 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
         .with_balancing(balancing)
         .with_k(k);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
+    config.sort_backend = sort_backend_flag(parsed)?;
 
     let sink = JsonTelemetry::new(format!(
         "simjoin profile eps={eps} pattern={pattern:?} balancing={balancing:?}"
@@ -431,11 +456,16 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
     println!("\nhost-side phases:");
     for event in &events {
         if event.scope == "executor.phase" {
-            let ns = match event.field("host_ns") {
-                Some(Value::U64(n)) => *n,
-                _ => 0,
-            };
-            println!("  {:<20} {:>10.3} ms", event.name, ns as f64 / 1e6);
+            match (event.field("host_ns"), event.field("model_s")) {
+                (Some(Value::U64(n)), _) => {
+                    println!("  {:<20} {:>10.3} ms", event.name, *n as f64 / 1e6);
+                }
+                // Device pre-pass phases (sort/scan) are model-time only.
+                (None, Some(Value::F64(s))) => {
+                    println!("  {:<20} {:>10.6} model s", event.name, s);
+                }
+                _ => println!("  {:<20} {:>10.3} ms", event.name, 0.0),
+            }
         }
     }
     let mut counts: Vec<(String, usize)> = Vec::new();
@@ -481,6 +511,7 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
         .with_balancing(balancing)
         .with_k(k);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
+    config.sort_backend = sort_backend_flag(parsed)?;
 
     let plane = warpsim::FaultPlane::seeded(seed, &profile);
     let sink = JsonTelemetry::new(format!(

@@ -299,24 +299,52 @@ pub fn plan_queue_balanced(
     per_point_workload: &[u64],
     num_batches: usize,
 ) -> BatchPlan {
-    let nb = num_batches.max(1);
-    let total: u128 = order
+    let prefix = inclusive_workload_prefix(&order, per_point_workload);
+    plan_queue_balanced_from_prefix(order, &prefix, num_batches)
+}
+
+/// The in-order inclusive workload prefix of `order`:
+/// `prefix[i] = Σ_{j ≤ i} workload(order[j])` — the host oracle of the
+/// device exclusive-scan pre-pass (an exclusive scan plus the element at
+/// `i`).
+pub fn inclusive_workload_prefix(order: &[u32], per_point_workload: &[u64]) -> Vec<u128> {
+    let mut acc: u128 = 0;
+    order
         .iter()
-        .map(|&pid| per_point_workload[pid as usize] as u128)
-        .sum();
+        .map(|&pid| {
+            acc += per_point_workload[pid as usize] as u128;
+            acc
+        })
+        .collect()
+}
+
+/// [`plan_queue_balanced`] from a precomputed inclusive workload prefix.
+/// Both sort backends cut through this single function, so the plans are
+/// identical by construction whenever the prefixes are (which the
+/// differential suite guarantees for the device scan).
+pub fn plan_queue_balanced_from_prefix(
+    order: Vec<u32>,
+    inclusive_prefix: &[u128],
+    num_batches: usize,
+) -> BatchPlan {
+    debug_assert_eq!(order.len(), inclusive_prefix.len());
+    let nb = num_batches.max(1);
+    let total: u128 = inclusive_prefix.last().copied().unwrap_or(0);
     if total == 0 || nb == 1 {
         return plan_queue(order, nb);
     }
     let target = total.div_ceil(nb as u128).max(1);
     let mut chunks = Vec::with_capacity(nb);
     let mut start = 0usize;
-    let mut acc: u128 = 0;
-    for (i, &pid) in order.iter().enumerate() {
-        acc += per_point_workload[pid as usize] as u128;
-        if acc >= target && i + 1 < order.len() {
+    // `base` is the workload consumed by all chunks already cut, so
+    // `inclusive_prefix[i] - base` is the running accumulator of the
+    // classic formulation (which resets at every cut).
+    let mut base: u128 = 0;
+    for (i, &prefix) in inclusive_prefix.iter().enumerate() {
+        if prefix - base >= target && i + 1 < order.len() {
             chunks.push(start..i + 1);
             start = i + 1;
-            acc = 0;
+            base = prefix;
         }
     }
     if start < order.len() {

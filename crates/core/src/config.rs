@@ -127,6 +127,46 @@ impl Balancing {
     }
 }
 
+/// Where the planner's sort and prefix-sum pre-passes execute.
+///
+/// The paper runs SORTBYWL's sort and the batch planner's prefix sums on the
+/// device; this reproduction historically ran them as host-side
+/// `sort_unstable_by`/folds, invisible to the cost model. `Device` routes
+/// them through the warp-kernel primitive chains in `warpsim::primitives`,
+/// whose model-seconds surface as `sort`/`scan` phase telemetry. The
+/// **result** of planning is bit-identical across backends (the device
+/// primitives are differentially tested against the host oracles), so the
+/// canonical pair set and every recorded table are invariant; only telemetry
+/// and the [`PrePassReport`](crate::PrePassReport) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortBackend {
+    /// Host-side sorts and folds (default; keeps recorded tables invariant).
+    #[default]
+    Host,
+    /// Warp-kernel radix sort / exclusive scan chains, costed in model
+    /// cycles and admitted through the fault plane.
+    Device,
+}
+
+impl SortBackend {
+    /// Short display name (`"host"` / `"device"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SortBackend::Host => "host",
+            SortBackend::Device => "device",
+        }
+    }
+
+    /// Parses a display name back into a backend.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "host" => Some(SortBackend::Host),
+            "device" => Some(SortBackend::Device),
+            _ => None,
+        }
+    }
+}
+
 /// Full configuration of one self-join execution.
 #[derive(Debug, Clone)]
 pub struct SelfJoinConfig {
@@ -156,6 +196,9 @@ pub struct SelfJoinConfig {
     /// How the warp simulator advances lockstep rounds (host-side only;
     /// simulated results are bit-identical across modes).
     pub step_mode: StepMode,
+    /// Where the planner's sort/scan pre-passes execute (see
+    /// [`SortBackend`]).
+    pub sort_backend: SortBackend,
 }
 
 impl SelfJoinConfig {
@@ -174,6 +217,7 @@ impl SelfJoinConfig {
             retry: RetryPolicy::default(),
             cpu_fallback: CpuFallbackModel::default(),
             step_mode: StepMode::default(),
+            sort_backend: SortBackend::default(),
         }
     }
 
@@ -226,6 +270,12 @@ impl SelfJoinConfig {
     /// Builder-style: set the warp simulator step mode.
     pub fn with_step_mode(mut self, mode: StepMode) -> Self {
         self.step_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the sort/scan pre-pass backend.
+    pub fn with_sort_backend(mut self, backend: SortBackend) -> Self {
+        self.sort_backend = backend;
         self
     }
 
@@ -294,6 +344,17 @@ mod tests {
         assert_eq!(c.k, 4);
         assert_eq!(c.pattern, AccessPattern::Unicomp);
         assert_eq!(c.balancing, Balancing::SortByWorkload);
+    }
+
+    #[test]
+    fn sort_backend_round_trips() {
+        assert_eq!(SortBackend::default(), SortBackend::Host);
+        for b in [SortBackend::Host, SortBackend::Device] {
+            assert_eq!(SortBackend::by_name(b.label()), Some(b));
+        }
+        assert_eq!(SortBackend::by_name("gpu"), None);
+        let c = SelfJoinConfig::new(0.5).with_sort_backend(SortBackend::Device);
+        assert_eq!(c.sort_backend, SortBackend::Device);
     }
 
     #[test]

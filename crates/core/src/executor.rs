@@ -11,17 +11,20 @@ use warpsim::{
 };
 
 use crate::batching::{
-    buffer_capacity_for, estimate_prefix, estimate_strided, num_batches_scaled, plan_queue,
-    plan_queue_balanced, plan_strided, BatchPlan, ResultEstimate,
+    buffer_capacity_for, estimate_prefix, estimate_strided, inclusive_workload_prefix,
+    num_batches_scaled, plan_queue, plan_queue_balanced_from_prefix, plan_strided, BatchPlan,
+    ResultEstimate,
 };
-use crate::config::{Balancing, SelfJoinConfig};
+use crate::config::{Balancing, SelfJoinConfig, SortBackend};
+use crate::device_prepass::{DevicePrepass, PrePassReport};
 use crate::fallback::cpu_join_queries;
 use crate::fleet::{
-    partition_units, unit_workloads, FleetOutcome, FleetReport, ShardReport, ShardStrategy,
+    partition_units, partition_units_from_prefix, unit_workloads, FleetOutcome, FleetReport,
+    ShardReport, ShardStrategy,
 };
 use crate::kernels::{Assignment, JoinKernelSource, ResolvedPatterns};
 use crate::result::ResultSet;
-use crate::workload::WorkloadProfile;
+use crate::workload::{expand_cell_order, WorkloadProfile};
 
 /// Errors from configuring or running a self-join.
 #[derive(Debug)]
@@ -126,6 +129,11 @@ pub struct JoinReport {
     pub total_pairs: usize,
     /// Fault-recovery accounting; `None` when the run was clean.
     pub degradation: Option<DegradationReport>,
+    /// Device sort/scan pre-pass accounting; `None` under the default
+    /// [`SortBackend::Host`]. Pre-pass model seconds are reported here and
+    /// in telemetry only — [`JoinReport::response_time_s`] stays
+    /// backend-invariant so recorded tables never depend on the backend.
+    pub prepass: Option<PrePassReport>,
 }
 
 impl JoinReport {
@@ -301,15 +309,39 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
 
     /// Builds the batch plan (exposed for tests and benches).
     pub fn plan(&self) -> (ResultEstimate, BatchPlan) {
-        self.plan_with(1)
+        let (estimate, plan, _) = self.plan_with(1);
+        (estimate, plan)
+    }
+
+    /// The pre-pass driver for [`SortBackend::Device`], or `None` under the
+    /// host backend.
+    fn device_prepass(&self) -> Option<DevicePrepass<'_>> {
+        match self.config.sort_backend {
+            SortBackend::Host => None,
+            SortBackend::Device => Some(DevicePrepass::new(
+                &self.config.gpu,
+                &self.config.retry,
+                self.config.step_mode,
+                self.fault,
+                self.telemetry,
+            )),
+        }
     }
 
     /// Builds the batch plan with the batch count scaled by `multiplier`
     /// **before** the `max_batches` saturation cap is applied, so a scaled
     /// re-plan still respects the device-saturation floor (the per-batch
     /// buffer grows instead of the batch count blowing past the cap).
-    fn plan_with(&self, multiplier: usize) -> (ResultEstimate, BatchPlan) {
+    ///
+    /// Under [`SortBackend::Device`] the SORTBYWL sorts, the WORKQUEUE cell
+    /// ordering, and the balanced-queue prefix sum run as warp-kernel
+    /// chains; the returned plan is bit-identical to the host backend's (the
+    /// primitives match the host oracles exactly, and a faulted pre-pass
+    /// degrades to the host path), with the chains' cost accounting in the
+    /// third tuple slot.
+    fn plan_with(&self, multiplier: usize) -> (ResultEstimate, BatchPlan, Option<PrePassReport>) {
         let c = &self.config;
+        let mut prepass = self.device_prepass();
         match c.balancing {
             Balancing::None | Balancing::SortByWorkload => {
                 let estimate = estimate_strided(
@@ -319,15 +351,32 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     c.batching.sample_fraction,
                 );
                 let nb = num_batches_scaled(&estimate, &c.batching, multiplier);
-                let plan = plan_strided(self.points.len(), nb, self.profile.as_ref());
-                (estimate, plan)
+                let plan = match (&mut prepass, self.profile.as_ref()) {
+                    (Some(pp), Some(profile)) => {
+                        let mut plan = plan_strided(self.points.len(), nb, None);
+                        if let BatchPlan::Strided { batches } = &mut plan {
+                            for batch in batches.iter_mut() {
+                                if !pp.sort_by_workload(profile.per_point(), batch, "sortbywl") {
+                                    profile.sort_by_workload(batch);
+                                }
+                            }
+                        }
+                        plan
+                    }
+                    _ => plan_strided(self.points.len(), nb, self.profile.as_ref()),
+                };
+                (estimate, plan, prepass.map(|pp| pp.stats))
             }
             Balancing::WorkQueue => {
                 let profile = self
                     .profile
                     .as_ref()
                     .expect("WorkQueue always has a profile");
-                let order = profile.sorted_dataset(&self.grid);
+                let order = prepass
+                    .as_mut()
+                    .and_then(|pp| pp.cell_order(profile.per_cell(), "workqueue_order"))
+                    .map(|cells| expand_cell_order(&self.grid, &cells))
+                    .unwrap_or_else(|| profile.sorted_dataset(&self.grid));
                 let estimate = estimate_prefix(
                     &self.grid,
                     self.points,
@@ -337,11 +386,19 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 );
                 let nb = num_batches_scaled(&estimate, &c.batching, multiplier);
                 let plan = if c.batching.balanced_queue {
-                    plan_queue_balanced(order, profile.per_point(), nb)
+                    let values: Vec<u64> = order
+                        .iter()
+                        .map(|&pid| profile.per_point()[pid as usize])
+                        .collect();
+                    let prefix = prepass
+                        .as_mut()
+                        .and_then(|pp| pp.inclusive_prefix(&values, "queue_cut"))
+                        .unwrap_or_else(|| inclusive_workload_prefix(&order, profile.per_point()));
+                    plan_queue_balanced_from_prefix(order, &prefix, nb)
                 } else {
                     plan_queue(order, nb)
                 };
-                (estimate, plan)
+                (estimate, plan, prepass.map(|pp| pp.stats))
             }
         }
     }
@@ -360,7 +417,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     ///
     /// [`RetryPolicy::max_overflow_splits`]: crate::RetryPolicy::max_overflow_splits
     pub fn run(&self) -> Result<JoinOutcome, JoinError> {
-        let (estimate, plan) = self.plan_with_telemetry();
+        let (estimate, plan, prepass) = self.plan_with_telemetry();
         let c = &self.config;
         let capacity = self.capacity_for(&estimate, &plan);
         let counter = DeviceCounter::new();
@@ -419,6 +476,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 totals,
                 total_pairs,
                 degradation,
+                prepass,
             },
         })
     }
@@ -464,7 +522,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             }
         }
         let telemetry_on = self.telemetry.is_enabled();
-        let (estimate, plan) = self.plan_with_telemetry();
+        let (estimate, plan, prepass) = self.plan_with_telemetry();
         let capacity = self.capacity_for(&estimate, &plan);
         // Quantified per-unit workload for the cut: reuse the balancing
         // profile when one exists; otherwise profile here. Host-side only —
@@ -478,7 +536,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             }
         };
         let weights = unit_workloads(&plan, per_point);
-        let regions = partition_units(&weights, fleet.len(), strategy);
+        let regions = self.partition_for_fleet(&weights, fleet.len(), strategy);
         let (queue_limit, chunk_bounds) = match &plan {
             BatchPlan::Queue { order, chunks } => (order.len() as u64, Some(chunks)),
             _ => (0, None),
@@ -630,6 +688,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 totals,
                 total_pairs,
                 degradation,
+                prepass,
             },
             fleet: FleetReport {
                 strategy,
@@ -643,7 +702,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     /// builds the batch plan, recording the estimate-and-plan event. Both
     /// the single-device and the fleet paths plan through here, so their
     /// planning telemetry is identical.
-    fn plan_with_telemetry(&self) -> (ResultEstimate, BatchPlan) {
+    fn plan_with_telemetry(&self) -> (ResultEstimate, BatchPlan, Option<PrePassReport>) {
         if self.telemetry.is_enabled() {
             // Index build and workload profiling happened in `new()`; their
             // host durations were captured there and are reported once.
@@ -661,7 +720,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             );
         }
         let sw_plan = Stopwatch::start();
-        let (estimate, plan) = self.plan_with(1);
+        let (estimate, plan, prepass) = self.plan_with(1);
         if self.telemetry.is_enabled() {
             self.telemetry.record(
                 Event::new("executor.phase", "estimate_and_plan")
@@ -672,8 +731,83 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     .u64("num_batches", plan.num_batches() as u64)
                     .u64("host_ns", sw_plan.elapsed_ns()),
             );
+            if let Some(pp) = &prepass {
+                self.record_prepass_events(pp);
+            }
         }
-        (estimate, plan)
+        (estimate, plan, prepass)
+    }
+
+    /// Emits the `sort`/`scan` phase events of a device pre-pass: the
+    /// model-second cost of the planner's sorts and prefix sums, which the
+    /// host backend performs invisibly. Only phases that actually ran are
+    /// emitted (e.g. a STATIC-balancing join sorts nothing).
+    fn record_prepass_events(&self, pp: &PrePassReport) {
+        if pp.sort_invocations > 0 {
+            self.telemetry.record(
+                Event::new("executor.phase", "sort")
+                    .str("backend", "device")
+                    .u64("invocations", pp.sort_invocations as u64)
+                    .u64("launches", pp.sort_launches)
+                    .u64("passes", pp.sort_passes as u64)
+                    .u64("cycles", pp.sort_cycles)
+                    .f64("model_s", pp.sort_model_s)
+                    .u64("transient_retries", pp.transient_retries as u64)
+                    .f64("backoff_model_s", pp.backoff_s)
+                    .bool("degraded_to_host", pp.degraded_to_host),
+            );
+        }
+        if pp.scan_invocations > 0 {
+            self.telemetry.record(
+                Event::new("executor.phase", "scan")
+                    .str("backend", "device")
+                    .u64("invocations", pp.scan_invocations as u64)
+                    .u64("launches", pp.scan_launches)
+                    .u64("cycles", pp.scan_cycles)
+                    .f64("model_s", pp.scan_model_s)
+                    .u64("transient_retries", pp.transient_retries as u64)
+                    .f64("backoff_model_s", pp.backoff_s)
+                    .bool("degraded_to_host", pp.degraded_to_host),
+            );
+        }
+    }
+
+    /// Cuts the fleet's shard regions. Under [`SortBackend::Device`] with
+    /// the workload-aware strategy, the cumulative-weight prefix behind the
+    /// cut runs through the device exclusive-scan chain (telemetry records
+    /// its cost as a `scan` phase with `site = "fleet_cut"`); the cut
+    /// points are identical to the host fold's by construction, and the
+    /// chain's cost stays **out** of [`JoinReport::prepass`] so the
+    /// canonical report remains bit-identical to the single-device run.
+    fn partition_for_fleet(
+        &self,
+        weights: &[u64],
+        devices: usize,
+        strategy: ShardStrategy,
+    ) -> Vec<std::ops::Range<usize>> {
+        if strategy == ShardStrategy::WorkloadAware {
+            if let Some(mut pp) = self.device_prepass() {
+                if let Some(prefix) = pp.inclusive_prefix(weights, "fleet_cut") {
+                    if self.telemetry.is_enabled() {
+                        let s = &pp.stats;
+                        self.telemetry.record(
+                            Event::new("executor.phase", "scan")
+                                .str("backend", "device")
+                                .str("site", "fleet_cut")
+                                .u64("invocations", s.scan_invocations as u64)
+                                .u64("launches", s.scan_launches)
+                                .u64("cycles", s.scan_cycles)
+                                .f64("model_s", s.scan_model_s)
+                                .u64("transient_retries", s.transient_retries as u64)
+                                .f64("backoff_model_s", s.backoff_s)
+                                .bool("degraded_to_host", false),
+                        );
+                    }
+                    return partition_units_from_prefix(&prefix, devices, strategy);
+                }
+            }
+        }
+        partition_units(weights, devices, strategy)
     }
 
     /// Result-buffer capacity for a plan. With the device-saturation floor

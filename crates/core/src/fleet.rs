@@ -97,16 +97,35 @@ pub fn partition_units(
     devices: usize,
     strategy: ShardStrategy,
 ) -> Vec<Range<usize>> {
+    let mut acc: u128 = 0;
+    let prefix: Vec<u128> = weights
+        .iter()
+        .map(|&w| {
+            acc += w as u128;
+            acc
+        })
+        .collect();
+    partition_units_from_prefix(&prefix, devices, strategy)
+}
+
+/// [`partition_units`] from a precomputed inclusive weight prefix
+/// (`prefix[i] = weights[0] + … + weights[i]`). The workload-aware cut
+/// reads only the prefix, so both sort backends — the host fold and the
+/// device exclusive-scan chain — select identical cut points by
+/// construction.
+pub fn partition_units_from_prefix(
+    inclusive_prefix: &[u128],
+    devices: usize,
+    strategy: ShardStrategy,
+) -> Vec<Range<usize>> {
     let devices = devices.max(1);
-    let n = weights.len();
-    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let n = inclusive_prefix.len();
+    let total: u128 = inclusive_prefix.last().copied().unwrap_or(0);
     let mut regions: Vec<Range<usize>> = Vec::with_capacity(devices);
     match strategy {
         ShardStrategy::WorkloadAware if total > 0 => {
             let mut start = 0usize;
-            let mut acc: u128 = 0;
-            for (i, &w) in weights.iter().enumerate() {
-                acc += w as u128;
+            for (i, &acc) in inclusive_prefix.iter().enumerate() {
                 let target = (total * (regions.len() as u128 + 1)).div_ceil(devices as u128);
                 if acc >= target && regions.len() + 1 < devices {
                     regions.push(start..i + 1);

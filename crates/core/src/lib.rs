@@ -38,6 +38,7 @@
 pub mod batching;
 pub mod brute;
 pub mod config;
+pub mod device_prepass;
 pub mod executor;
 pub mod fallback;
 pub mod fleet;
@@ -48,11 +49,15 @@ pub mod workload;
 
 pub use batching::{BatchPlan, BatchingConfig, ResultEstimate};
 pub use brute::brute_force_join;
-pub use config::{AccessPattern, Balancing, RetryPolicy, SelfJoinConfig};
+pub use config::{AccessPattern, Balancing, RetryPolicy, SelfJoinConfig, SortBackend};
+pub use device_prepass::{
+    device_cell_order, device_inclusive_prefix, device_sort_by_workload, PrePassReport,
+};
 pub use executor::{DegradationReport, JoinError, JoinOutcome, JoinReport, SelfJoin};
 pub use fallback::{cpu_join_queries, CpuFallbackModel, CpuFallbackStats};
 pub use fleet::{
-    partition_units, unit_workloads, FleetOutcome, FleetReport, ShardReport, ShardStrategy,
+    partition_units, partition_units_from_prefix, unit_workloads, FleetOutcome, FleetReport,
+    ShardReport, ShardStrategy,
 };
 pub use result::ResultSet;
-pub use workload::{CellWorkload, WorkloadProfile};
+pub use workload::{expand_cell_order, CellWorkload, WorkloadProfile};

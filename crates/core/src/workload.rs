@@ -6,6 +6,8 @@
 //! Since all points of a cell share the same window, workload is computed
 //! **per cell** and inherited by the cell's points.
 
+use std::cmp::Reverse;
+
 use epsgrid::GridIndex;
 
 /// Workload of one non-empty cell.
@@ -60,6 +62,21 @@ impl WorkloadProfile {
         &self.per_point
     }
 
+    /// Per-cell workloads, indexed by non-empty cell index.
+    pub fn per_cell(&self) -> &[u64] {
+        &self.per_cell
+    }
+
+    /// Builds a profile directly from per-point workloads (no grid), for
+    /// differential tests that exercise the sort paths on arbitrary key
+    /// distributions. Cell workloads are left empty.
+    pub fn from_per_point(per_point: Vec<u64>) -> Self {
+        Self {
+            per_cell: Vec::new(),
+            per_point,
+        }
+    }
+
     /// Total workload over the whole dataset (total distance calculations a
     /// FullWindow execution performs).
     pub fn total(&self) -> u64 {
@@ -70,11 +87,10 @@ impl WorkloadProfile {
     /// ascending id, keeping the order deterministic) — the SORTBYWL
     /// transformation applied to one batch's points.
     pub fn sort_by_workload(&self, pids: &mut [u32]) {
-        pids.sort_unstable_by(|&a, &b| {
-            self.per_point[b as usize]
-                .cmp(&self.per_point[a as usize])
-                .then(a.cmp(&b))
-        });
+        // Key-based sort: `(Reverse(workload), id)` is a total order by
+        // construction, so determinism cannot silently regress if the
+        // comparator is edited (see the identical-order regression test).
+        pids.sort_unstable_by_key(|&p| (Reverse(self.per_point[p as usize]), p));
     }
 
     /// Builds the paper's `D'`: the whole dataset reordered cell-by-cell
@@ -82,17 +98,17 @@ impl WorkloadProfile {
     /// points from the cell with the greatest workload at the beginning of
     /// a new array `D'`"). The WORKQUEUE's global counter walks this array.
     pub fn sorted_dataset<const N: usize>(&self, grid: &GridIndex<N>) -> Vec<u32> {
-        let mut cell_order: Vec<u32> = (0..grid.num_cells() as u32).collect();
-        cell_order.sort_unstable_by(|&a, &b| {
-            self.per_cell[b as usize]
-                .cmp(&self.per_cell[a as usize])
-                .then(a.cmp(&b))
-        });
-        let mut order = Vec::with_capacity(grid.num_points());
-        for &ci in &cell_order {
-            order.extend_from_slice(grid.cell_points(ci as usize));
-        }
-        order
+        expand_cell_order(grid, &self.cell_order())
+    }
+
+    /// The non-empty cell indices sorted by non-increasing workload, ties by
+    /// ascending cell index — the cell-level ordering behind
+    /// [`sorted_dataset`](Self::sorted_dataset), exposed so the device sort
+    /// backend can reproduce it through the radix-argsort kernel chain.
+    pub fn cell_order(&self) -> Vec<u32> {
+        let mut cell_order: Vec<u32> = (0..self.per_cell.len() as u32).collect();
+        cell_order.sort_unstable_by_key(|&c| (Reverse(self.per_cell[c as usize]), c));
+        cell_order
     }
 
     /// Per-cell workload summary, heaviest first.
@@ -104,13 +120,19 @@ impl WorkloadProfile {
                 points: grid.cell_points(ci).len() as u32,
             })
             .collect();
-        cells.sort_unstable_by(|a, b| {
-            b.candidates
-                .cmp(&a.candidates)
-                .then(a.cell_idx.cmp(&b.cell_idx))
-        });
+        cells.sort_unstable_by_key(|c| (Reverse(c.candidates), c.cell_idx));
         cells
     }
+}
+
+/// Concatenates the points of `cell_order`'s cells into the paper's `D'`
+/// array — the expansion step shared by the host and device sort backends.
+pub fn expand_cell_order<const N: usize>(grid: &GridIndex<N>, cell_order: &[u32]) -> Vec<u32> {
+    let mut order = Vec::with_capacity(grid.num_points());
+    for &ci in cell_order {
+        order.extend_from_slice(grid.cell_points(ci as usize));
+    }
+    order
 }
 
 #[cfg(test)]
@@ -199,6 +221,61 @@ mod tests {
         for pair in summary.windows(2) {
             assert!(pair[0].candidates >= pair[1].candidates);
         }
+    }
+
+    #[test]
+    fn orderings_are_deterministic_under_repetition_and_permutation() {
+        // Regression for tie-break fragility: many cells share a workload on
+        // lattice-like data, so any reliance on sort incidentals (rather
+        // than the explicit id tie-break) would reorder ties between runs or
+        // under permuted input.
+        let mut pts = Vec::new();
+        for x in 0..6 {
+            for y in 0..6 {
+                pts.push([x as f32 + 0.5, y as f32 + 0.5]);
+            }
+        }
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+
+        let cell_order = profile.cell_order();
+        let dataset_order = profile.sorted_dataset(&grid);
+        let summary = profile.cell_summary(&grid);
+        for _ in 0..5 {
+            assert_eq!(profile.cell_order(), cell_order, "cell order drifted");
+            assert_eq!(profile.sorted_dataset(&grid), dataset_order);
+            assert_eq!(profile.cell_summary(&grid), summary);
+        }
+        // Equal-workload runs must be in ascending cell index.
+        for pair in cell_order.windows(2) {
+            let (wa, wb) = (
+                profile.cell_workload(pair[0] as usize),
+                profile.cell_workload(pair[1] as usize),
+            );
+            assert!(wa > wb || (wa == wb && pair[0] < pair[1]));
+        }
+
+        // Point sort: permuting the input ids must not change the result.
+        let mut ids: Vec<u32> = (0..pts.len() as u32).collect();
+        profile.sort_by_workload(&mut ids);
+        let mut permuted: Vec<u32> = (0..pts.len() as u32).rev().collect();
+        profile.sort_by_workload(&mut permuted);
+        assert_eq!(ids, permuted, "sort must not depend on input order");
+        let mut rotated: Vec<u32> = (0..pts.len() as u32).collect();
+        rotated.rotate_left(7);
+        profile.sort_by_workload(&mut rotated);
+        assert_eq!(ids, rotated);
+    }
+
+    #[test]
+    fn expand_cell_order_matches_sorted_dataset() {
+        let pts = skewed_points();
+        let grid = GridIndex::build(&pts, 1.0).unwrap();
+        let profile = WorkloadProfile::compute(&grid);
+        assert_eq!(
+            expand_cell_order(&grid, &profile.cell_order()),
+            profile.sorted_dataset(&grid)
+        );
     }
 
     #[test]

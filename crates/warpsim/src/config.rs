@@ -26,6 +26,12 @@ pub struct CostModel {
     pub shuffle: u32,
     /// One synchronization.
     pub sync: u32,
+    /// One scan combine step: load an element and add it into a running
+    /// partial sum (the per-lane tile reduction of the device scan).
+    pub scan_combine: u32,
+    /// One radix-digit extraction: load a key, shift/mask out the current
+    /// digit and bump the work-group histogram bin.
+    pub digit_extract: u32,
 }
 
 impl Default for CostModel {
@@ -39,6 +45,8 @@ impl Default for CostModel {
             atomic: 40,
             shuffle: 4,
             sync: 4,
+            scan_combine: 6,
+            digit_extract: 10,
         }
     }
 }
@@ -75,6 +83,22 @@ impl CostModel {
     /// The [`Op`] for one shuffle/broadcast.
     pub fn shuffle_op(&self) -> Op {
         Op::new(OpKind::Shuffle, self.shuffle)
+    }
+
+    /// The [`Op`] for one synchronization barrier.
+    pub fn sync_op(&self) -> Op {
+        Op::new(OpKind::Sync, self.sync)
+    }
+
+    /// The [`Op`] for one scan combine step (load + add).
+    pub fn scan_combine_op(&self) -> Op {
+        Op::new(OpKind::Other, self.scan_combine)
+    }
+
+    /// The [`Op`] for one radix-digit extraction (load + shift/mask +
+    /// histogram bump).
+    pub fn digit_extract_op(&self) -> Op {
+        Op::new(OpKind::Other, self.digit_extract)
     }
 }
 
@@ -250,5 +274,11 @@ mod tests {
         assert_eq!(cost.emit_op().kind, OpKind::Emit);
         assert_eq!(cost.cell_lookup_op().kind, OpKind::CellLookup);
         assert_eq!(cost.shuffle_op().kind, OpKind::Shuffle);
+        assert_eq!(cost.sync_op().kind, OpKind::Sync);
+        assert_eq!(cost.sync_op().cycles, cost.sync);
+        assert_eq!(cost.scan_combine_op().kind, OpKind::Other);
+        assert_eq!(cost.scan_combine_op().cycles, cost.scan_combine);
+        assert_eq!(cost.digit_extract_op().kind, OpKind::Other);
+        assert_eq!(cost.digit_extract_op().cycles, cost.digit_extract);
     }
 }

@@ -49,6 +49,7 @@ pub mod memory;
 pub mod metrics;
 pub mod occupancy;
 pub mod op;
+pub mod primitives;
 pub mod scheduler;
 pub mod stream;
 pub mod trace;
@@ -69,6 +70,9 @@ pub use memory::{BufferOverflow, DeviceBuffer};
 pub use metrics::WarpStatsSummary;
 pub use occupancy::{occupancy, resident_warps_per_sm, KernelResources, SmLimits};
 pub use op::{Op, OpKind, NUM_OP_KINDS};
+pub use primitives::{
+    device_exclusive_scan, device_radix_argsort, PrimitiveReport, DEFAULT_DIGIT_BITS,
+};
 pub use scheduler::IssueOrder;
 pub use stream::{BatchTiming, PipelineReport, StreamPipeline};
 pub use trace::{trace_warp, trace_warp_with, WarpTrace};

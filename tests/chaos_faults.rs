@@ -8,7 +8,7 @@
 //! `CHAOS_SEED_BASE` (default 0); every seeded test offsets its seeds by it.
 
 use proptest::prelude::*;
-use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig};
+use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig, SortBackend};
 use sj_integration_support::{brute_force_dyn, join_dyn_chaos};
 use sj_telemetry::{Event, JsonTelemetry, Value, NULL};
 use sjdata::DatasetSpec;
@@ -114,6 +114,129 @@ proptest! {
             Err(err) => prop_assert!(!err.to_string().is_empty()),
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fault schedules landing during the device sort/scan pre-pass obey the
+    /// same contract as mid-join faults: the join returns the exact pair set
+    /// or a typed error, and any injected fault is visible — either as batch
+    /// degradation or on the pre-pass report (retries / host fallback).
+    #[test]
+    fn prepass_fault_schedules_are_exact_or_typed(
+        seed in 0u64..1_000_000,
+        profile_idx in 0usize..6,
+        balancing_idx in 1usize..3, // SortByWorkload | WorkQueue: the pre-pass runs
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let name = FaultProfile::names()[profile_idx];
+        let profile = FaultProfile::by_name(name).unwrap();
+        let plane = FaultPlane::seeded(seed_base().wrapping_add(seed), &profile);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(BatchingConfig {
+                balanced_queue: true,
+                ..small_batches(expected.len())
+            })
+            .with_sort_backend(SortBackend::Device);
+        match join_dyn_chaos(&pts, config, &plane, &NULL) {
+            Ok((pairs, report)) => {
+                prop_assert_eq!(pairs, expected, "profile {} corrupted the result", name);
+                if plane.injected_faults() > 0 {
+                    let pp = report.prepass.unwrap_or_default();
+                    prop_assert!(
+                        report.degradation.is_some()
+                            || pp.transient_retries > 0
+                            || pp.degraded_to_host,
+                        "profile {}: injected fault invisible in the report",
+                        name
+                    );
+                }
+            }
+            Err(err) => {
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+}
+
+/// A transient launch fault landing on the *first pre-pass dispatch* is
+/// retried inside the pre-pass: the join stays exact, the retry and its
+/// backoff are accounted on the pre-pass report, and nothing degrades.
+#[test]
+fn transient_prepass_fault_is_retried_and_exact() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let plane = FaultPlane::new(FaultSchedule::new().transient_at(0));
+    let sink = JsonTelemetry::new("prepass-transient");
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::SortByWorkload)
+        .with_batching(small_batches(expected.len()))
+        .with_sort_backend(SortBackend::Device);
+    let (pairs, report) = join_dyn_chaos(&pts, config, &plane, &sink).unwrap();
+
+    assert_eq!(pairs, expected, "retried pre-pass must not change the join");
+    assert_eq!(
+        plane.injected_faults(),
+        1,
+        "the transient landed in the pre-pass"
+    );
+    assert!(
+        report.degradation.is_none(),
+        "a pre-pass retry is not a batch degradation"
+    );
+    let pp = report.prepass.expect("device pre-pass report");
+    assert_eq!(pp.transient_retries, 1);
+    assert!(pp.backoff_s > 0.0, "retry backoff must be accounted");
+    assert!(!pp.degraded_to_host);
+    assert!(
+        pp.sort_invocations > 0,
+        "the sort ran on the device after retry"
+    );
+    assert_eq!(
+        sink.events_named("executor", "prepass_degraded").len(),
+        0,
+        "a recovered transient is not a degradation"
+    );
+}
+
+/// Losing the device on the first pre-pass dispatch degrades the *sort* to
+/// the host path — with a telemetry event recording the degradation — while
+/// the join itself still completes exactly.
+#[test]
+fn device_loss_in_prepass_degrades_sort_to_host_with_event() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let plane = FaultPlane::new(FaultSchedule::new().device_lost_at(0));
+    let sink = JsonTelemetry::new("prepass-lost");
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(BatchingConfig {
+            balanced_queue: true,
+            ..small_batches(expected.len())
+        })
+        .with_sort_backend(SortBackend::Device);
+    let (pairs, report) = join_dyn_chaos(&pts, config, &plane, &sink).unwrap();
+
+    assert_eq!(pairs, expected, "host-degraded planning must stay exact");
+    let pp = report.prepass.expect("device pre-pass report");
+    assert!(pp.degraded_to_host, "pre-pass must record the fallback");
+    assert_eq!(
+        pp.sort_invocations, 0,
+        "after the loss no device primitive completes"
+    );
+    let events = sink.events_named("executor", "prepass_degraded");
+    assert_eq!(events.len(), 1, "degradation event is emitted exactly once");
+    assert_eq!(
+        events[0].field("class"),
+        Some(&Value::Str("device_lost".into()))
+    );
+    assert_eq!(
+        events[0].field("site"),
+        Some(&Value::Str("workqueue_order".into()))
+    );
 }
 
 #[test]

@@ -7,9 +7,12 @@
 //! difference is a bug in the fast path.
 
 use proptest::prelude::*;
-use simjoin::{AccessPattern, Balancing, BatchingConfig, JoinReport, SelfJoinConfig};
-use sj_integration_support::{brute_force_dyn, join_dyn, join_dyn_chaos};
-use sj_telemetry::NULL;
+use simjoin::{
+    AccessPattern, Balancing, BatchingConfig, JoinReport, SelfJoinConfig, ShardStrategy,
+    SortBackend,
+};
+use sj_integration_support::{brute_force_dyn, join_dyn, join_dyn_chaos, join_fleet_dyn};
+use sj_telemetry::{JsonTelemetry, Value, NULL};
 use sjdata::DatasetSpec;
 use warpsim::{FaultPlane, FaultProfile, FaultSchedule, IssueOrder, StepMode};
 
@@ -260,6 +263,151 @@ proptest! {
                 prop_assert!(d.device_lost, "[{}]", ctx);
                 prop_assert_eq!(d.points_degraded, n, "[{}]", ctx);
             }
+        }
+    }
+}
+
+/// The sort backend is the same kind of host-side knob as the step mode:
+/// [`SortBackend::Device`] must return the exact canonical pair set and the
+/// bit-identical report of the [`SortBackend::Host`] oracle for every
+/// pattern × balancing × step-mode cell. (The device pre-pass may differ
+/// only in [`JoinReport::prepass`] and telemetry — never in planning.)
+#[test]
+fn sort_backends_agree_across_pattern_balancing_and_mode() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    // A tight result buffer forces multiple batches, so SORTBYWL issues one
+    // device sort per batch; the balanced queue cut adds the scan site.
+    let batching = BatchingConfig {
+        batch_result_capacity: truth.len() / 3 + 8,
+        balanced_queue: true,
+        ..BatchingConfig::default()
+    };
+    for pattern in PATTERNS {
+        for balancing in BALANCINGS {
+            for mode in [StepMode::Stepped, StepMode::RunLength] {
+                let config = SelfJoinConfig::new(eps)
+                    .with_pattern(pattern)
+                    .with_balancing(balancing)
+                    .with_batching(batching)
+                    .with_step_mode(mode);
+                let ctx = format!("{pattern:?}, {balancing:?}, {mode:?}");
+                let (pairs_h, report_h) =
+                    join_dyn(&pts, config.clone().with_sort_backend(SortBackend::Host));
+                let (pairs_d, report_d) =
+                    join_dyn(&pts, config.with_sort_backend(SortBackend::Device));
+                assert_eq!(pairs_h, truth, "host pairs wrong [{ctx}]");
+                assert_eq!(pairs_d, truth, "device pairs wrong [{ctx}]");
+                assert_reports_identical(&report_h, &report_d, &ctx);
+                assert!(
+                    report_h.prepass.is_none(),
+                    "host run has a pre-pass [{ctx}]"
+                );
+                let pp = report_d
+                    .prepass
+                    .expect("device run must report its pre-pass");
+                assert!(!pp.degraded_to_host, "clean run degraded [{ctx}]");
+                match balancing {
+                    Balancing::None => assert_eq!(pp.sort_invocations, 0, "[{ctx}]"),
+                    Balancing::SortByWorkload => {
+                        assert!(pp.sort_invocations > 0, "[{ctx}]");
+                        assert!(pp.sort_model_s > 0.0, "sort cost is zero [{ctx}]");
+                    }
+                    Balancing::WorkQueue => {
+                        assert!(pp.sort_invocations > 0, "[{ctx}]");
+                        assert!(pp.scan_invocations > 0, "queue cut not scanned [{ctx}]");
+                        assert!(pp.model_s() > 0.0, "pre-pass cost is zero [{ctx}]");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// With telemetry attached, a `SortBackend::Device` run emits `sort`/`scan`
+/// phase events carrying nonzero model seconds — the costed-pre-pass
+/// acceptance criterion — while the recorded response time stays
+/// bit-identical to the host backend's.
+#[test]
+fn device_backend_reports_sort_and_scan_phases_in_telemetry() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    let batching = BatchingConfig {
+        batch_result_capacity: truth.len() / 3 + 8,
+        balanced_queue: true,
+        ..BatchingConfig::default()
+    };
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(batching)
+        .with_sort_backend(SortBackend::Device);
+    let plane = FaultPlane::new(FaultSchedule::new());
+    let sink = JsonTelemetry::new("device-backend");
+    let (pairs, report) = join_dyn_chaos(&pts, config, &plane, &sink).expect("clean run");
+    assert_eq!(pairs, truth);
+    let phase_model_s = |name: &str| -> f64 {
+        let events = sink.events_named("executor.phase", name);
+        assert_eq!(events.len(), 1, "expected one {name} phase event");
+        match events[0].field("model_s") {
+            Some(Value::F64(v)) => *v,
+            other => panic!("{name} phase event lacks model_s: {other:?}"),
+        }
+    };
+    let sort_s = phase_model_s("sort");
+    let scan_s = phase_model_s("scan");
+    assert!(sort_s > 0.0, "sort phase reports zero model seconds");
+    assert!(scan_s > 0.0, "scan phase reports zero model seconds");
+    let pp = report.prepass.expect("device pre-pass report");
+    assert_eq!(sort_s.to_bits(), pp.sort_model_s.to_bits());
+    assert_eq!(scan_s.to_bits(), pp.scan_model_s.to_bits());
+    assert_eq!(
+        sink.events_named("executor", "prepass_degraded").len(),
+        0,
+        "clean run must not degrade"
+    );
+}
+
+/// Fleet runs cut shard regions from the same workload prefix on both
+/// backends: identical shard regions, identical canonical report, identical
+/// merged pair set — for each shard strategy and device count.
+#[test]
+fn sort_backends_agree_on_fleet_cuts() {
+    let (pts, eps) = dataset();
+    let truth = brute_force_dyn(&pts, eps);
+    let batching = BatchingConfig {
+        batch_result_capacity: truth.len() / 3 + 8,
+        ..BatchingConfig::default()
+    };
+    for strategy in [ShardStrategy::WorkloadAware, ShardStrategy::EqualCount] {
+        for devices in [2usize, 3] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(Balancing::WorkQueue)
+                .with_batching(batching);
+            let ctx = format!("{strategy:?}, {devices} devices");
+            let (pairs_h, report_h, fleet_h) = join_fleet_dyn(
+                &pts,
+                config.clone().with_sort_backend(SortBackend::Host),
+                devices,
+                strategy,
+            );
+            let (pairs_d, report_d, fleet_d) = join_fleet_dyn(
+                &pts,
+                config.with_sort_backend(SortBackend::Device),
+                devices,
+                strategy,
+            );
+            assert_eq!(pairs_h, truth, "host fleet pairs wrong [{ctx}]");
+            assert_eq!(pairs_d, truth, "device fleet pairs wrong [{ctx}]");
+            assert_reports_identical(&report_h, &report_d, &ctx);
+            for (i, (sh, sd)) in fleet_h.shards.iter().zip(&fleet_d.shards).enumerate() {
+                assert_eq!(sh.units, sd.units, "shard {i} region differs [{ctx}]");
+                assert_eq!(
+                    sh.workload, sd.workload,
+                    "shard {i} workload differs [{ctx}]"
+                );
+                assert_eq!(sh.pairs, sd.pairs, "shard {i} pairs differ [{ctx}]");
+            }
+            assert_bits_eq(fleet_h.makespan_s, fleet_d.makespan_s, "makespan", &ctx);
         }
     }
 }
