@@ -31,10 +31,12 @@ use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--sort-backend host|device] [--no-telemetry] [EXPERIMENT]...\n\
-         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling\n\
-         (chaos and scaling are not part of `all`: chaos exercises the fault-injection plane,\n\
-          scaling shards the join across a simulated multi-device fleet)"
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--no-telemetry] [EXPERIMENT]...\n\
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover\n\
+         (chaos, scaling, and failover are not part of `all`: chaos exercises the fault-injection plane,\n\
+          scaling shards the join across a simulated multi-device fleet, failover compares reshard\n\
+          recovery against CPU degradation after a mid-join device loss; --lose-device <d> injects a\n\
+          device-lost fault into every fleet run — requires --devices > d, tables still diff clean)"
     );
     std::process::exit(2);
 }
@@ -99,6 +101,13 @@ fn devices_scaling_rows() -> Vec<sj_bench::experiments::ScalingPoint> {
     Experiments::new(ExperimentScale::quick()).scaling_points()
 }
 
+/// Failover comparison rows recorded into the baseline artifact, pinned to
+/// quick scale for the same reason: the acceptance row is the `reshard`
+/// makespan landing strictly below `degrade` on the same lost-device run.
+fn failover_rows() -> Vec<sj_bench::experiments::FailoverPoint> {
+    Experiments::new(ExperimentScale::quick()).failover_points()
+}
+
 fn write_baseline(
     scale: ExperimentScale,
     jobs: usize,
@@ -136,8 +145,19 @@ fn write_baseline(
         let sep = if i + 1 < scaling.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"devices\": {}, \"partition\": \"{}\", \"makespan_model_s\": {:.9}, \
-             \"workload_imbalance\": {:.6}, \"canonical_model_s\": {:.9}}}{sep}\n",
-            p.devices, p.partition, p.makespan_s, p.imbalance, p.canonical_s
+             \"workload_imbalance\": {:.6}, \"jain_fairness\": {:.6}, \"canonical_model_s\": {:.9}}}{sep}\n",
+            p.devices, p.partition, p.makespan_s, p.imbalance, p.jain, p.canonical_s
+        ));
+    }
+    json.push_str("  ],\n");
+    let failover = failover_rows();
+    json.push_str("  \"failover\": [\n");
+    for (i, p) in failover.iter().enumerate() {
+        let sep = if i + 1 < failover.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"makespan_model_s\": {:.9}, \"pairs\": {}, \
+             \"reshard_rounds\": {}, \"reassigned_units\": {}, \"cpu_points\": {}}}{sep}\n",
+            p.mode, p.makespan_s, p.pairs, p.reshard_rounds, p.reassigned_units, p.cpu_points
         ));
     }
     json.push_str("  ],\n");
@@ -170,6 +190,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut step_mode = StepMode::default();
     let mut devices = 1usize;
+    let mut lose_device: Option<usize> = None;
     let mut sort_backend = SortBackend::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -199,6 +220,10 @@ fn main() {
                     usage();
                 }
             }
+            "--lose-device" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                lose_device = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--sort-backend" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 sort_backend = SortBackend::by_name(&v).unwrap_or_else(|| usage());
@@ -220,7 +245,14 @@ fn main() {
     }
     exp.step_mode = step_mode;
     exp.devices = devices;
+    exp.lose_device = lose_device;
     exp.sort_backend = sort_backend;
+    if let Some(lost) = lose_device {
+        if lost >= devices || devices < 2 {
+            eprintln!("--lose-device {lost} needs --devices > {}", lost.max(1));
+            std::process::exit(2);
+        }
+    }
     println!(
         "# Experiment suite (points_scale = {}, eps_stride = {})",
         scale.points_scale, scale.eps_stride
@@ -243,6 +275,7 @@ fn main() {
             "ablations" => drop(exp.ablations()),
             "chaos" => drop(exp.chaos()),
             "scaling" => drop(exp.scaling()),
+            "failover" => drop(exp.failover()),
             _ => usage(),
         }
         timings.push((name, start.elapsed().as_secs_f64()));

@@ -24,16 +24,18 @@ use std::sync::{Arc, Mutex};
 
 use epsgrid::DynPoints;
 use simjoin::{
-    AccessPattern, Balancing, BatchingConfig, SelfJoinConfig, ShardStrategy, SortBackend,
+    AccessPattern, Balancing, BatchingConfig, RecoveryPolicy, SelfJoinConfig, ShardStrategy,
+    SortBackend,
 };
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
-use warpsim::{CostModel, IssueOrder, StepMode};
+use warpsim::{CostModel, FaultSchedule, IssueOrder, StepMode};
 
 use crate::cpu_model::CpuModel;
 use crate::harness::{
-    run_join_dyn, run_join_dyn_chaos, run_join_dyn_sharded, run_join_dyn_sharded_with,
-    run_join_dyn_with, run_superego_dyn, run_superego_dyn_with, CpuRunResult, GpuRunResult,
+    run_join_dyn, run_join_dyn_chaos, run_join_dyn_sharded, run_join_dyn_sharded_chaos,
+    run_join_dyn_sharded_with, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with,
+    CpuRunResult, GpuRunResult,
 };
 use crate::table::{fmt_pct, fmt_speedup, fmt_time, Table};
 
@@ -95,6 +97,14 @@ pub struct Experiments {
     /// pre-pass shows up only in telemetry — so tables are bit-identical
     /// across backends too; CI diffs host vs device.
     pub sort_backend: SortBackend,
+    /// Lose this device (`DeviceLost` on its first launch) in every sharded
+    /// run — the failover soak knob. Requires `devices > 1` to matter; with
+    /// the default reshard recovery the canonical merged report is still
+    /// bit-identical (re-executed units are re-parameterized identically
+    /// and a device loss adds no backoff), so tables diff clean against a
+    /// healthy fleet — CI verifies `--devices 4 --lose-device 1` vs
+    /// `--devices 4`.
+    pub lose_device: Option<usize>,
     sink: RefCell<Option<Arc<JsonTelemetry>>>,
 }
 
@@ -105,6 +115,7 @@ struct CellRunner {
     sink: Option<Arc<JsonTelemetry>>,
     cpu: CpuModel,
     devices: usize,
+    lose_device: Option<usize>,
 }
 
 impl CellRunner {
@@ -141,6 +152,23 @@ impl CellRunner {
         devices: usize,
         strategy: simjoin::ShardStrategy,
     ) -> (GpuRunResult, simjoin::FleetReport) {
+        // The failover soak knob: kill the chosen device on its first
+        // launch. Reshard recovery must absorb it without changing the
+        // canonical merged report.
+        if let Some(lost) = self.lose_device.filter(|&d| devices > 1 && d < devices) {
+            let faults = vec![(lost, FaultSchedule::new().device_lost_at(0))];
+            let telemetry: &dyn Telemetry = match self.sink.as_ref() {
+                Some(sink) => sink.as_ref(),
+                None => &sj_telemetry::NULL,
+            };
+            let (r, fleet) =
+                run_join_dyn_sharded_chaos(pts, config, devices, strategy, &faults, telemetry)
+                    .expect("a lost device must be recovered, not surfaced");
+            if let Some(sink) = self.sink.as_ref() {
+                record_gpu_run(sink.as_ref(), &r);
+            }
+            return (r, fleet);
+        }
         match self.sink.as_ref() {
             Some(sink) => {
                 let (r, fleet) =
@@ -263,6 +291,7 @@ impl Experiments {
             step_mode: StepMode::default(),
             devices: 1,
             sort_backend: SortBackend::default(),
+            lose_device: None,
             sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
@@ -313,6 +342,7 @@ impl Experiments {
             sink: self.sink.borrow().clone(),
             cpu: self.cpu,
             devices: self.devices,
+            lose_device: self.lose_device,
         }
     }
 
@@ -1133,6 +1163,7 @@ impl Experiments {
                             .str("partition", strategy.label())
                             .f64("makespan_model_s", fleet.makespan_s)
                             .f64("workload_imbalance", fleet.workload_imbalance())
+                            .f64("jain_fairness", fleet.jain_fairness())
                             .f64("canonical_model_s", r.response_s),
                     );
                 }
@@ -1141,6 +1172,7 @@ impl Experiments {
                     partition: strategy.label(),
                     makespan_s: fleet.makespan_s,
                     imbalance: fleet.workload_imbalance(),
+                    jain: fleet.jain_fairness(),
                     canonical_s: r.response_s,
                     batches: r.batches,
                 });
@@ -1163,6 +1195,7 @@ impl Experiments {
             "makespan",
             "speedup",
             "imbalance",
+            "jain",
             "canonical time",
             "batches",
         ]);
@@ -1175,6 +1208,7 @@ impl Experiments {
                 fmt_time(p.makespan_s),
                 fmt_speedup(single / p.makespan_s),
                 format!("{:.3}", p.imbalance),
+                format!("{:.3}", p.jain),
                 fmt_time(p.canonical_s),
                 p.batches.to_string(),
             ]);
@@ -1184,6 +1218,120 @@ impl Experiments {
             t.render(),
         );
         self.end_experiment("scaling");
+        out
+    }
+
+    /// One measured point of [`Self::failover`]: the same 4-device join
+    /// under a clean fleet, a mid-join device loss with reshard recovery,
+    /// and the same loss with CPU degradation.
+    pub fn failover_points(&self) -> Vec<FailoverPoint> {
+        const DEVICES: usize = 4;
+        const LOST_DEVICE: usize = 1;
+        let (spec, pts) = self.dataset("Unif2D2M");
+        let eps = selected_eps(&spec);
+        // Tighten the batch capacity (as in the scaling sweep) so the plan
+        // holds enough units that the lost device's region is non-trivial.
+        let probe = self.run(
+            &pts,
+            SelfJoinConfig::optimized(eps).with_batching(self.batching),
+        );
+        let batching = BatchingConfig {
+            batch_result_capacity: probe.pairs / 24 + 64,
+            max_batches: 64,
+            ..self.batching
+        };
+        let mut points = Vec::new();
+        for (mode, recovery, faulted) in [
+            ("clean", RecoveryPolicy::reshard(), false),
+            ("reshard", RecoveryPolicy::reshard(), true),
+            ("degrade", RecoveryPolicy::degrade(), true),
+        ] {
+            let config = SelfJoinConfig::optimized(eps)
+                .with_batching(batching)
+                .with_recovery(recovery);
+            let faults: Vec<(usize, FaultSchedule)> = if faulted {
+                vec![(LOST_DEVICE, FaultSchedule::new().device_lost_at(0))]
+            } else {
+                Vec::new()
+            };
+            let sink = self.sink.borrow().clone();
+            let telemetry: &dyn Telemetry = match sink.as_ref() {
+                Some(s) => s.as_ref(),
+                None => &sj_telemetry::NULL,
+            };
+            let (r, fleet) = run_join_dyn_sharded_chaos(
+                &pts,
+                config,
+                DEVICES,
+                ShardStrategy::WorkloadAware,
+                &faults,
+                telemetry,
+            )
+            .expect("failover run must recover, not surface the loss");
+            let cpu_points = fleet.recovery.cpu_last_resort_points
+                + fleet
+                    .shards
+                    .iter()
+                    .filter_map(|s| s.degradation.as_ref())
+                    .map(|d| d.points_degraded)
+                    .sum::<usize>();
+            if let Some(s) = sink.as_ref() {
+                s.record(
+                    Event::new("bench", "failover_run")
+                        .str("mode", mode)
+                        .f64("makespan_model_s", fleet.makespan_s)
+                        .u64("pairs", r.pairs as u64)
+                        .u64("reshard_rounds", u64::from(fleet.recovery.reshard_rounds))
+                        .u64("reassigned_units", fleet.recovery.reassigned_units as u64)
+                        .u64("cpu_points", cpu_points as u64),
+                );
+            }
+            points.push(FailoverPoint {
+                mode,
+                makespan_s: fleet.makespan_s,
+                pairs: r.pairs,
+                reshard_rounds: fleet.recovery.reshard_rounds,
+                reassigned_units: fleet.recovery.reassigned_units,
+                cpu_points,
+            });
+        }
+        points
+    }
+
+    /// Failover comparison table (not part of the paper; not in `run_all`):
+    /// device 1 of a 4-device fleet latches `DeviceLost` on its first
+    /// launch. Re-sharding its unexecuted units onto the three survivors is
+    /// compared against degrading them to the exact CPU fallback; the pair
+    /// set is identical in all three rows by the exactness invariant.
+    pub fn failover(&self) -> String {
+        self.begin_experiment("failover");
+        let mut t = Table::new(vec![
+            "mode",
+            "makespan",
+            "inflation",
+            "pairs",
+            "reshard rounds",
+            "units moved",
+            "cpu points",
+        ]);
+        let points = self.failover_points();
+        let clean = points.first().map_or(0.0, |p| p.makespan_s);
+        for p in &points {
+            t.row(vec![
+                p.mode.to_string(),
+                fmt_time(p.makespan_s),
+                fmt_speedup(p.makespan_s / clean),
+                p.pairs.to_string(),
+                p.reshard_rounds.to_string(),
+                p.reassigned_units.to_string(),
+                p.cpu_points.to_string(),
+            ]);
+        }
+        let out = emit(
+            "Failover — one device lost mid-join: reshard vs CPU degradation",
+            t.render(),
+        );
+        self.end_experiment("failover");
         out
     }
 
@@ -1216,11 +1364,34 @@ pub struct ScalingPoint {
     pub makespan_s: f64,
     /// Max/mean per-shard workload ratio (1.0 = perfectly balanced).
     pub imbalance: f64,
+    /// Jain's fairness index of per-shard response times (1.0 = perfectly
+    /// fair).
+    pub jain: f64,
     /// Canonical merged response time in model seconds (device-count
     /// invariant).
     pub canonical_s: f64,
     /// Batches in the canonical merged report.
     pub batches: usize,
+}
+
+/// One measured point of the failover comparison
+/// ([`Experiments::failover_points`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPoint {
+    /// Row label: `"clean"`, `"reshard"`, or `"degrade"`.
+    pub mode: &'static str,
+    /// Fleet makespan (slowest shard plus any CPU last resort) in model
+    /// seconds.
+    pub makespan_s: f64,
+    /// Result pairs — identical across the three modes by the exactness
+    /// invariant.
+    pub pairs: usize,
+    /// Failover re-shard rounds the recovery loop ran.
+    pub reshard_rounds: u32,
+    /// Plan units moved off the lost device onto survivors.
+    pub reassigned_units: usize,
+    /// Points executed on the exact CPU path (degradation + last resort).
+    pub cpu_points: usize,
 }
 
 /// The ε each table reports (the paper picks one representative ε per
@@ -1278,6 +1449,38 @@ mod tests {
         assert!(out.contains("count"), "missing equal-count rows");
         for devices in ["1", "2", "4", "8"] {
             assert!(out.contains(devices), "missing {devices}-device row");
+        }
+    }
+
+    #[test]
+    fn failover_rows_are_exact_and_account_for_the_loss() {
+        let exp = tiny();
+        let points = exp.failover_points();
+        assert_eq!(
+            points.iter().map(|p| p.mode).collect::<Vec<_>>(),
+            vec!["clean", "reshard", "degrade"]
+        );
+        let clean = &points[0];
+        assert_eq!(clean.reshard_rounds, 0, "clean run must not intervene");
+        assert_eq!(clean.cpu_points, 0, "clean run must stay on the fleet");
+        for p in &points[1..] {
+            assert_eq!(p.pairs, clean.pairs, "{}: exactness broken", p.mode);
+        }
+        let reshard = &points[1];
+        assert!(
+            reshard.reshard_rounds >= 1 && reshard.reassigned_units > 0,
+            "reshard row must move the lost device's units ({reshard:?})"
+        );
+        assert_eq!(reshard.cpu_points, 0, "survivors must absorb the loss");
+        let degrade = &points[2];
+        assert!(
+            degrade.cpu_points > 0,
+            "degrade row must fall back to the CPU ({degrade:?})"
+        );
+        assert_eq!(degrade.reshard_rounds, 0, "degrade must not re-shard");
+        let table = exp.failover();
+        for mode in ["clean", "reshard", "degrade"] {
+            assert!(table.contains(mode), "missing {mode} row");
         }
     }
 

@@ -192,6 +192,72 @@ pub fn run_join_dyn_sharded_with(
     }
 }
 
+fn run_join_sharded_chaos_fixed<const N: usize>(
+    points: &[[f32; N]],
+    config: SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+    faults: &[(usize, warpsim::FaultSchedule)],
+    telemetry: &dyn Telemetry,
+) -> Result<(GpuRunResult, simjoin::FleetReport), String> {
+    let start = Instant::now();
+    let label = config.label();
+    let mut fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+    for (device, schedule) in faults {
+        fleet = fleet.with_fault_schedule(*device, schedule.clone());
+    }
+    let join = SelfJoin::new(points, config)
+        .expect("join configuration must be valid")
+        .with_telemetry(telemetry);
+    let outcome = join
+        .run_on_fleet(&fleet, strategy)
+        .map_err(|e| e.to_string())?;
+    let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
+    Ok((
+        GpuRunResult {
+            label,
+            response_s: outcome.report.response_time_s(),
+            wee: outcome.report.wee(),
+            pairs: outcome.result.len(),
+            batches: outcome.report.num_batches,
+            distance_calcs: outcome.report.distance_calcs(),
+            warp_cv,
+            sim_wall: start.elapsed(),
+        },
+        outcome.fleet,
+    ))
+}
+
+/// Runs a GPU join sharded across `devices` homogeneous simulated devices
+/// with per-device fault schedules attached — the failover benchmark path.
+/// `Err` carries the typed error's rendering — an acceptable chaos outcome,
+/// unlike a wrong result.
+pub fn run_join_dyn_sharded_chaos(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+    faults: &[(usize, warpsim::FaultSchedule)],
+    telemetry: &dyn Telemetry,
+) -> Result<(GpuRunResult, simjoin::FleetReport), String> {
+    macro_rules! dims {
+        ($($n:literal),*) => {
+            match points.dims() {
+                $($n => run_join_sharded_chaos_fixed(
+                    &points.as_fixed::<$n>().unwrap(),
+                    config,
+                    devices,
+                    strategy,
+                    faults,
+                    telemetry,
+                ),)*
+                d => panic!("unsupported dimensionality {d}"),
+            }
+        };
+    }
+    dims!(2, 3, 4, 5, 6)
+}
+
 fn run_join_chaos_fixed<const N: usize>(
     points: &[[f32; N]],
     config: SelfJoinConfig,

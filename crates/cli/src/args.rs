@@ -12,7 +12,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["verify", "balanced-queue", "help"];
+const SWITCHES: &[&str] = &["verify", "balanced-queue", "quick", "help"];
 
 impl Parsed {
     /// Parses an argument list.
@@ -96,6 +96,15 @@ mod tests {
         assert_eq!(p.required_parse::<u32>("k").unwrap(), 8);
         assert!(p.switch("verify"));
         assert!(!p.switch("balanced-queue"));
+        assert!(!p.switch("quick"));
+    }
+
+    #[test]
+    fn quick_is_a_switch_not_a_value_flag() {
+        // Regression guard: `--quick` must not swallow the next argument.
+        let p = Parsed::parse(&argv(&["soak", "--quick", "--iterations", "4"])).unwrap();
+        assert!(p.switch("quick"));
+        assert_eq!(p.parse_or("iterations", 0u32).unwrap(), 4);
     }
 
     #[test]

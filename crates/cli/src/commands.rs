@@ -20,13 +20,16 @@ USAGE:
   simjoin join --input <path> --eps <f> [--k <n>|--k auto]
                [--pattern full|unicomp|lid] [--balancing none|sort|queue]
                [--balanced-queue] [--devices <n>] [--shard-strategy workload|count]
-               [--sort-backend host|device] [--output <pairs.csv>] [--verify]
+               [--recovery reshard|degrade] [--sort-backend host|device]
+               [--output <pairs.csv>] [--verify]
       Run the self-join and print the execution report. --verify checks the
       result against the SUPER-EGO CPU join. With --devices N > 1 the batch
       plan is sharded across N simulated GPUs (workload-aware by default)
       and the per-device breakdown plus the fleet makespan are printed; the
       merged result and the canonical report are identical to a
-      single-device run.
+      single-device run. --recovery picks what happens when a device fails
+      persistently mid-join: re-shard its unexecuted work onto the
+      survivors (default) or degrade that shard to the exact CPU fallback.
   simjoin stats --input <path> --eps <f>
       Print workload statistics (mean neighbors, cells, imbalance).
   simjoin profile --input <path> --eps <f> [join flags] [--output <telemetry.json>]
@@ -36,11 +39,22 @@ USAGE:
       cycle counts and model seconds are identical with or without it.
   simjoin chaos --input <path> --eps <f> [join flags]
                 [--fault-profile transient|device-lost|overflow|counter|stall|mixed]
-                [--seed <u64>] [--output <telemetry.json>]
+                [--seed <u64>] [--devices <n>] [--shard-strategy workload|count]
+                [--recovery reshard|degrade] [--output <telemetry.json>]
       Replay a seeded fault schedule against the join and report how the
-      resilient executor recovered (retries, splits, CPU degradation). The
-      result is verified against the SUPER-EGO CPU join; a typed error is
-      also an acceptable outcome under injected faults.
+      resilient executor recovered (retries, splits, re-sharding, CPU
+      degradation). With --devices N > 1 every device gets its own seeded
+      schedule and the fleet failover path is exercised. The result is
+      verified against the SUPER-EGO CPU join; a typed error is also an
+      acceptable outcome under injected faults.
+  simjoin soak [--iterations <n>] [--seed <base>] [--dataset <name>]
+               [--n <count>] [--eps <f>] [--recovery reshard|degrade]
+               [--quick] [--output <telemetry.json>]
+      Chaos soak harness: run N seeded chaos iterations cycling fault
+      profile x device count x access pattern, asserting on every round
+      that the fleet result is exactly the clean run's pair set and that
+      the recovered makespan stays within the serial response-time bound.
+      --quick shrinks the dataset for CI.
 ";
 
 /// Dispatches a parsed command line.
@@ -57,6 +71,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => stats(&parsed),
         "profile" => profile(&parsed),
         "chaos" => chaos(&parsed),
+        "soak" => soak(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
@@ -122,6 +137,43 @@ fn sort_backend_flag(parsed: &Parsed) -> Result<SortBackend, String> {
     }
 }
 
+fn recovery_flag(parsed: &Parsed) -> Result<simjoin::RecoveryPolicy, String> {
+    match parsed.optional("recovery") {
+        None => Ok(simjoin::RecoveryPolicy::default()),
+        Some(name) => simjoin::RecoveryPolicy::by_name(name)
+            .ok_or_else(|| format!("unknown recovery mode `{name}` (reshard|degrade)")),
+    }
+}
+
+/// The fleet recovery accounting line(s) shared by `join`, `chaos` and
+/// `soak` output.
+fn print_recovery(rec: &simjoin::FleetRecoveryReport) {
+    if !rec.intervened() {
+        println!("fleet recovery        : none (no intervention)");
+        return;
+    }
+    println!(
+        "fleet recovery        : {} reshard round(s), {} unit(s) reassigned, \
+         {} device(s) lost, {} straggler rebalance(s)",
+        rec.reshard_rounds, rec.reassigned_units, rec.devices_lost, rec.straggler_rebalances
+    );
+    if rec.cpu_last_resort_points > 0 {
+        println!(
+            "cpu last resort       : {} point(s), {} pair(s), {:.6} model s",
+            rec.cpu_last_resort_points, rec.cpu_last_resort_pairs, rec.cpu_last_resort_model_s
+        );
+    }
+    for h in &rec.health {
+        println!(
+            "  round {}: device {} -> {} ({} unit(s))",
+            h.round,
+            h.device,
+            h.state.label(),
+            h.units
+        );
+    }
+}
+
 fn with_fixed<R>(
     points: &DynPoints,
     f: impl Fn(&dyn JoinRunner) -> Result<R, String>,
@@ -163,6 +215,8 @@ enum ChaosOutcome {
     Completed {
         pairs: Vec<(u32, u32)>,
         report: Box<simjoin::JoinReport>,
+        /// Present when the chaos run went through the fleet path.
+        fleet: Option<Box<simjoin::FleetReport>>,
     },
     Failed {
         error: String,
@@ -184,6 +238,14 @@ trait JoinRunner {
         &self,
         config: SelfJoinConfig,
         plane: &warpsim::FaultPlane,
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String>;
+    fn run_chaos_fleet(
+        &self,
+        config: SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+        faults: &[(usize, warpsim::FaultSchedule)],
         telemetry: &dyn Telemetry,
     ) -> Result<ChaosOutcome, String>;
     fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)>;
@@ -255,6 +317,34 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
             Ok(outcome) => ChaosOutcome::Completed {
                 pairs: outcome.result.sorted_pairs(),
                 report: Box::new(outcome.report),
+                fleet: None,
+            },
+            Err(e) => ChaosOutcome::Failed {
+                error: e.to_string(),
+            },
+        })
+    }
+
+    fn run_chaos_fleet(
+        &self,
+        config: SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+        faults: &[(usize, warpsim::FaultSchedule)],
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String> {
+        let mut fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+        for (device, schedule) in faults {
+            fleet = fleet.with_fault_schedule(*device, schedule.clone());
+        }
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry);
+        Ok(match join.run_on_fleet(&fleet, strategy) {
+            Ok(outcome) => ChaosOutcome::Completed {
+                pairs: outcome.result.sorted_pairs(),
+                report: Box::new(outcome.report),
+                fleet: Some(Box::new(outcome.fleet)),
             },
             Err(e) => ChaosOutcome::Failed {
                 error: e.to_string(),
@@ -311,7 +401,8 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     let mut config = SelfJoinConfig::new(eps)
         .with_pattern(pattern)
         .with_balancing(balancing)
-        .with_k(k);
+        .with_k(k)
+        .with_recovery(recovery_flag(parsed)?);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
 
@@ -380,7 +471,7 @@ fn join(parsed: &Parsed) -> Result<(), String> {
         for s in &fleet.shards {
             println!(
                 "  device {}: units {:>4}..{:<4} queries {:>7} workload {:>10} \
-                 batches {:>3} pairs {:>8} response {:.6} s{}",
+                 batches {:>3} pairs {:>8} response {:.6} s{}{}",
                 s.device,
                 s.units.start,
                 s.units.end,
@@ -393,10 +484,20 @@ fn join(parsed: &Parsed) -> Result<(), String> {
                     Some(d) if d.device_lost => " [device lost]",
                     Some(_) => " [degraded]",
                     None => "",
+                },
+                if s.reassigned_in > 0 || s.reassigned_out > 0 {
+                    format!(" [+{} / -{} unit(s)]", s.reassigned_in, s.reassigned_out)
+                } else {
+                    String::new()
                 }
             );
         }
         println!("fleet makespan (model): {:.6} s", fleet.makespan_s);
+        println!(
+            "jain fairness         : {:.3} (per-shard response times)",
+            fleet.jain_fairness()
+        );
+        print_recovery(&fleet.recovery);
         if fleet.makespan_s > 0.0 {
             println!(
                 "speedup vs 1 device   : {:.2}x",
@@ -506,30 +607,60 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
         )
     })?;
     let seed: u64 = parsed.parse_or("seed", 0)?;
+    let devices: usize = parsed.parse_or("devices", 1)?;
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let strategy_name = parsed.optional("shard-strategy").unwrap_or("workload");
+    let strategy = simjoin::ShardStrategy::by_name(strategy_name)
+        .ok_or_else(|| format!("unknown shard strategy `{strategy_name}` (workload|count)"))?;
     let mut config = SelfJoinConfig::new(eps)
         .with_pattern(pattern)
         .with_balancing(balancing)
-        .with_k(k);
+        .with_k(k)
+        .with_recovery(recovery_flag(parsed)?);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
 
-    let plane = warpsim::FaultPlane::seeded(seed, &profile);
     let sink = JsonTelemetry::new(format!(
-        "simjoin chaos profile={profile_name} seed={seed} eps={eps}"
+        "simjoin chaos profile={profile_name} seed={seed} eps={eps} devices={devices}"
     ));
-    let outcome = with_fixed(&points, |runner| {
-        runner.run_chaos(config.clone(), &plane, &sink)
-    })?;
+    let outcome = if devices > 1 {
+        // Every device draws its own schedule from the same profile, with a
+        // seed offset per device so the fault timings decorrelate.
+        let faults: Vec<(usize, warpsim::FaultSchedule)> = (0..devices)
+            .map(|d| (d, warpsim::FaultSchedule::seeded(seed + d as u64, &profile)))
+            .collect();
+        with_fixed(&points, |runner| {
+            runner.run_chaos_fleet(config.clone(), devices, strategy, &faults, &sink)
+        })?
+    } else {
+        let plane = warpsim::FaultPlane::seeded(seed, &profile);
+        println!("injected faults       : {}", plane.injected_faults());
+        with_fixed(&points, |runner| {
+            runner.run_chaos(config.clone(), &plane, &sink)
+        })?
+    };
 
     println!("variant               : {}", config.label());
     println!("fault profile         : {profile_name} (seed {seed})");
-    println!("injected faults       : {}", plane.injected_faults());
+    if devices > 1 {
+        println!(
+            "devices               : {devices} ({} partitioning, {} recovery)",
+            strategy.label(),
+            config.recovery.label()
+        );
+    }
     match &outcome {
         ChaosOutcome::Failed { error } => {
             println!("outcome               : typed error — {error}");
             println!("(a typed error is an acceptable chaos outcome; a wrong result is not)");
         }
-        ChaosOutcome::Completed { pairs, report } => {
+        ChaosOutcome::Completed {
+            pairs,
+            report,
+            fleet,
+        } => {
             let reference = with_fixed(&points, |runner| Ok(runner.superego_pairs(eps)))?;
             if *pairs != reference {
                 return Err(format!(
@@ -559,6 +690,10 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
                     println!("device lost           : {}", d.device_lost);
                 }
             }
+            if let Some(fleet) = fleet {
+                println!("fleet makespan (model): {:.6} s", fleet.makespan_s);
+                print_recovery(&fleet.recovery);
+            }
         }
     }
 
@@ -574,6 +709,217 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
         })
         .count();
     println!("fault/recovery events : {fault_events}");
+    if let Some(output) = parsed.optional("output") {
+        sink.write_to_file(Path::new(output))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} events ({}) to {output}",
+            sink.len(),
+            sj_telemetry::SCHEMA_VERSION
+        );
+    }
+    Ok(())
+}
+
+/// One soak iteration's observable outcome, lifted out of the
+/// dimension-erased runner closure.
+struct SoakRound {
+    /// Typed error string when the faulted run failed (acceptable under
+    /// injected faults); `None` means it completed and was verified exact.
+    error: Option<String>,
+    pairs: usize,
+    makespan_s: f64,
+    clean_makespan_s: f64,
+    intervened: bool,
+}
+
+fn soak(parsed: &Parsed) -> Result<(), String> {
+    let iterations: u64 = parsed.parse_or("iterations", 12)?;
+    if iterations == 0 {
+        return Err("--iterations must be at least 1".into());
+    }
+    let seed_base: u64 = parsed.parse_or("seed", 0)?;
+    let dataset = parsed.optional("dataset").unwrap_or("Expo2D2M");
+    let spec = DatasetSpec::by_name(dataset)
+        .ok_or_else(|| format!("unknown dataset `{dataset}` (see `simjoin datasets`)"))?;
+    let n: usize = parsed.parse_or("n", if parsed.switch("quick") { 400 } else { 800 })?;
+    // Tuned for the default dataset at soak scale; override per dataset.
+    let eps: f32 = parsed.parse_or("eps", 0.5)?;
+    let recovery = recovery_flag(parsed)?;
+    let points = spec.generate(n);
+
+    // Probe the clean pair count once, then tighten the batch capacity so
+    // the plan holds enough units that seeded fault schedules actually land
+    // inside each device's launch window — a soak over one-launch plans
+    // would exercise nothing.
+    let probe_pairs = with_fixed(&points, |runner| {
+        match runner.run_chaos_fleet(
+            SelfJoinConfig::new(eps),
+            1,
+            simjoin::ShardStrategy::WorkloadAware,
+            &[],
+            &sj_telemetry::NULL,
+        )? {
+            ChaosOutcome::Completed { pairs, .. } => Ok(pairs.len()),
+            ChaosOutcome::Failed { error } => Err(format!("soak probe failed: {error}")),
+        }
+    })?;
+    let batching = simjoin::BatchingConfig {
+        batch_result_capacity: probe_pairs / 16 + 8,
+        max_batches: 64,
+        ..simjoin::BatchingConfig::default()
+    };
+
+    let sink = JsonTelemetry::new(format!(
+        "simjoin soak dataset={dataset} n={n} eps={eps} seed-base={seed_base} \
+         iterations={iterations} recovery={}",
+        recovery.label()
+    ));
+    let profiles = warpsim::FaultProfile::names();
+    let patterns = [
+        AccessPattern::LidUnicomp,
+        AccessPattern::Unicomp,
+        AccessPattern::FullWindow,
+    ];
+
+    println!(
+        "soak: {iterations} iteration(s) on {dataset} n={n} eps={eps} ({} recovery)",
+        recovery.label()
+    );
+    let mut typed_errors = 0u64;
+    let mut interventions = 0u64;
+    let mut worst_inflation = 1.0f64;
+    for i in 0..iterations {
+        let seed = seed_base + i;
+        let profile_name = profiles[i as usize % profiles.len()];
+        let profile = warpsim::FaultProfile::by_name(profile_name).expect("known profile");
+        let devices = 1 + i as usize % 4;
+        let pattern = patterns[i as usize % patterns.len()];
+        let strategy = simjoin::ShardStrategy::WorkloadAware;
+        let config = SelfJoinConfig::new(eps)
+            .with_pattern(pattern)
+            .with_batching(batching)
+            .with_recovery(recovery);
+        let faults = vec![(
+            i as usize % devices,
+            warpsim::FaultSchedule::seeded(seed, &profile),
+        )];
+
+        let round = with_fixed(&points, |runner| {
+            // Clean reference on the same fleet size: the invariant is that
+            // any fault schedule yields exactly this pair set.
+            let (clean_pairs, clean_makespan_s) = match runner.run_chaos_fleet(
+                config.clone(),
+                devices,
+                strategy,
+                &[],
+                &sj_telemetry::NULL,
+            )? {
+                ChaosOutcome::Completed { pairs, fleet, .. } => {
+                    let fleet = fleet.expect("fleet runs always report the fleet");
+                    (pairs, fleet.makespan_s)
+                }
+                ChaosOutcome::Failed { error } => {
+                    return Err(format!("clean fleet run failed: {error}"));
+                }
+            };
+            match runner.run_chaos_fleet(config.clone(), devices, strategy, &faults, &sink)? {
+                ChaosOutcome::Failed { error } => Ok(SoakRound {
+                    error: Some(error),
+                    pairs: 0,
+                    makespan_s: 0.0,
+                    clean_makespan_s,
+                    intervened: false,
+                }),
+                ChaosOutcome::Completed {
+                    pairs,
+                    report,
+                    fleet,
+                } => {
+                    if pairs != clean_pairs {
+                        return Err(format!(
+                            "exact-result invariant VIOLATED: faulted run found {} pairs, \
+                             clean run found {}",
+                            pairs.len(),
+                            clean_pairs.len()
+                        ));
+                    }
+                    let fleet = fleet.expect("fleet runs always report the fleet");
+                    // Structural bound: the parallel makespan can never
+                    // exceed the serialized response time of the same
+                    // recovered run (plus the host last-resort tail).
+                    let serial_bound =
+                        report.response_time_s() + fleet.recovery.cpu_last_resort_model_s;
+                    if fleet.makespan_s > serial_bound * 1.05 + 1e-12 {
+                        return Err(format!(
+                            "makespan bound VIOLATED: {:.6e} model s exceeds the serial \
+                             response bound {serial_bound:.6e}",
+                            fleet.makespan_s
+                        ));
+                    }
+                    Ok(SoakRound {
+                        error: None,
+                        pairs: pairs.len(),
+                        makespan_s: fleet.makespan_s,
+                        clean_makespan_s,
+                        intervened: fleet.recovery.intervened(),
+                    })
+                }
+            }
+        })
+        .map_err(|e| {
+            format!(
+                "soak iteration {i} (profile={profile_name} devices={devices} seed={seed}): {e}"
+            )
+        })?;
+
+        let inflation = if round.error.is_none() && round.clean_makespan_s > 0.0 {
+            round.makespan_s / round.clean_makespan_s
+        } else {
+            1.0
+        };
+        worst_inflation = worst_inflation.max(inflation);
+        interventions += u64::from(round.intervened);
+        let mut event = sj_telemetry::Event::new("soak", "iteration")
+            .u64("iteration", i)
+            .str("profile", profile_name)
+            .u64("devices", devices as u64)
+            .str("pattern", format!("{pattern:?}"))
+            .u64("seed", seed)
+            .bool("intervened", round.intervened);
+        match &round.error {
+            Some(e) => {
+                typed_errors += 1;
+                event = event.bool("typed_error", true).str("error", e.clone());
+                println!(
+                    "  [{i:>3}] {profile_name:<11} devices={devices} {pattern:?}: \
+                     typed error — {e}"
+                );
+            }
+            None => {
+                event = event
+                    .bool("typed_error", false)
+                    .u64("pairs", round.pairs as u64)
+                    .f64("makespan_model_s", round.makespan_s)
+                    .f64("clean_makespan_model_s", round.clean_makespan_s)
+                    .f64("inflation", inflation);
+                println!(
+                    "  [{i:>3}] {profile_name:<11} devices={devices} {pattern:?}: exact \
+                     ({} pairs), makespan {:.6} s ({inflation:.2}x clean){}",
+                    round.pairs,
+                    round.makespan_s,
+                    if round.intervened { " [recovered]" } else { "" }
+                );
+            }
+        }
+        sink.record(event);
+    }
+
+    println!(
+        "soak summary          : {iterations} iteration(s), {typed_errors} typed error(s), \
+         {interventions} recovery intervention(s), worst makespan inflation {worst_inflation:.2}x"
+    );
+    println!("exact-result invariant: held on every completed iteration");
     if let Some(output) = parsed.optional("output") {
         sink.write_to_file(Path::new(output))
             .map_err(|e| e.to_string())?;
@@ -800,6 +1146,94 @@ mod tests {
             "bogus",
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_fleet_mode_recovers_and_verifies() {
+        let dir =
+            std::env::temp_dir().join(format!("simjoin-chaos-fleet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "400",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        // Fleet chaos: every completed outcome is verified against
+        // SUPER-EGO inside dispatch(); both recovery modes must hold it.
+        for recovery in ["reshard", "degrade"] {
+            for seed in ["0", "3"] {
+                dispatch(&argv(&[
+                    "chaos",
+                    "--input",
+                    &data_s,
+                    "--eps",
+                    "0.5",
+                    "--devices",
+                    "3",
+                    "--fault-profile",
+                    "device-lost",
+                    "--recovery",
+                    recovery,
+                    "--seed",
+                    seed,
+                ]))
+                .unwrap_or_else(|e| panic!("recovery {recovery} seed {seed}: {e}"));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_flag_is_validated() {
+        let p = Parsed::parse(&argv(&["--recovery", "reshard"])).unwrap();
+        assert!(recovery_flag(&p).unwrap().reshard_enabled());
+        let p = Parsed::parse(&argv(&["--recovery", "degrade"])).unwrap();
+        assert!(!recovery_flag(&p).unwrap().reshard_enabled());
+        let p = Parsed::parse(&argv(&["--recovery", "bogus"])).unwrap();
+        assert!(recovery_flag(&p).unwrap_err().contains("reshard|degrade"));
+        // Through the join command, mirroring the --shard-strategy error.
+        assert!(dispatch(&argv(&[
+            "join",
+            "--input",
+            "nonexistent.csv",
+            "--eps",
+            "0.5",
+            "--recovery",
+            "bogus",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn soak_runs_green_and_writes_strict_telemetry() {
+        let dir = std::env::temp_dir().join(format!("simjoin-soak-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let telemetry = dir.join("soak.json");
+        let telemetry_s = telemetry.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "soak",
+            "--iterations",
+            "6",
+            "--quick",
+            "--output",
+            &telemetry_s,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&telemetry).unwrap();
+        assert!(doc.contains(sj_telemetry::SCHEMA_VERSION));
+        assert!(doc.contains("\"scope\": \"soak\""));
+        assert!(doc.contains("\"name\": \"iteration\""));
+        // Unknown iteration counts / datasets are flag errors.
+        assert!(dispatch(&argv(&["soak", "--iterations", "0"])).is_err());
+        assert!(dispatch(&argv(&["soak", "--dataset", "bogus"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

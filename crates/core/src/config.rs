@@ -63,6 +63,110 @@ impl RetryPolicy {
     }
 }
 
+/// Fleet-level failover behaviour of [`SelfJoin::run_on_fleet`]
+/// (`crate::SelfJoin::run_on_fleet`).
+///
+/// When a shard's device latches `DeviceLost` (or exhausts the transient
+/// budget of its [`RetryPolicy`]), the recovery layer checkpoints the
+/// shard's completed units and re-cuts the *unexecuted* remainder
+/// workload-aware across the surviving devices — the same
+/// `partition_units` cut applied to a shrunken fleet. The CPU fallback
+/// only fires when no device survives or the re-shard round budget is
+/// exhausted. All recovery costs are accounted in **model seconds**; the
+/// host-side re-cut itself is charged at zero model cost (it reuses the
+/// already-computed per-unit workloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Re-shard rounds the fleet may spend redistributing lost or
+    /// straggling work before falling back. `0` disables fleet recovery
+    /// entirely: a failed shard degrades its own remainder to the CPU
+    /// fallback exactly as the pre-recovery executor did (`degrade` mode).
+    pub max_reshard_rounds: u32,
+    /// Straggler trigger: a shard whose response time (pipeline plus
+    /// accrued backoff) exceeds `straggler_threshold ×` the fleet median
+    /// has its unstarted tail units rebalanced onto under-loaded
+    /// survivors. `<= 0` disables straggler mitigation (the default: the
+    /// workload-aware cut already equalizes clean shards).
+    pub straggler_threshold: f64,
+    /// Degrade whatever work remains after the round budget (or the whole
+    /// fleet) is exhausted to the exact CPU fallback; `false` surfaces the
+    /// originating launch error instead.
+    pub cpu_last_resort: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::reshard()
+    }
+}
+
+impl RecoveryPolicy {
+    /// The default failover policy: up to four re-shard rounds, straggler
+    /// mitigation off, CPU as the last resort.
+    pub fn reshard() -> Self {
+        Self {
+            max_reshard_rounds: 4,
+            straggler_threshold: 0.0,
+            cpu_last_resort: true,
+        }
+    }
+
+    /// The pre-recovery behaviour: no resharding; a failed shard degrades
+    /// its own remainder straight to the CPU fallback (gated by
+    /// [`RetryPolicy::cpu_fallback`]).
+    pub fn degrade() -> Self {
+        Self {
+            max_reshard_rounds: 0,
+            straggler_threshold: 0.0,
+            cpu_last_resort: true,
+        }
+    }
+
+    /// Builder-style: set the straggler trigger (multiple of the fleet
+    /// median response time; `<= 0` disables).
+    pub fn with_straggler_threshold(mut self, threshold: f64) -> Self {
+        self.straggler_threshold = threshold;
+        self
+    }
+
+    /// Builder-style: set the re-shard round budget.
+    pub fn with_max_reshard_rounds(mut self, rounds: u32) -> Self {
+        self.max_reshard_rounds = rounds;
+        self
+    }
+
+    /// Builder-style: set whether exhausted recovery degrades to the CPU.
+    pub fn with_cpu_last_resort(mut self, cpu: bool) -> Self {
+        self.cpu_last_resort = cpu;
+        self
+    }
+
+    /// Whether fleet failover (re-sharding) is enabled at all.
+    pub fn reshard_enabled(&self) -> bool {
+        self.max_reshard_rounds > 0
+    }
+
+    /// Short stable mode name (used by CLI flags and telemetry):
+    /// `"reshard"` when failover is enabled, `"degrade"` otherwise.
+    pub fn label(&self) -> &'static str {
+        if self.reshard_enabled() {
+            "reshard"
+        } else {
+            "degrade"
+        }
+    }
+
+    /// Parses a [`RecoveryPolicy::label`] name into the corresponding
+    /// canned policy.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "reshard" => Some(Self::reshard()),
+            "degrade" => Some(Self::degrade()),
+            _ => None,
+        }
+    }
+}
+
 /// The cell access pattern used by the range-query kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessPattern {
@@ -190,6 +294,9 @@ pub struct SelfJoinConfig {
     pub issue_override: Option<IssueOrder>,
     /// Bounded recovery behaviour under faults and overflows.
     pub retry: RetryPolicy,
+    /// Fleet-level failover behaviour (re-sharding lost or straggling work
+    /// across surviving devices; only consulted by `run_on_fleet`).
+    pub recovery: RecoveryPolicy,
     /// The host CPU model used when the join degrades to the exact CPU
     /// fallback after persistent device failure.
     pub cpu_fallback: CpuFallbackModel,
@@ -215,6 +322,7 @@ impl SelfJoinConfig {
             scheduler_seed: 0xC0FFEE,
             issue_override: None,
             retry: RetryPolicy::default(),
+            recovery: RecoveryPolicy::default(),
             cpu_fallback: CpuFallbackModel::default(),
             step_mode: StepMode::default(),
             sort_backend: SortBackend::default(),
@@ -264,6 +372,12 @@ impl SelfJoinConfig {
     /// Builder-style: set the retry/recovery policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder-style: set the fleet failover policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -355,6 +469,26 @@ mod tests {
         assert_eq!(SortBackend::by_name("gpu"), None);
         let c = SelfJoinConfig::new(0.5).with_sort_backend(SortBackend::Device);
         assert_eq!(c.sort_backend, SortBackend::Device);
+    }
+
+    #[test]
+    fn recovery_policy_round_trips() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::reshard());
+        assert!(RecoveryPolicy::reshard().reshard_enabled());
+        assert!(!RecoveryPolicy::degrade().reshard_enabled());
+        for p in [RecoveryPolicy::reshard(), RecoveryPolicy::degrade()] {
+            assert_eq!(RecoveryPolicy::by_name(p.label()), Some(p));
+        }
+        assert_eq!(RecoveryPolicy::by_name("retry"), None);
+        let tuned = RecoveryPolicy::reshard()
+            .with_straggler_threshold(1.5)
+            .with_max_reshard_rounds(2)
+            .with_cpu_last_resort(false);
+        assert_eq!(tuned.straggler_threshold, 1.5);
+        assert_eq!(tuned.max_reshard_rounds, 2);
+        assert!(!tuned.cpu_last_resort);
+        let c = SelfJoinConfig::new(0.5).with_recovery(RecoveryPolicy::degrade());
+        assert_eq!(c.recovery, RecoveryPolicy::degrade());
     }
 
     #[test]

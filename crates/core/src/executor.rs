@@ -112,6 +112,15 @@ pub struct DegradationReport {
     pub device_lost: bool,
 }
 
+impl DegradationReport {
+    /// Whether the exact CPU fallback actually completed query points —
+    /// as opposed to a recovery that stayed entirely on-device (retries,
+    /// splits, or fleet re-sharding).
+    pub fn cpu_fallback_ran(&self) -> bool {
+        self.points_degraded > 0
+    }
+}
+
 /// Aggregate report of a full self-join execution.
 #[derive(Debug, Clone)]
 pub struct JoinReport {
@@ -425,7 +434,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             BatchPlan::Queue { order, .. } => order.len() as u64,
             _ => 0,
         };
-        let units: Vec<usize> = (0..plan.num_batches()).collect();
+        let items: Vec<WorkItem> = (0..plan.num_batches()).map(WorkItem::planned).collect();
         let ctx = ShardCtx {
             device: None,
             gpu: &c.gpu,
@@ -433,7 +442,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             counter: &counter,
             capacity,
             queue_limit,
-            expected_final: queue_limit,
+            defer: false,
         };
         let ShardExecution {
             result,
@@ -441,7 +450,8 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             totals,
             gather_ns,
             recovery,
-        } = self.execute_units(&plan, &units, &ctx)?;
+            ..
+        } = self.execute_units(&plan, &items, &ctx)?;
         let timings: Vec<BatchTiming> = batch_reports
             .iter()
             .map(|b| BatchTiming {
@@ -537,26 +547,43 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         };
         let weights = unit_workloads(&plan, per_point);
         let regions = self.partition_for_fleet(&weights, fleet.len(), strategy);
-        let (queue_limit, chunk_bounds) = match &plan {
-            BatchPlan::Queue { order, chunks } => (order.len() as u64, Some(chunks)),
-            _ => (0, None),
+        let queue_limit = match &plan {
+            BatchPlan::Queue { order, .. } => order.len() as u64,
+            _ => 0,
         };
-        let mut result = ResultSet::default();
-        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
-        let mut totals = WarpExecution {
-            warp_size: c.gpu.warp_size,
-            ..WarpExecution::default()
+        let defer = c.recovery.reshard_enabled();
+        // Resolves a planned unit back to its query set (CPU last resort).
+        let planned_queries = |u: usize| -> Vec<u32> {
+            match &plan {
+                BatchPlan::Strided { batches } => batches[u].clone(),
+                BatchPlan::Queue { order, chunks } => order[chunks[u].clone()].to_vec(),
+            }
         };
+        // Quantified workload of a re-shardable work item: planned units
+        // reuse the cut weights, carried-over query sets re-sum per point.
+        let item_weight = |it: &WorkItem| -> u64 {
+            match &it.queries {
+                Some(qs) => qs.iter().map(|&q| per_point[q as usize]).sum(),
+                None => weights[it.unit],
+            }
+        };
+
+        let mut states: Vec<DeviceState> = (0..fleet.len()).map(|_| DeviceState::new()).collect();
+        let mut rec = crate::fleet::FleetRecoveryReport::default();
+        let mut cpu_done: Vec<DoneItem> = Vec::new();
         let mut gather_ns: u64 = 0;
-        let mut recovery = RecoveryCounters::default();
-        let mut shards: Vec<ShardReport> = Vec::with_capacity(fleet.len());
-        let mut makespan_s = 0.0f64;
+        let mut seq = 0usize;
+        let mut round: u32 = 0;
+        let mut saved_error: Option<LaunchError> = None;
+
+        // Round 0: the initial per-region assignment.
+        let mut region_queries: Vec<usize> = Vec::with_capacity(fleet.len());
+        let mut region_workloads: Vec<u64> = Vec::with_capacity(fleet.len());
+        let mut assignment: Vec<(usize, Vec<WorkItem>)> = Vec::with_capacity(fleet.len());
         for (d, region) in regions.iter().enumerate() {
-            let device = fleet.device(d);
-            let units: Vec<usize> = (region.start..region.end).collect();
             let queries: usize = match &plan {
-                BatchPlan::Strided { batches } => units.iter().map(|&u| batches[u].len()).sum(),
-                BatchPlan::Queue { chunks, .. } => units.iter().map(|&u| chunks[u].len()).sum(),
+                BatchPlan::Strided { batches } => region.clone().map(|u| batches[u].len()).sum(),
+                BatchPlan::Queue { chunks, .. } => region.clone().map(|u| chunks[u].len()).sum(),
             };
             let workload: u64 = weights[region.clone()].iter().sum();
             if telemetry_on {
@@ -564,56 +591,357 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     Event::new("executor.fleet", "shard_plan")
                         .u64("device", d as u64)
                         .u64("first_unit", region.start as u64)
-                        .u64("units", units.len() as u64)
+                        .u64("units", region.len() as u64)
                         .u64("queries", queries as u64)
                         .u64("workload", workload)
                         .str("strategy", strategy.label()),
                 );
             }
-            // Aim this device's queue head at its first chunk; the chunks
-            // behind it then pop exactly the ranges they would have popped
-            // on a single device.
-            let mut expected_final = 0;
-            if let Some(chunks) = chunk_bounds {
-                if let (Some(&first), Some(&last)) = (units.first(), units.last()) {
-                    device.counter().store(chunks[first].start as u64);
-                    expected_final = chunks[last].end as u64;
+            region_queries.push(queries);
+            region_workloads.push(workload);
+            assignment.push((d, region.clone().map(WorkItem::planned).collect()));
+        }
+
+        // The recovery loop: execute the current assignment, re-shard
+        // whatever interrupted shards left behind onto survivors (bounded
+        // by the round budget), then give stragglers the same treatment.
+        loop {
+            let mut leftovers: Vec<WorkItem> = Vec::new();
+            for (d, items) in std::mem::take(&mut assignment) {
+                if items.is_empty() {
+                    continue;
+                }
+                let device = fleet.device(d);
+                let ctx = ShardCtx {
+                    device: Some(d as u64),
+                    gpu: device.gpu(),
+                    fault: device.fault_plane(),
+                    counter: device.counter(),
+                    capacity,
+                    queue_limit,
+                    defer,
+                };
+                let exec = self.execute_units(&plan, &items, &ctx)?;
+                gather_ns += exec.gather_ns;
+                let state = &mut states[d];
+                state.recovery.merge(&exec.recovery);
+                let interrupted = exec.interruption.is_some();
+                // Re-key executed batches by submitting item: items complete
+                // strictly in order, so each item's batches and pairs are
+                // contiguous runs of the shard output.
+                let all_pairs = exec.result.pairs();
+                let mut pair_off = 0usize;
+                let mut batch_idx = 0usize;
+                while batch_idx < exec.batch_reports.len() {
+                    let item_idx = exec.batch_items[batch_idx];
+                    let mut end = batch_idx;
+                    let mut item_pairs = 0usize;
+                    while end < exec.batch_items.len() && exec.batch_items[end] == item_idx {
+                        item_pairs += exec.batch_reports[end].pairs;
+                        end += 1;
+                    }
+                    state.done.push(DoneItem {
+                        key: items[item_idx].unit,
+                        seq,
+                        // An interrupted shard's completed fragments may be
+                        // partial (a split half whose sibling never ran);
+                        // they are checkpointed output, never respawned.
+                        work: (!interrupted).then(|| items[item_idx].clone()),
+                        pairs: all_pairs[pair_off..pair_off + item_pairs].to_vec(),
+                        batches: exec.batch_reports[batch_idx..end].to_vec(),
+                    });
+                    seq += 1;
+                    pair_off += item_pairs;
+                    batch_idx = end;
+                }
+                if exec.recovery.cpu.is_some() {
+                    // Degrade mode: the shard finished its own remainder on
+                    // the CPU; its pairs sort right after the failing
+                    // unit's salvaged fragments.
+                    let key = exec
+                        .cpu_tail_key
+                        .unwrap_or_else(|| items.last().map_or(0, |it| it.unit));
+                    state.done.push(DoneItem {
+                        key,
+                        seq,
+                        work: None,
+                        pairs: all_pairs[pair_off..].to_vec(),
+                        batches: Vec::new(),
+                    });
+                    seq += 1;
+                }
+                if let Some(intr) = exec.interruption {
+                    state.usable = false;
+                    state.reassigned_out += intr.remnants.len();
+                    rec.devices_lost += 1;
+                    rec.health.push(crate::fleet::HealthEvent {
+                        device: d as u64,
+                        round,
+                        state: if intr.device_lost {
+                            crate::fleet::DeviceHealth::Lost
+                        } else {
+                            crate::fleet::DeviceHealth::TransientExhausted
+                        },
+                        units: intr.remnants.len(),
+                    });
+                    if telemetry_on {
+                        self.telemetry.record(
+                            Event::new("fleet", "device_lost")
+                                .u64("device", d as u64)
+                                .u64("round", round as u64)
+                                .u64("remnant_units", intr.remnants.len() as u64)
+                                .bool("device_lost", intr.device_lost),
+                        );
+                    }
+                    saved_error = Some(intr.error);
+                    leftovers.extend(intr.remnants);
                 }
             }
-            let ctx = ShardCtx {
-                device: Some(d as u64),
-                gpu: device.gpu(),
-                fault: device.fault_plane(),
-                counter: device.counter(),
-                capacity,
-                queue_limit,
-                expected_final,
-            };
-            let shard = self.execute_units(&plan, &units, &ctx)?;
-            let timings: Vec<BatchTiming> = shard
-                .batch_reports
-                .iter()
-                .map(|b| BatchTiming {
-                    kernel_s: b.kernel_s,
-                    transfer_s: b.transfer_s,
-                })
-                .collect();
-            let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
-            let degradation = shard
-                .recovery
-                .clone()
-                .into_report(shard.batch_reports.len());
-            let response_time_s = pipeline.total_s
-                + degradation
-                    .as_ref()
-                    .map_or(0.0, |dg| dg.backoff_s + dg.cpu_model_s);
+
+            if !leftovers.is_empty() {
+                let survivors: Vec<usize> = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.usable)
+                    .map(|(d, _)| d)
+                    .collect();
+                if survivors.is_empty() || rec.reshard_rounds >= c.recovery.max_reshard_rounds {
+                    if !c.recovery.cpu_last_resort {
+                        let error = saved_error
+                            .take()
+                            .expect("unexecuted work implies an interruption");
+                        return Err(JoinError::Launch(error));
+                    }
+                    // Exact CPU last resort: one pair segment per remnant
+                    // item, so the canonical merge can interleave
+                    // CPU-completed units with GPU-completed units in plan
+                    // order.
+                    let owned: Vec<Vec<u32>> = leftovers
+                        .iter()
+                        .map(|it| match &it.queries {
+                            Some(q) => q.clone(),
+                            None => planned_queries(it.unit),
+                        })
+                        .collect();
+                    let sets: Vec<&[u32]> = owned.iter().map(|v| v.as_slice()).collect();
+                    let mut per_set: Vec<Vec<(u32, u32)>> = Vec::new();
+                    let sw_cpu = Stopwatch::start();
+                    let stats = crate::fallback::cpu_join_query_sets(
+                        &self.grid,
+                        self.points,
+                        &self.resolved,
+                        c.epsilon,
+                        &sets,
+                        &mut per_set,
+                    );
+                    let cpu_model_s = c.cpu_fallback.model_seconds(&stats, N as u32, &c.gpu.cost);
+                    rec.cpu_last_resort_points = stats.queries;
+                    rec.cpu_last_resort_pairs = stats.pairs;
+                    rec.cpu_last_resort_model_s = cpu_model_s;
+                    if telemetry_on {
+                        self.telemetry.record(
+                            Event::new("fleet", "cpu_last_resort")
+                                .u64("points", stats.queries as u64)
+                                .u64("pairs", stats.pairs)
+                                .u64("distance_calcs", stats.distance_calcs)
+                                .f64("cpu_model_s", cpu_model_s)
+                                .str(
+                                    "reason",
+                                    if survivors.is_empty() {
+                                        "no_survivors"
+                                    } else {
+                                        "budget_exhausted"
+                                    },
+                                )
+                                .u64("host_ns", sw_cpu.elapsed_ns()),
+                        );
+                    }
+                    for (it, pairs) in leftovers.iter().zip(per_set) {
+                        cpu_done.push(DoneItem {
+                            key: it.unit,
+                            seq,
+                            work: None,
+                            pairs,
+                            batches: Vec::new(),
+                        });
+                        seq += 1;
+                    }
+                    break;
+                }
+                round += 1;
+                rec.reshard_rounds += 1;
+                rec.reassigned_units += leftovers.len();
+                // The same workload-aware cut that built the fleet's
+                // regions, applied to the shrunken fleet over the
+                // unexecuted remainder. Survivors take cuts in ascending
+                // order of accumulated response time, so the least-loaded
+                // device absorbs the (possibly heavier) first slice.
+                // Assignment order still follows cut order, which keeps
+                // same-unit fragments in plan order for the merge.
+                let mut survivors = survivors;
+                survivors.sort_by(|&a, &b| {
+                    states[a]
+                        .pipeline_and_response(c.batching.num_streams)
+                        .1
+                        .total_cmp(&states[b].pipeline_and_response(c.batching.num_streams).1)
+                        .then(a.cmp(&b))
+                });
+                let item_weights: Vec<u64> = leftovers.iter().map(item_weight).collect();
+                let cuts =
+                    partition_units(&item_weights, survivors.len(), ShardStrategy::WorkloadAware);
+                if telemetry_on {
+                    self.telemetry.record(
+                        Event::new("fleet", "reshard")
+                            .u64("round", round as u64)
+                            .u64("units", leftovers.len() as u64)
+                            .u64("survivors", survivors.len() as u64),
+                    );
+                }
+                for (slot, cut) in cuts.iter().enumerate() {
+                    if cut.is_empty() {
+                        continue;
+                    }
+                    let d = survivors[slot];
+                    let moved = leftovers[cut.clone()].to_vec();
+                    states[d].reassigned_in += moved.len();
+                    rec.health.push(crate::fleet::HealthEvent {
+                        device: d as u64,
+                        round,
+                        state: crate::fleet::DeviceHealth::Reassigned,
+                        units: moved.len(),
+                    });
+                    assignment.push((d, moved));
+                }
+                continue;
+            }
+
+            // Straggler mitigation: if the slowest shard's response time
+            // (pipeline plus accrued backoff) exceeds the configured
+            // multiple of the fleet median, cancel its not-yet-started tail
+            // items (serial kernel timeline) and re-home them on
+            // under-loaded survivors — a cancel-and-reassign variant of
+            // speculative re-execution, drawing from the same round budget.
+            if defer
+                && c.recovery.straggler_threshold > 0.0
+                && rec.reshard_rounds < c.recovery.max_reshard_rounds
+            {
+                let responses: Vec<f64> = states
+                    .iter()
+                    .map(|s| s.pipeline_and_response(c.batching.num_streams).1)
+                    .collect();
+                let active: Vec<usize> =
+                    (0..states.len()).filter(|&d| responses[d] > 0.0).collect();
+                if active.len() >= 2 {
+                    let mut sorted: Vec<f64> = active.iter().map(|&d| responses[d]).collect();
+                    sorted.sort_by(f64::total_cmp);
+                    let mid = sorted.len() / 2;
+                    let median = if sorted.len() % 2 == 1 {
+                        sorted[mid]
+                    } else {
+                        0.5 * (sorted[mid - 1] + sorted[mid])
+                    };
+                    let mut worst = active[0];
+                    for &d in &active[1..] {
+                        if responses[d] > responses[worst] {
+                            worst = d;
+                        }
+                    }
+                    let cutoff = c.recovery.straggler_threshold * median;
+                    if median > 0.0 && states[worst].usable && responses[worst] > cutoff {
+                        let receivers: Vec<usize> = (0..states.len())
+                            .filter(|&d| d != worst && states[d].usable && responses[d] < median)
+                            .collect();
+                        if !receivers.is_empty() {
+                            let stripped: Vec<WorkItem> = {
+                                let dev = &mut states[worst];
+                                let mut starts: Vec<f64> = Vec::with_capacity(dev.done.len());
+                                let mut t = 0.0f64;
+                                for item in &dev.done {
+                                    starts.push(t);
+                                    t += item.batches.iter().map(|b| b.kernel_s).sum::<f64>();
+                                }
+                                let mut cut_idx = dev.done.len();
+                                while cut_idx > 1
+                                    && dev.done[cut_idx - 1].work.is_some()
+                                    && starts[cut_idx - 1] >= cutoff
+                                {
+                                    cut_idx -= 1;
+                                }
+                                dev.done
+                                    .drain(cut_idx..)
+                                    .map(|di| di.work.expect("only respawnable items are stripped"))
+                                    .collect()
+                            };
+                            if !stripped.is_empty() {
+                                round += 1;
+                                rec.reshard_rounds += 1;
+                                rec.straggler_rebalances += 1;
+                                rec.reassigned_units += stripped.len();
+                                states[worst].reassigned_out += stripped.len();
+                                rec.health.push(crate::fleet::HealthEvent {
+                                    device: worst as u64,
+                                    round,
+                                    state: crate::fleet::DeviceHealth::Straggler,
+                                    units: stripped.len(),
+                                });
+                                if telemetry_on {
+                                    self.telemetry.record(
+                                        Event::new("fleet", "straggler")
+                                            .u64("device", worst as u64)
+                                            .u64("round", round as u64)
+                                            .f64("response_model_s", responses[worst])
+                                            .f64("median_model_s", median)
+                                            .f64("threshold", c.recovery.straggler_threshold)
+                                            .u64("units_moved", stripped.len() as u64),
+                                    );
+                                }
+                                let item_weights: Vec<u64> =
+                                    stripped.iter().map(item_weight).collect();
+                                let cuts = partition_units(
+                                    &item_weights,
+                                    receivers.len(),
+                                    ShardStrategy::WorkloadAware,
+                                );
+                                for (slot, cut) in cuts.iter().enumerate() {
+                                    if cut.is_empty() {
+                                        continue;
+                                    }
+                                    let d = receivers[slot];
+                                    let moved = stripped[cut.clone()].to_vec();
+                                    states[d].reassigned_in += moved.len();
+                                    rec.health.push(crate::fleet::HealthEvent {
+                                        device: d as u64,
+                                        round,
+                                        state: crate::fleet::DeviceHealth::Reassigned,
+                                        units: moved.len(),
+                                    });
+                                    assignment.push((d, moved));
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            break;
+        }
+
+        // Final per-device accounting.
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(fleet.len());
+        let mut makespan_s = 0.0f64;
+        let mut recovery = RecoveryCounters::default();
+        for (d, state) in states.iter().enumerate() {
+            let (pipeline, response_time_s) = state.pipeline_and_response(c.batching.num_streams);
             makespan_s = makespan_s.max(response_time_s);
+            let batches: usize = state.done.iter().map(|di| di.batches.len()).sum();
+            let pairs: usize = state.done.iter().map(|di| di.pairs.len()).sum();
+            let degradation = state.recovery.clone().into_report(batches);
             if telemetry_on {
                 self.telemetry.record(
                     Event::new("executor.fleet", "shard_done")
                         .u64("device", d as u64)
-                        .u64("batches", shard.batch_reports.len() as u64)
-                        .u64("pairs", shard.result.len() as u64)
+                        .u64("batches", batches as u64)
+                        .u64("pairs", pairs as u64)
                         .f64("pipeline_model_s", pipeline.total_s)
                         .f64("response_model_s", response_time_s)
                         .bool(
@@ -626,23 +954,50 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             }
             shards.push(ShardReport {
                 device: d as u64,
-                units: region.clone(),
-                queries,
-                workload,
-                batches: shard.batch_reports.len(),
-                pairs: shard.result.len(),
+                units: regions[d].clone(),
+                queries: region_queries[d],
+                workload: region_workloads[d],
+                batches,
+                pairs,
                 pipeline,
                 degradation,
                 response_time_s,
+                reassigned_in: state.reassigned_in,
+                reassigned_out: state.reassigned_out,
             });
-            // Canonical merge: regions are contiguous in plan order, so
-            // appending shard outputs in device order reproduces the
-            // single-device production order exactly.
-            result.extend(shard.result.pairs());
-            batch_reports.extend(shard.batch_reports);
-            totals.accumulate(&shard.totals);
-            gather_ns += shard.gather_ns;
-            recovery.merge(&shard.recovery);
+            recovery.merge(&state.recovery);
+        }
+        // The CPU last resort runs serially on the host after the devices.
+        makespan_s += rec.cpu_last_resort_model_s;
+        if rec.cpu_last_resort_points > 0 {
+            let acc = recovery.cpu.get_or_insert((0, 0, 0.0));
+            acc.0 += rec.cpu_last_resort_points;
+            acc.1 += rec.cpu_last_resort_pairs;
+            acc.2 += rec.cpu_last_resort_model_s;
+        }
+
+        // Canonical merge in original plan-unit order. `seq` breaks ties
+        // within a unit: completed fragments keep their execution order, so
+        // a split half salvaged from a dying device still lands before its
+        // re-homed sibling — exactly the single-device production order.
+        let mut entries: Vec<DoneItem> = states
+            .into_iter()
+            .flat_map(|s| s.done)
+            .chain(cpu_done)
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+        let mut result = ResultSet::default();
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(plan.num_batches());
+        let mut totals = WarpExecution {
+            warp_size: c.gpu.warp_size,
+            ..WarpExecution::default()
+        };
+        for entry in entries {
+            result.extend(&entry.pairs);
+            for batch in entry.batches {
+                totals.accumulate(&batch.launch.totals);
+                batch_reports.push(batch);
+            }
         }
         let timings: Vec<BatchTiming> = batch_reports
             .iter()
@@ -694,6 +1049,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 strategy,
                 shards,
                 makespan_s,
+                recovery: rec,
             },
         })
     }
@@ -878,7 +1234,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
     fn execute_units(
         &self,
         plan: &BatchPlan,
-        units: &[usize],
+        items: &[WorkItem],
         ctx: &ShardCtx<'_>,
     ) -> Result<ShardExecution, JoinError> {
         let telemetry_on = self.telemetry.is_enabled();
@@ -889,7 +1245,8 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             None => event,
         };
         let mut result = ResultSet::default();
-        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(units.len());
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(items.len());
+        let mut batch_items: Vec<usize> = Vec::with_capacity(items.len());
         let mut totals = WarpExecution {
             warp_size: ctx.gpu.warp_size,
             ..WarpExecution::default()
@@ -899,17 +1256,40 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
 
         let counter = ctx.counter;
         let queue_limit = ctx.queue_limit;
-        let mut pending: VecDeque<Pending> = match plan {
-            BatchPlan::Strided { .. } => units.iter().copied().map(Pending::planned).collect(),
-            BatchPlan::Queue { chunks, .. } => units
+        let mut pending: VecDeque<Pending> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, item)| match &item.queries {
+                Some(queries) if queries.is_empty() => None,
+                Some(queries) => Some(Pending::split(idx, queries.clone(), item.split_attempts)),
+                None => match plan {
+                    BatchPlan::Queue { chunks, .. } if chunks[item.unit].is_empty() => None,
+                    _ => Some(Pending::planned(idx, item.unit)),
+                },
+            })
+            .collect();
+        // Queue-plan drain target: where the head must land once the last
+        // planned chunk of this item list is done. `None` when the list
+        // carries no non-empty planned chunk (then the head never moves).
+        let expected_final: Option<u64> = match plan {
+            BatchPlan::Queue { chunks, .. } => items
                 .iter()
-                .copied()
-                .filter(|&i| !chunks[i].is_empty())
-                .map(Pending::planned)
-                .collect(),
+                .filter(|item| item.queries.is_none() && !chunks[item.unit].is_empty())
+                .map(|item| chunks[item.unit].end as u64)
+                .next_back(),
+            _ => None,
         };
         let mut recovery = RecoveryCounters::default();
         let mut degraded: Option<Vec<u32>> = None;
+        let mut cpu_tail_key: Option<usize> = None;
+        let mut interruption: Option<Interruption> = None;
+        // The plan-unit merge key of a pending entry.
+        let key_of = |p: &Pending| -> usize {
+            match &p.work {
+                Work::Planned(i) => *i,
+                Work::Split(_) => items[p.item].unit,
+            }
+        };
 
         // Resolves a unit back to its query set (for splits, counter
         // repairs, and degradation hand-off).
@@ -928,7 +1308,13 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 (Work::Planned(i), BatchPlan::Queue { chunks, .. }) => Some(chunks[*i].clone()),
                 _ => None,
             };
-            if chunk_range.is_some() {
+            if let Some(chunk) = &chunk_range {
+                // Aim the queue head at this chunk's start. On a contiguous
+                // unit list this is a no-op (the previous chunk left the
+                // head exactly here), but it lets recovery hand arbitrary
+                // unit subsets to a surviving device and still pop exactly
+                // the ranges the original plan assigned them.
+                counter.store(chunk.start as u64);
                 // Host-side injection: a stuck/corrupted device counter,
                 // observed just before this chunk launches.
                 if let Some(plane) = ctx.fault {
@@ -1013,6 +1399,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                             counter.store(expected);
                             let queries = queries_of(&unit.work);
                             pending.push_front(Pending {
+                                item: unit.item,
                                 work: Work::Split(queries),
                                 transient_attempts: unit.transient_attempts,
                                 counter_attempts: unit.counter_attempts,
@@ -1059,6 +1446,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                         kernel_s,
                         transfer_s,
                     });
+                    batch_items.push(unit.item);
                 }
                 Err(LaunchError::ResultOverflow(overflow)) => {
                     buffer.clear();
@@ -1104,8 +1492,8 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                                 .u64("right_queries", right.len() as u64)
                                 .f64("backoff_model_s", backoff)));
                     }
-                    pending.push_front(Pending::split(right, attempt));
-                    pending.push_front(Pending::split(queries, attempt));
+                    pending.push_front(Pending::split(unit.item, right, attempt));
+                    pending.push_front(Pending::split(unit.item, queries, attempt));
                 }
                 Err(err @ LaunchError::Transient(_)) => {
                     // Transient faults fail at admission, before any queue
@@ -1130,9 +1518,20 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     }
                     // Persistently failing launch: treat the device as
                     // unusable for the rest of the join.
+                    if ctx.defer {
+                        let mut remnants = vec![remnant_of(items, unit)];
+                        remnants.extend(pending.drain(..).map(|p| remnant_of(items, p)));
+                        interruption = Some(Interruption {
+                            error: err,
+                            device_lost: false,
+                            remnants,
+                        });
+                        break;
+                    }
                     if !c.retry.cpu_fallback {
                         return Err(JoinError::Launch(err));
                     }
+                    cpu_tail_key = Some(key_of(&unit));
                     let mut remaining = queries_of(&unit.work);
                     for p in pending.drain(..) {
                         remaining.extend(queries_of(&p.work));
@@ -1141,9 +1540,20 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 }
                 Err(err @ LaunchError::DeviceLost(_)) => {
                     recovery.device_lost = true;
+                    if ctx.defer {
+                        let mut remnants = vec![remnant_of(items, unit)];
+                        remnants.extend(pending.drain(..).map(|p| remnant_of(items, p)));
+                        interruption = Some(Interruption {
+                            error: err,
+                            device_lost: true,
+                            remnants,
+                        });
+                        break;
+                    }
                     if !c.retry.cpu_fallback {
                         return Err(JoinError::Launch(err));
                     }
+                    cpu_tail_key = Some(key_of(&unit));
                     let mut remaining = queries_of(&unit.work);
                     for p in pending.drain(..) {
                         remaining.extend(queries_of(&p.work));
@@ -1187,26 +1597,50 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                         .bool("device_lost", recovery.device_lost)
                         .u64("host_ns", sw_cpu.elapsed_ns())));
             }
-        } else if let BatchPlan::Queue { .. } = plan {
+        } else if interruption.is_none() {
             // Final queue-drain invariant: a fully GPU-completed queue shard
             // must have consumed exactly its slice of the sorted dataset
             // (for the single-device path, the whole of it).
-            let observed = counter.load();
-            if observed != ctx.expected_final {
-                return Err(JoinError::Launch(LaunchError::CounterFault(CounterFault {
-                    expected: ctx.expected_final,
-                    observed,
-                })));
+            if let Some(expected) = expected_final {
+                let observed = counter.load();
+                if observed != expected {
+                    return Err(JoinError::Launch(LaunchError::CounterFault(CounterFault {
+                        expected,
+                        observed,
+                    })));
+                }
             }
         }
 
         Ok(ShardExecution {
             result,
             batch_reports,
+            batch_items,
             totals,
             gather_ns,
             recovery,
+            interruption,
+            cpu_tail_key,
         })
+    }
+}
+
+/// Rebuilds the re-submittable [`WorkItem`] of an unexecuted pending entry:
+/// a still-planned unit stays planned (a surviving device re-aims its own
+/// queue head at the chunk), while recovery-produced query sets travel as
+/// explicit query items keyed to their originating unit.
+fn remnant_of(items: &[WorkItem], p: Pending) -> WorkItem {
+    match p.work {
+        Work::Planned(i) => WorkItem {
+            unit: i,
+            queries: None,
+            split_attempts: p.split_attempts,
+        },
+        Work::Split(queries) => WorkItem {
+            unit: items[p.item].unit,
+            queries: Some(queries),
+            split_attempts: p.split_attempts,
+        },
     }
 }
 
@@ -1229,29 +1663,144 @@ struct ShardCtx<'s> {
     /// Global queue length (`order.len()`), the pop limit shared by every
     /// shard so per-chunk launches stay bit-identical to a single device.
     queue_limit: u64,
-    /// Queue-plan drain target: where the head must land once this shard's
-    /// chunks are done (the shard's last chunk end).
-    expected_final: u64,
+    /// Fleet failover mode: instead of degrading to the CPU (or erroring)
+    /// on persistent device failure, hand the unexecuted work items back to
+    /// the caller as an [`Interruption`] so they can be re-sharded onto
+    /// surviving devices.
+    defer: bool,
+}
+
+/// One top-level item of shard work: a unit of the original batch plan, or
+/// an explicit query set carried over from an interrupted device (a split
+/// half whose sibling already completed elsewhere). `unit` is always the
+/// originating plan-unit index — the merge key that lets the fleet
+/// reassemble shard outputs in original plan order no matter which device
+/// executed what.
+#[derive(Clone)]
+struct WorkItem {
+    /// Originating plan-unit index (the canonical merge key).
+    unit: usize,
+    /// `None` runs the planned unit itself; `Some` runs an explicit query
+    /// set statically.
+    queries: Option<Vec<u32>>,
+    /// Overflow-split ancestry carried across devices, so a re-homed split
+    /// keeps escalating its backoff instead of resetting it.
+    split_attempts: u32,
+}
+
+impl WorkItem {
+    fn planned(unit: usize) -> Self {
+        WorkItem {
+            unit,
+            queries: None,
+            split_attempts: 0,
+        }
+    }
+}
+
+/// Unexecuted remainder of a persistently failed shard (only produced under
+/// [`ShardCtx::defer`]): the launch error that killed it, and its
+/// unexecuted work items in plan order.
+struct Interruption {
+    /// What killed the shard.
+    error: LaunchError,
+    /// Whether the device latched `DeviceLost` (as opposed to exhausting
+    /// its transient budget).
+    device_lost: bool,
+    /// Unstarted work, in execution (plan) order, ready for re-submission
+    /// to another device.
+    remnants: Vec<WorkItem>,
 }
 
 /// What one shard's execution produced, before pipeline scheduling.
 struct ShardExecution {
     result: ResultSet,
     batch_reports: Vec<BatchReport>,
+    /// The submitting item index (into the `items` slice given to
+    /// [`SelfJoin::execute_units`]) of every batch, parallel to
+    /// `batch_reports`. Items complete strictly in order, so this is
+    /// non-decreasing.
+    batch_items: Vec<usize>,
     totals: WarpExecution,
     gather_ns: u64,
     recovery: RecoveryCounters,
+    /// Present when the shard failed persistently under `defer` mode.
+    interruption: Option<Interruption>,
+    /// The plan-unit key where the in-shard CPU fallback (non-defer mode)
+    /// took over, if it ran: its pairs sort after that unit's completed
+    /// batches in the canonical merge.
+    cpu_tail_key: Option<usize>,
+}
+
+/// One completed work item's checkpointed output, tagged for the canonical
+/// fleet merge: `key` is the originating plan-unit index, `seq` the global
+/// completion order (the tiebreak that keeps same-unit fragments — e.g. a
+/// salvaged split half and its re-homed sibling — in execution order).
+struct DoneItem {
+    key: usize,
+    seq: usize,
+    /// The completed item itself, when it is whole and could be respawned
+    /// verbatim on another device (straggler cancel-and-reassign). `None`
+    /// for fragments salvaged from an interrupted shard and for CPU
+    /// segments — those are checkpointed output only.
+    work: Option<WorkItem>,
+    pairs: Vec<(u32, u32)>,
+    batches: Vec<BatchReport>,
+}
+
+/// Accumulated per-device state across recovery rounds.
+struct DeviceState {
+    /// Cleared when the device latches a persistent failure; unusable
+    /// devices never receive re-sharded work.
+    usable: bool,
+    done: Vec<DoneItem>,
+    recovery: RecoveryCounters,
+    reassigned_in: usize,
+    reassigned_out: usize,
+}
+
+impl DeviceState {
+    fn new() -> Self {
+        DeviceState {
+            usable: true,
+            done: Vec::new(),
+            recovery: RecoveryCounters::default(),
+            reassigned_in: 0,
+            reassigned_out: 0,
+        }
+    }
+
+    /// This device's pipeline schedule over everything it has executed so
+    /// far, and its response time: pipeline makespan plus serially accrued
+    /// recovery time (retry backoff, in-shard CPU fallback).
+    fn pipeline_and_response(&self, num_streams: usize) -> (warpsim::PipelineReport, f64) {
+        let timings: Vec<BatchTiming> = self
+            .done
+            .iter()
+            .flat_map(|di| di.batches.iter())
+            .map(|b| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
+            .collect();
+        let pipeline = StreamPipeline::new(num_streams).schedule(&timings);
+        let cpu_s = self.recovery.cpu.map_or(0.0, |(_, _, s)| s);
+        let response = pipeline.total_s + self.recovery.backoff_s + cpu_s;
+        (pipeline, response)
+    }
 }
 
 /// A unit of pending executor work: a batch/chunk of the original plan, or
-/// an explicit query set produced by recovery (overflow split, counter
-/// repair).
+/// an explicit query set (recovery split, counter repair, or a query-set
+/// work item handed over from another device).
 enum Work {
     Planned(usize),
     Split(Vec<u32>),
 }
 
 struct Pending {
+    /// Index of the submitting [`WorkItem`] in the shard's item list.
+    item: usize,
     work: Work,
     transient_attempts: u32,
     counter_attempts: u32,
@@ -1262,8 +1811,9 @@ struct Pending {
 }
 
 impl Pending {
-    fn planned(index: usize) -> Self {
+    fn planned(item: usize, index: usize) -> Self {
         Pending {
+            item,
             work: Work::Planned(index),
             transient_attempts: 0,
             counter_attempts: 0,
@@ -1271,8 +1821,9 @@ impl Pending {
         }
     }
 
-    fn split(queries: Vec<u32>, split_attempts: u32) -> Self {
+    fn split(item: usize, queries: Vec<u32>, split_attempts: u32) -> Self {
         Pending {
+            item,
             work: Work::Split(queries),
             transient_attempts: 0,
             counter_attempts: 0,
@@ -1357,6 +1908,20 @@ mod tests {
         }
         for i in n / 2..n {
             pts.push([3.0 + 0.17 * (i % 61) as f32, 2.0 + 0.19 * (i % 53) as f32]);
+        }
+        pts
+    }
+
+    /// A jittered `side`-wide lattice: near-uniform density (every point
+    /// has a similar neighbor count), the GPU-favorable workload shape.
+    fn lattice_points(n: usize, side: usize) -> Vec<Point<2>> {
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n {
+            let (r, c) = (i / side, i % side);
+            pts.push([
+                0.04 * c as f32 + 0.009 * ((i * 7) % 5) as f32,
+                0.04 * r as f32 + 0.009 * ((i * 11) % 5) as f32,
+            ]);
         }
         pts
     }
@@ -1942,7 +2507,9 @@ mod tests {
     }
 
     #[test]
-    fn fleet_device_loss_degrades_only_that_shard() {
+    fn fleet_device_loss_degrades_only_that_shard_under_degrade_policy() {
+        // RecoveryPolicy::degrade() reproduces the pre-failover behaviour:
+        // the lost shard finishes its own remainder on the CPU.
         let pts = skewed_points(240);
         let eps = 0.1;
         let expected = reference(&pts, eps);
@@ -1957,7 +2524,8 @@ mod tests {
         ] {
             let config = SelfJoinConfig::new(eps)
                 .with_balancing(balancing)
-                .with_batching(small_batches);
+                .with_batching(small_batches)
+                .with_recovery(crate::RecoveryPolicy::degrade());
             let join = SelfJoin::new(&pts, config.clone()).unwrap();
             let fleet = warpsim::DeviceFleet::homogeneous(3, config.gpu)
                 .with_fault_schedule(1, warpsim::FaultSchedule::new().device_lost_at(0));
@@ -1967,6 +2535,7 @@ mod tests {
             // The merged join is still exact.
             assert_eq!(outcome.result.sorted_pairs(), expected, "{balancing:?}");
             assert_eq!(fleet.lost_devices(), 1, "{balancing:?}");
+            assert!(!outcome.fleet.recovery.intervened(), "{balancing:?}");
             // Only device 1's shard reports a degradation.
             let lost = &outcome.fleet.shards[1];
             let d = lost.degradation.as_ref().expect("lost shard must report");
@@ -1983,6 +2552,206 @@ mod tests {
             let merged = outcome.report.degradation.as_ref().unwrap();
             assert!(merged.device_lost, "{balancing:?}");
             assert_eq!(merged.points_degraded, d.points_degraded, "{balancing:?}");
+        }
+    }
+
+    #[test]
+    fn fleet_device_loss_reshards_onto_survivors() {
+        // Default policy: the lost device's unexecuted units are re-cut
+        // workload-aware across the survivors and the merged result stays
+        // bit-identical to the clean fleet run — no CPU degradation at all.
+        let pts = skewed_points(240);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 6 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        for balancing in [
+            Balancing::None,
+            Balancing::SortByWorkload,
+            Balancing::WorkQueue,
+        ] {
+            let config = SelfJoinConfig::new(eps)
+                .with_balancing(balancing)
+                .with_batching(small_batches);
+            let clean = SelfJoin::new(&pts, config.clone())
+                .unwrap()
+                .run_on_fleet(
+                    &warpsim::DeviceFleet::homogeneous(4, config.gpu),
+                    crate::ShardStrategy::WorkloadAware,
+                )
+                .unwrap();
+            let join = SelfJoin::new(&pts, config.clone()).unwrap();
+            let fleet = warpsim::DeviceFleet::homogeneous(4, config.gpu)
+                .with_fault_schedule(1, warpsim::FaultSchedule::new().device_lost_at(0));
+            let outcome = join
+                .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+                .unwrap();
+            // Bit-identical to the clean run: same pair production order,
+            // not just the same set.
+            assert_eq!(
+                outcome.result.pairs(),
+                clean.result.pairs(),
+                "{balancing:?}"
+            );
+            assert_eq!(outcome.result.sorted_pairs(), expected, "{balancing:?}");
+            let rec = &outcome.fleet.recovery;
+            assert!(rec.reshard_rounds >= 1, "{balancing:?}");
+            assert_eq!(rec.devices_lost, 1, "{balancing:?}");
+            assert!(rec.reassigned_units >= 1, "{balancing:?}");
+            assert_eq!(rec.cpu_last_resort_points, 0, "{balancing:?}");
+            assert!(
+                outcome.report.degradation.is_none()
+                    || !outcome
+                        .report
+                        .degradation
+                        .as_ref()
+                        .unwrap()
+                        .cpu_fallback_ran(),
+                "{balancing:?}: reshard must not fall back to the CPU"
+            );
+            // Accounting: the lost shard handed units out, survivors took
+            // them in.
+            assert!(outcome.fleet.shards[1].reassigned_out >= 1, "{balancing:?}");
+            let taken: usize = outcome.fleet.shards.iter().map(|s| s.reassigned_in).sum();
+            assert_eq!(
+                taken, outcome.fleet.shards[1].reassigned_out,
+                "{balancing:?}"
+            );
+            assert!(
+                rec.health
+                    .iter()
+                    .any(|h| h.state == crate::DeviceHealth::Lost && h.device == 1),
+                "{balancing:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_reshard_beats_cpu_degradation_makespan() {
+        // The point of failover: at a dataset size where the GPU's
+        // parallelism is actually exercised (hundreds of queries per
+        // launch, compute-bound on a high-bandwidth link), finishing the
+        // lost shard's work on the survivors beats finishing it on the
+        // host. (On tiny or transfer-bound workloads the modeled host can
+        // win — the GPU sits mostly idle — so this property is asserted in
+        // the paper's GPU-favorable regime.)
+        let pts = lattice_points(9800, 99);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 12 + 8,
+            transfer_bandwidth: 80.0e9,
+            ..crate::BatchingConfig::default()
+        };
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(Balancing::WorkQueue)
+            .with_batching(small_batches);
+        let run = |recovery: crate::RecoveryPolicy| {
+            let cfg = config.clone().with_recovery(recovery);
+            let fleet = warpsim::DeviceFleet::homogeneous(4, cfg.gpu)
+                .with_fault_schedule(1, warpsim::FaultSchedule::new().device_lost_at(0));
+            SelfJoin::new(&pts, cfg)
+                .unwrap()
+                .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+                .unwrap()
+        };
+        let resharded = run(crate::RecoveryPolicy::reshard());
+        let degraded = run(crate::RecoveryPolicy::degrade());
+        assert_eq!(resharded.result.sorted_pairs(), expected);
+        assert_eq!(
+            resharded.result.sorted_pairs(),
+            degraded.result.sorted_pairs()
+        );
+        assert!(resharded.fleet.recovery.reshard_rounds >= 1);
+        assert!(degraded.fleet.recovery.reshard_rounds == 0);
+        assert!(
+            resharded.fleet.makespan_s < degraded.fleet.makespan_s,
+            "recovered makespan {} must beat degraded {}",
+            resharded.fleet.makespan_s,
+            degraded.fleet.makespan_s
+        );
+    }
+
+    #[test]
+    fn fleet_all_devices_lost_falls_back_to_cpu_last_resort() {
+        let pts = skewed_points(160);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let config = SelfJoinConfig::new(eps).with_balancing(Balancing::WorkQueue);
+        let join = SelfJoin::new(&pts, config.clone()).unwrap();
+        let mut fleet = warpsim::DeviceFleet::homogeneous(2, config.gpu);
+        for d in 0..2 {
+            fleet = fleet.with_fault_schedule(d, warpsim::FaultSchedule::new().device_lost_at(0));
+        }
+        let outcome = join
+            .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+            .unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        let rec = &outcome.fleet.recovery;
+        assert_eq!(rec.devices_lost, 2);
+        assert!(rec.cpu_last_resort_points > 0);
+        assert!(rec.cpu_last_resort_model_s > 0.0);
+        // The serial host tail extends the makespan.
+        assert!(outcome.fleet.makespan_s >= rec.cpu_last_resort_model_s);
+        let merged = outcome.report.degradation.as_ref().unwrap();
+        assert!(merged.cpu_fallback_ran());
+    }
+
+    #[test]
+    fn fleet_without_cpu_last_resort_surfaces_the_launch_error() {
+        let pts = skewed_points(120);
+        let config = SelfJoinConfig::new(0.1)
+            .with_recovery(crate::RecoveryPolicy::reshard().with_cpu_last_resort(false));
+        let join = SelfJoin::new(&pts, config.clone()).unwrap();
+        let mut fleet = warpsim::DeviceFleet::homogeneous(2, config.gpu);
+        for d in 0..2 {
+            fleet = fleet.with_fault_schedule(d, warpsim::FaultSchedule::new().device_lost_at(0));
+        }
+        let err = join
+            .run_on_fleet(&fleet, crate::ShardStrategy::WorkloadAware)
+            .unwrap_err();
+        assert!(
+            matches!(err, JoinError::Launch(warpsim::LaunchError::DeviceLost(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fleet_straggler_rebalance_moves_tail_units_and_stays_exact() {
+        // Give device 0 heavy transient backoff so its projected response
+        // dwarfs the fleet median; the policy must cancel its unstarted tail
+        // and re-home it without changing the pair set.
+        let pts = skewed_points(240);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let small_batches = crate::BatchingConfig {
+            batch_result_capacity: expected.len() / 6 + 8,
+            ..crate::BatchingConfig::default()
+        };
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(Balancing::SortByWorkload)
+            .with_batching(small_batches)
+            .with_recovery(crate::RecoveryPolicy::reshard().with_straggler_threshold(1.05));
+        let join = SelfJoin::new(&pts, config.clone()).unwrap();
+        let mut schedule = warpsim::FaultSchedule::new();
+        for launch in 0..4 {
+            schedule = schedule.transient_at(launch);
+        }
+        let fleet =
+            warpsim::DeviceFleet::homogeneous(3, config.gpu).with_fault_schedule(0, schedule);
+        let outcome = join
+            .run_on_fleet(&fleet, crate::ShardStrategy::EqualCount)
+            .unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        let rec = &outcome.fleet.recovery;
+        if rec.straggler_rebalances > 0 {
+            assert!(rec.reassigned_units >= 1);
+            assert!(rec
+                .health
+                .iter()
+                .any(|h| h.state == crate::DeviceHealth::Straggler));
         }
     }
 

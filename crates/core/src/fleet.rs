@@ -155,7 +155,9 @@ pub fn partition_units_from_prefix(
 pub struct ShardReport {
     /// The device that executed this shard (fleet index).
     pub device: u64,
-    /// Contiguous plan-unit region assigned to this shard.
+    /// Contiguous plan-unit region *initially* assigned to this shard;
+    /// recovery may move units in or out afterwards (see `reassigned_in` /
+    /// `reassigned_out`).
     pub units: Range<usize>,
     /// Query points in the region.
     pub queries: usize,
@@ -172,6 +174,90 @@ pub struct ShardReport {
     /// Shard response time: pipeline plus this shard's serial recovery
     /// (backoffs and CPU fallback), model seconds.
     pub response_time_s: f64,
+    /// Work items this device received from failed or straggling shards.
+    pub reassigned_in: usize,
+    /// Work items this device handed off (lost to failover or rebalanced
+    /// away as a straggler).
+    pub reassigned_out: usize,
+}
+
+/// Health state transition of one device during fleet recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// The device latched `DeviceLost`; its remaining units were handed
+    /// off.
+    Lost,
+    /// The device exhausted the transient retry budget; treated as unusable
+    /// for the rest of the join.
+    TransientExhausted,
+    /// The device finished but ran past the straggler threshold; its tail
+    /// units were speculatively re-executed elsewhere.
+    Straggler,
+    /// The device received re-sharded work from a failed or straggling
+    /// peer.
+    Reassigned,
+}
+
+impl DeviceHealth {
+    /// Short stable name (used in telemetry and CLI output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceHealth::Lost => "lost",
+            DeviceHealth::TransientExhausted => "transient_exhausted",
+            DeviceHealth::Straggler => "straggler",
+            DeviceHealth::Reassigned => "reassigned",
+        }
+    }
+}
+
+/// One entry of the fleet's chronological per-device health timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The device whose health changed (fleet index).
+    pub device: u64,
+    /// The re-shard round in which the transition happened (round 0 is the
+    /// initial assignment).
+    pub round: u32,
+    /// The new health state.
+    pub state: DeviceHealth,
+    /// Work items involved in the transition (handed off or received).
+    pub units: usize,
+}
+
+/// Recovery accounting of a fleet join; all-default when the join ran
+/// clean.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetRecoveryReport {
+    /// Re-shard rounds actually spent (failover and straggler rebalancing
+    /// both draw from the same
+    /// [`RecoveryPolicy::max_reshard_rounds`](crate::RecoveryPolicy::max_reshard_rounds)
+    /// budget).
+    pub reshard_rounds: u32,
+    /// Total work items moved between devices by recovery.
+    pub reassigned_units: usize,
+    /// Devices that latched `DeviceLost` or exhausted their transient
+    /// budget.
+    pub devices_lost: usize,
+    /// Straggler rebalancing passes that actually moved work.
+    pub straggler_rebalances: u32,
+    /// Query points that ended on the exact CPU last resort.
+    pub cpu_last_resort_points: usize,
+    /// Result pairs produced by the CPU last resort.
+    pub cpu_last_resort_pairs: u64,
+    /// Serial host cost of the CPU last resort, model seconds.
+    pub cpu_last_resort_model_s: f64,
+    /// Chronological per-device health timeline.
+    pub health: Vec<HealthEvent>,
+}
+
+impl FleetRecoveryReport {
+    /// Whether recovery intervened at all.
+    pub fn intervened(&self) -> bool {
+        self.reshard_rounds > 0
+            || self.devices_lost > 0
+            || self.cpu_last_resort_points > 0
+            || !self.health.is_empty()
+    }
 }
 
 /// The fleet-level breakdown of a multi-device join.
@@ -181,21 +267,46 @@ pub struct FleetReport {
     pub strategy: ShardStrategy,
     /// Per-device shard reports, in device order.
     pub shards: Vec<ShardReport>,
-    /// Fleet makespan: the maximum shard response time, model seconds —
-    /// the wall-clock of the join when the devices run concurrently.
+    /// Fleet makespan: the maximum shard response time plus any serial CPU
+    /// last resort, model seconds — the wall-clock of the join when the
+    /// devices run concurrently.
     pub makespan_s: f64,
+    /// Failover / straggler-rebalancing accounting; all-default when the
+    /// join ran clean.
+    pub recovery: FleetRecoveryReport,
 }
 
 impl FleetReport {
     /// Ratio of the heaviest shard's quantified workload to the mean — 1.0
-    /// is a perfect cut.
+    /// is a perfect cut. Degenerate fleets (no shards, or only
+    /// empty-region shards) report 1.0: there is no imbalance without
+    /// work.
     pub fn workload_imbalance(&self) -> f64 {
         let loads: Vec<f64> = self.shards.iter().map(|s| s.workload as f64).collect();
-        let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
-        if mean == 0.0 {
+        if loads.is_empty() {
             return 1.0;
         }
-        loads.iter().copied().fold(f64::MIN, f64::max) / mean
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if !mean.is_finite() || mean <= 0.0 {
+            return 1.0;
+        }
+        loads.iter().copied().fold(0.0_f64, f64::max) / mean
+    }
+
+    /// Jain's fairness index over per-shard response times:
+    /// `(Σx)² / (n · Σx²)`. 1.0 means every device finished at the same
+    /// instant; `1/n` means one device did everything. Idle (zero-response)
+    /// shards count toward `n`, so over-provisioned fleets read as unfair —
+    /// which they are. Degenerate fleets (no shards, or no work at all)
+    /// report 1.0.
+    pub fn jain_fairness(&self) -> f64 {
+        let times: Vec<f64> = self.shards.iter().map(|s| s.response_time_s).collect();
+        let sum: f64 = times.iter().sum();
+        let sum_sq: f64 = times.iter().map(|t| t * t).sum();
+        if times.is_empty() || !sum.is_finite() || sum <= 0.0 || sum_sq <= 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (times.len() as f64 * sum_sq)
     }
 }
 
@@ -298,6 +409,101 @@ mod tests {
             chunks: vec![0..1, 1..3, 3..4],
         };
         assert_eq!(unit_workloads(&queue, &per_point), vec![40, 50, 10]);
+    }
+
+    fn empty_pipeline() -> PipelineReport {
+        PipelineReport {
+            total_s: 0.0,
+            kernel_busy_s: 0.0,
+            transfer_busy_s: 0.0,
+            kernel_starts: Vec::new(),
+            transfer_ends: Vec::new(),
+            streams: 1,
+        }
+    }
+
+    fn shard(device: u64, workload: u64, response_time_s: f64) -> ShardReport {
+        ShardReport {
+            device,
+            units: 0..0,
+            queries: 0,
+            workload,
+            batches: 0,
+            pairs: 0,
+            pipeline: empty_pipeline(),
+            degradation: None,
+            response_time_s,
+            reassigned_in: 0,
+            reassigned_out: 0,
+        }
+    }
+
+    fn report(shards: Vec<ShardReport>) -> FleetReport {
+        FleetReport {
+            strategy: ShardStrategy::WorkloadAware,
+            shards,
+            makespan_s: 0.0,
+            recovery: FleetRecoveryReport::default(),
+        }
+    }
+
+    #[test]
+    fn workload_imbalance_guards_degenerate_fleets() {
+        // 0-shard fleet: no work, no imbalance.
+        assert_eq!(report(Vec::new()).workload_imbalance(), 1.0);
+        // All shards empty-regioned (more devices than units): the old
+        // fold(f64::MIN, max) seed must not leak.
+        let idle = report(vec![shard(0, 0, 0.0), shard(1, 0, 0.0)]);
+        assert_eq!(idle.workload_imbalance(), 1.0);
+        assert!(idle.workload_imbalance().is_finite());
+        // Lost-device-only report: the surviving accounting may carry zero
+        // workload on every shard yet a degradation on one of them.
+        let mut lost = shard(0, 0, 3.0);
+        lost.degradation = Some(DegradationReport {
+            batches_salvaged: 0,
+            points_degraded: 10,
+            cpu_pairs: 4,
+            cpu_model_s: 3.0,
+            transient_retries: 0,
+            overflow_splits: 0,
+            counter_retries: 0,
+            transfer_stalls: 0,
+            backoff_s: 0.0,
+            device_lost: true,
+        });
+        let r = report(vec![lost]);
+        assert_eq!(r.workload_imbalance(), 1.0);
+        // A real imbalance still reads through.
+        let skewed = report(vec![shard(0, 30, 0.0), shard(1, 10, 0.0)]);
+        assert_eq!(skewed.workload_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn jain_fairness_reads_response_spread() {
+        // Perfectly fair fleet.
+        let fair = report(vec![shard(0, 1, 2.0), shard(1, 1, 2.0)]);
+        assert!((fair.jain_fairness() - 1.0).abs() < 1e-12);
+        // One device does everything: J = 1/n.
+        let unfair = report(vec![
+            shard(0, 1, 4.0),
+            shard(1, 0, 0.0),
+            shard(2, 0, 0.0),
+            shard(3, 0, 0.0),
+        ]);
+        assert!((unfair.jain_fairness() - 0.25).abs() < 1e-12);
+        // Degenerate fleets are defined as fair.
+        assert_eq!(report(Vec::new()).jain_fairness(), 1.0);
+        assert_eq!(report(vec![shard(0, 0, 0.0)]).jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn recovery_report_default_is_clean() {
+        let r = FleetRecoveryReport::default();
+        assert!(!r.intervened());
+        assert_eq!(r.reshard_rounds, 0);
+        let mut touched = r.clone();
+        touched.reshard_rounds = 1;
+        assert!(touched.intervened());
     }
 
     #[test]

@@ -49,15 +49,17 @@ pub mod workload;
 
 pub use batching::{BatchPlan, BatchingConfig, ResultEstimate};
 pub use brute::brute_force_join;
-pub use config::{AccessPattern, Balancing, RetryPolicy, SelfJoinConfig, SortBackend};
+pub use config::{
+    AccessPattern, Balancing, RecoveryPolicy, RetryPolicy, SelfJoinConfig, SortBackend,
+};
 pub use device_prepass::{
     device_cell_order, device_inclusive_prefix, device_sort_by_workload, PrePassReport,
 };
 pub use executor::{DegradationReport, JoinError, JoinOutcome, JoinReport, SelfJoin};
-pub use fallback::{cpu_join_queries, CpuFallbackModel, CpuFallbackStats};
+pub use fallback::{cpu_join_queries, cpu_join_query_sets, CpuFallbackModel, CpuFallbackStats};
 pub use fleet::{
-    partition_units, partition_units_from_prefix, unit_workloads, FleetOutcome, FleetReport,
-    ShardReport, ShardStrategy,
+    partition_units, partition_units_from_prefix, unit_workloads, DeviceHealth, FleetOutcome,
+    FleetRecoveryReport, FleetReport, HealthEvent, ShardReport, ShardStrategy,
 };
 pub use result::ResultSet;
 pub use workload::{expand_cell_order, CellWorkload, WorkloadProfile};

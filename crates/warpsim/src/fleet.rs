@@ -139,6 +139,16 @@ impl DeviceFleet {
         self.devices.iter().filter(|d| d.is_lost()).count()
     }
 
+    /// Ids of the devices that have **not** latched a device-lost fault, in
+    /// id order — the candidate set a failover re-shard may cut across.
+    pub fn surviving_devices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .filter(|d| !d.is_lost())
+            .map(SimDevice::id)
+            .collect()
+    }
+
     /// Total faults injected across all devices' planes.
     pub fn injected_faults(&self) -> u64 {
         self.devices
@@ -191,6 +201,7 @@ mod tests {
         assert!(fleet.device(1).is_lost());
         assert!(!fleet.device(0).is_lost());
         assert_eq!(fleet.lost_devices(), 1);
+        assert_eq!(fleet.surviving_devices(), vec![0, 2]);
         assert_eq!(fleet.injected_faults(), 1);
     }
 

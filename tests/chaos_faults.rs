@@ -8,8 +8,8 @@
 //! `CHAOS_SEED_BASE` (default 0); every seeded test offsets its seeds by it.
 
 use proptest::prelude::*;
-use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig, SortBackend};
-use sj_integration_support::{brute_force_dyn, join_dyn_chaos};
+use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig, ShardStrategy, SortBackend};
+use sj_integration_support::{brute_force_dyn, join_dyn_chaos, join_fleet_dyn_chaos};
 use sj_telemetry::{Event, JsonTelemetry, Value, NULL};
 use sjdata::DatasetSpec;
 use warpsim::{FaultPlane, FaultProfile, FaultSchedule};
@@ -158,6 +158,89 @@ proptest! {
             Err(err) => {
                 prop_assert!(!err.to_string().is_empty());
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fleet failover invariant: for any seeded fault schedule landing on
+    /// any device of a 1–4 device fleet, the resharding executor returns
+    /// **exactly** the clean pair set (the CPU last resort guarantees no
+    /// typed error under the default policy) — never a wrong result.
+    #[test]
+    fn fleet_reshard_is_exact_under_any_seeded_schedule(
+        seed in 0u64..1_000_000,
+        profile_idx in 0usize..6,
+        devices in 1usize..=4,
+        faulted_offset in 0usize..4,
+        balancing_idx in 0usize..3,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let name = FaultProfile::names()[profile_idx];
+        let profile = FaultProfile::by_name(name).unwrap();
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(small_batches(expected.len()));
+        let faults = vec![(
+            faulted_offset % devices,
+            FaultSchedule::seeded(seed_base().wrapping_add(seed), &profile),
+        )];
+        match join_fleet_dyn_chaos(&pts, config, devices, ShardStrategy::WorkloadAware, &faults) {
+            Ok((pairs, _, fleet)) => {
+                prop_assert_eq!(
+                    pairs, expected,
+                    "profile {} on device {}/{} corrupted the fleet result",
+                    name, faulted_offset % devices, devices
+                );
+                prop_assert_eq!(fleet.shards.len(), devices);
+            }
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
+        }
+    }
+
+    /// Hand-composed schedules on *several* devices at once: builder
+    /// combinators stack across the fleet without breaking exactness.
+    #[test]
+    fn fleet_survives_composed_schedules_on_multiple_devices(
+        transient_launch in 0u64..4,
+        lost_launch in 0u64..6,
+        bump in 1u64..16,
+        overflow_launch in 0u64..4,
+        devices in 2usize..=4,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(Balancing::WorkQueue)
+            .with_batching(small_batches(expected.len()));
+        let faults = vec![
+            (0, FaultSchedule::new().device_lost_at(lost_launch)),
+            (
+                1,
+                FaultSchedule::new()
+                    .transient_at(transient_launch)
+                    .counter_bump_at(1, bump)
+                    .overflow_at(overflow_launch),
+            ),
+        ];
+        match join_fleet_dyn_chaos(&pts, config, devices, ShardStrategy::WorkloadAware, &faults) {
+            Ok((pairs, _, fleet)) => {
+                prop_assert_eq!(pairs, expected, "multi-device schedule corrupted the result");
+                // Device 0 is lost at some launch; if it had work and died
+                // before finishing it, recovery must have intervened.
+                if fleet.recovery.devices_lost > 0 {
+                    prop_assert!(
+                        fleet.recovery.reshard_rounds > 0
+                            || fleet.recovery.cpu_last_resort_points > 0
+                            || fleet.recovery.reassigned_units == 0,
+                        "a lost device's remnants must be reassigned or CPU-finished"
+                    );
+                }
+            }
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
         }
     }
 }

@@ -6,8 +6,11 @@
 //! beat naive equal-count partitioning on makespan.
 
 use simjoin::{Balancing, BatchingConfig, JoinReport, SelfJoinConfig, ShardStrategy};
-use sj_integration_support::{brute_force_dyn, join_dyn, join_fleet_dyn, small_datasets};
+use sj_integration_support::{
+    brute_force_dyn, join_dyn, join_fleet_dyn, join_fleet_dyn_chaos, small_datasets,
+};
 use sjdata::DatasetSpec;
+use warpsim::{FaultProfile, FaultSchedule};
 
 const STRATEGIES: [ShardStrategy; 2] = [ShardStrategy::WorkloadAware, ShardStrategy::EqualCount];
 
@@ -136,6 +139,58 @@ fn workload_aware_partition_beats_equal_count_makespan_on_skewed_data() {
         fleet_w.workload_imbalance(),
         fleet_c.workload_imbalance()
     );
+}
+
+/// Recovery determinism: replaying the same seeded fault schedule against
+/// the same fleet is bit-for-bit repeatable — pair set, makespan bits, and
+/// the full recovery accounting (health timeline included).
+#[test]
+fn same_seed_faulted_fleet_replays_bit_identically() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(400);
+    let eps = spec.epsilons[2] * 1.5;
+    let truth = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(BatchingConfig {
+            batch_result_capacity: truth.len() / 10 + 8,
+            ..BatchingConfig::default()
+        });
+    for name in ["device-lost", "transient", "mixed"] {
+        let profile = FaultProfile::by_name(name).unwrap();
+        let run = || {
+            let faults = vec![(1usize, FaultSchedule::seeded(7, &profile))];
+            join_fleet_dyn_chaos(
+                &pts,
+                config.clone(),
+                4,
+                ShardStrategy::WorkloadAware,
+                &faults,
+            )
+        };
+        match (run(), run()) {
+            (Ok((pairs_a, report_a, fleet_a)), Ok((pairs_b, report_b, fleet_b))) => {
+                assert_eq!(pairs_a, truth, "{name}: faulted fleet must stay exact");
+                assert_eq!(pairs_a, pairs_b, "{name}: pair set drifted");
+                assert_eq!(
+                    report_a.response_time_s().to_bits(),
+                    report_b.response_time_s().to_bits(),
+                    "{name}: canonical time drifted"
+                );
+                assert_eq!(
+                    fleet_a.makespan_s.to_bits(),
+                    fleet_b.makespan_s.to_bits(),
+                    "{name}: makespan drifted"
+                );
+                assert_eq!(
+                    fleet_a.recovery, fleet_b.recovery,
+                    "{name}: recovery accounting drifted"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{name}"),
+            (a, b) => panic!("{name}: outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
 }
 
 /// Scaling sanity: with more devices the makespan never grows, and with

@@ -123,6 +123,76 @@ pub fn join_dyn_chaos(
     }
 }
 
+/// What a faulted fleet run yields: `(sorted pairs, canonical report,
+/// fleet report)`, or the typed error.
+pub type FleetChaosResult =
+    Result<(Vec<(u32, u32)>, simjoin::JoinReport, simjoin::FleetReport), simjoin::JoinError>;
+
+/// Runs a GPU self-join sharded across `devices` homogeneous simulated
+/// GPUs, with per-device fault schedules attached, and returns
+/// `(sorted pairs, canonical report, fleet report)`. `Err` carries the
+/// typed error — an acceptable chaos outcome, unlike a wrong pair set.
+pub fn join_fleet_dyn_chaos(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+    devices: usize,
+    strategy: simjoin::ShardStrategy,
+    faults: &[(usize, warpsim::FaultSchedule)],
+) -> FleetChaosResult {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+        devices: usize,
+        strategy: simjoin::ShardStrategy,
+        faults: &[(usize, warpsim::FaultSchedule)],
+    ) -> FleetChaosResult {
+        let mut fleet = warpsim::DeviceFleet::homogeneous(devices, config.gpu);
+        for (device, schedule) in faults {
+            fleet = fleet.with_fault_schedule(*device, schedule.clone());
+        }
+        let outcome = simjoin::SelfJoin::new(pts, config)?.run_on_fleet(&fleet, strategy)?;
+        Ok((outcome.result.sorted_pairs(), outcome.report, outcome.fleet))
+    }
+    match points.dims() {
+        2 => run(
+            &points.as_fixed::<2>().unwrap(),
+            config,
+            devices,
+            strategy,
+            faults,
+        ),
+        3 => run(
+            &points.as_fixed::<3>().unwrap(),
+            config,
+            devices,
+            strategy,
+            faults,
+        ),
+        4 => run(
+            &points.as_fixed::<4>().unwrap(),
+            config,
+            devices,
+            strategy,
+            faults,
+        ),
+        5 => run(
+            &points.as_fixed::<5>().unwrap(),
+            config,
+            devices,
+            strategy,
+            faults,
+        ),
+        6 => run(
+            &points.as_fixed::<6>().unwrap(),
+            config,
+            devices,
+            strategy,
+            faults,
+        ),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
 /// Runs SUPER-EGO over a dimension-erased dataset and returns sorted pairs.
 pub fn superego_dyn(points: &DynPoints, eps: f32) -> Vec<(u32, u32)> {
     fn run<const N: usize>(pts: &[[f32; N]], eps: f32) -> Vec<(u32, u32)> {
