@@ -31,12 +31,14 @@ use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--no-telemetry] [EXPERIMENT]...\n\
-         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover\n\
-         (chaos, scaling, and failover are not part of `all`: chaos exercises the fault-injection plane,\n\
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--exec-mode gpu|cpu|hybrid] [--no-telemetry] [EXPERIMENT]...\n\
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover, hybrid\n\
+         (chaos, scaling, failover, and hybrid are not part of `all`: chaos exercises the fault-injection plane,\n\
           scaling shards the join across a simulated multi-device fleet, failover compares reshard\n\
-          recovery against CPU degradation after a mid-join device loss; --lose-device <d> injects a\n\
-          device-lost fault into every fleet run — requires --devices > d, tables still diff clean)"
+          recovery against CPU degradation after a mid-join device loss, hybrid sweeps the CPU/GPU\n\
+          co-executor's split fraction against the measured auto cut; --lose-device <d> injects a\n\
+          device-lost fault into every fleet run — requires --devices > d; --exec-mode hybrid routes\n\
+          every single-device cell through the co-executor — tables still diff clean)"
     );
     std::process::exit(2);
 }
@@ -108,6 +110,14 @@ fn failover_rows() -> Vec<sj_bench::experiments::FailoverPoint> {
     Experiments::new(ExperimentScale::quick()).failover_points()
 }
 
+/// Hybrid co-execution rows recorded into the baseline artifact, pinned to
+/// quick scale as above: the acceptance row is the `auto` makespan landing
+/// strictly below both the `gpu-only` and `cpu-only` rows on the skewed
+/// workload.
+fn hybrid_rows() -> Vec<sj_bench::experiments::HybridPoint> {
+    Experiments::new(ExperimentScale::quick()).hybrid_points()
+}
+
 fn write_baseline(
     scale: ExperimentScale,
     jobs: usize,
@@ -161,6 +171,29 @@ fn write_baseline(
         ));
     }
     json.push_str("  ],\n");
+    let hybrid = hybrid_rows();
+    json.push_str("  \"hybrid\": [\n");
+    for (i, p) in hybrid.iter().enumerate() {
+        let sep = if i + 1 < hybrid.len() { "," } else { "" };
+        let fraction = p
+            .cpu_fraction
+            .map_or("null".to_string(), |f| format!("{f:.2}"));
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"cpu_fraction\": {fraction}, \"units\": {}, \"cut\": {}, \
+             \"gpu_units\": {}, \"cpu_units\": {}, \"gpu_model_s\": {:.9}, \
+             \"cpu_model_s\": {:.9}, \"makespan_model_s\": {:.9}, \"pairs\": {}}}{sep}\n",
+            p.mode,
+            p.units,
+            p.cut,
+            p.gpu_units,
+            p.cpu_units,
+            p.gpu_s,
+            p.cpu_s,
+            p.makespan_s,
+            p.pairs
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"warp_fastpath\": {{\"lanes\": 32, \"candidates\": {FASTPATH_CANDS}, \
          \"stepped_s\": {stepped_s:.9}, \"runlength_s\": {runlength_s:.9}, \
@@ -192,6 +225,7 @@ fn main() {
     let mut devices = 1usize;
     let mut lose_device: Option<usize> = None;
     let mut sort_backend = SortBackend::default();
+    let mut exec_mode = simjoin::ExecMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -228,6 +262,10 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 sort_backend = SortBackend::by_name(&v).unwrap_or_else(|| usage());
             }
+            "--exec-mode" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                exec_mode = simjoin::ExecMode::by_name(&v).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => names.push(other.to_string()),
@@ -247,6 +285,7 @@ fn main() {
     exp.devices = devices;
     exp.lose_device = lose_device;
     exp.sort_backend = sort_backend;
+    exp.exec_mode = exec_mode;
     if let Some(lost) = lose_device {
         if lost >= devices || devices < 2 {
             eprintln!("--lose-device {lost} needs --devices > {}", lost.max(1));
@@ -276,6 +315,7 @@ fn main() {
             "chaos" => drop(exp.chaos()),
             "scaling" => drop(exp.scaling()),
             "failover" => drop(exp.failover()),
+            "hybrid" => drop(exp.hybrid()),
             _ => usage(),
         }
         timings.push((name, start.elapsed().as_secs_f64()));

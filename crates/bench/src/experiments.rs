@@ -19,13 +19,12 @@
 
 use std::cell::RefCell;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use epsgrid::DynPoints;
 use simjoin::{
-    AccessPattern, Balancing, BatchingConfig, RecoveryPolicy, SelfJoinConfig, ShardStrategy,
-    SortBackend,
+    AccessPattern, Balancing, BatchingConfig, ExecMode, HybridPolicy, RecoveryPolicy,
+    SelfJoinConfig, ShardStrategy, SortBackend,
 };
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
@@ -33,9 +32,9 @@ use warpsim::{CostModel, FaultSchedule, IssueOrder, StepMode};
 
 use crate::cpu_model::CpuModel;
 use crate::harness::{
-    run_join_dyn, run_join_dyn_chaos, run_join_dyn_sharded, run_join_dyn_sharded_chaos,
-    run_join_dyn_sharded_with, run_join_dyn_with, run_superego_dyn, run_superego_dyn_with,
-    CpuRunResult, GpuRunResult,
+    run_join_dyn, run_join_dyn_chaos, run_join_dyn_hybrid, run_join_dyn_sharded,
+    run_join_dyn_sharded_chaos, run_join_dyn_sharded_with, run_join_dyn_with, run_superego_dyn,
+    run_superego_dyn_with, CpuRunResult, GpuRunResult,
 };
 use crate::table::{fmt_pct, fmt_speedup, fmt_time, Table};
 
@@ -105,6 +104,12 @@ pub struct Experiments {
     /// healthy fleet — CI verifies `--devices 4 --lose-device 1` vs
     /// `--devices 4`.
     pub lose_device: Option<usize>,
+    /// Execution substrate for every (single-device) GPU cell: `Gpu` runs
+    /// the plan on the simulated device alone; `Hybrid`/`Cpu` route it
+    /// through the differential co-executor. The canonical report is
+    /// split-invariant, so tables are bit-identical across modes — CI diffs
+    /// `--exec-mode hybrid` vs `--exec-mode gpu` on fig9.
+    pub exec_mode: ExecMode,
     sink: RefCell<Option<Arc<JsonTelemetry>>>,
 }
 
@@ -116,12 +121,33 @@ struct CellRunner {
     cpu: CpuModel,
     devices: usize,
     lose_device: Option<usize>,
+    exec_mode: ExecMode,
 }
 
 impl CellRunner {
     fn run(&self, pts: &DynPoints, config: SelfJoinConfig) -> GpuRunResult {
         if self.devices > 1 {
             return self.run_sharded(pts, config, self.devices, simjoin::ShardStrategy::default());
+        }
+        if self.exec_mode != ExecMode::Gpu {
+            let policy = match self.exec_mode {
+                ExecMode::Cpu => HybridPolicy::cpu_only(),
+                _ => HybridPolicy::default(),
+            };
+            let telemetry: &dyn Telemetry = match self.sink.as_ref() {
+                Some(sink) => sink.as_ref(),
+                None => &sj_telemetry::NULL,
+            };
+            let (r, _) = run_join_dyn_hybrid(
+                pts,
+                config.with_exec_mode(self.exec_mode),
+                &policy,
+                telemetry,
+            );
+            if let Some(sink) = self.sink.as_ref() {
+                record_gpu_run(sink.as_ref(), &r);
+            }
+            return r;
         }
         let Some(sink) = self.sink.as_ref() else {
             return run_join_dyn(pts, config);
@@ -239,46 +265,17 @@ impl CellOut {
 
 /// Maps `f` over `items` on up to `jobs` worker threads. Results come back
 /// in input order no matter how the cells were scheduled, so every table
-/// built from them is deterministic.
+/// built from them is deterministic. Delegates to the shared
+/// [`simjoin::hybrid::par_map`] pool — the same worker pool the hybrid
+/// co-executor schedules its CPU units on.
 fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let jobs = jobs.max(1).min(items.len());
-    if jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                s.spawn(|_| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(i) else { break };
-                        let item = slot
-                            .lock()
-                            .expect("sweep cell poisoned")
-                            .take()
-                            .expect("sweep cell claimed twice");
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("sweep scope failed");
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    let jobs = jobs.max(1).min(items.len().max(1));
+    simjoin::hybrid::par_map(jobs, items, f)
 }
 
 impl Experiments {
@@ -292,6 +289,7 @@ impl Experiments {
             devices: 1,
             sort_backend: SortBackend::default(),
             lose_device: None,
+            exec_mode: ExecMode::default(),
             sink: RefCell::new(None),
             cpu: CpuModel::default(),
             batching: BatchingConfig {
@@ -343,6 +341,7 @@ impl Experiments {
             cpu: self.cpu,
             devices: self.devices,
             lose_device: self.lose_device,
+            exec_mode: self.exec_mode,
         }
     }
 
@@ -1335,6 +1334,121 @@ impl Experiments {
         out
     }
 
+    /// One measured point of [`Self::hybrid`]: the co-executor on the
+    /// skewed Expo2D workload at one forced split fraction (or the measured
+    /// auto cut), against the same plan.
+    pub fn hybrid_points(&self) -> Vec<HybridPoint> {
+        let (spec, pts) = self.dataset("Expo2D2M");
+        let eps = selected_eps(&spec);
+        // WORKQUEUE sorting without balanced chunking leaves a light tail of
+        // small units behind the heavy head — exactly the shape where
+        // peeling the tail onto host workers shortens the GPU pipeline by
+        // more than the tail costs on the CPU. Tighten the capacity (as in
+        // the scaling sweep) so the plan holds enough units to cut.
+        let probe = self.run(
+            &pts,
+            SelfJoinConfig::optimized(eps).with_batching(self.batching),
+        );
+        let batching = BatchingConfig {
+            batch_result_capacity: probe.pairs / 24 + 64,
+            max_batches: 64,
+            ..self.batching
+        };
+        let config = SelfJoinConfig::optimized(eps)
+            .with_batching(batching)
+            .with_exec_mode(ExecMode::Hybrid);
+        let sink = self.sink.borrow().clone();
+        let telemetry: &dyn Telemetry = match sink.as_ref() {
+            Some(s) => s.as_ref(),
+            None => &sj_telemetry::NULL,
+        };
+        let mut points = Vec::new();
+        let sweep: [(&'static str, Option<f64>); 6] = [
+            ("gpu-only", Some(0.0)),
+            ("f=0.25", Some(0.25)),
+            ("f=0.50", Some(0.5)),
+            ("f=0.75", Some(0.75)),
+            ("cpu-only", Some(1.0)),
+            ("auto", None),
+        ];
+        for (mode, fraction) in sweep {
+            let mut policy = HybridPolicy::default();
+            if let Some(f) = fraction {
+                policy = policy.with_forced_cpu_fraction(f);
+            }
+            let (r, h) = run_join_dyn_hybrid(&pts, config.clone(), &policy, telemetry);
+            if let Some(s) = sink.as_ref() {
+                s.record(
+                    Event::new("bench", "hybrid_run")
+                        .str("mode", mode)
+                        .f64("cpu_fraction", fraction.unwrap_or(-1.0))
+                        .u64("units", h.units as u64)
+                        .u64("cut", h.cut as u64)
+                        .f64("gpu_model_s", h.gpu_response_s)
+                        .f64("cpu_model_s", h.cpu_model_s)
+                        .f64("makespan_model_s", h.makespan_s)
+                        .u64("pairs", r.pairs as u64),
+                );
+            }
+            points.push(HybridPoint {
+                mode,
+                cpu_fraction: fraction,
+                units: h.units,
+                cut: h.cut,
+                gpu_units: h.gpu_units,
+                cpu_units: h.cpu_units,
+                gpu_s: h.gpu_response_s,
+                cpu_s: h.cpu_model_s,
+                makespan_s: h.makespan_s,
+                pairs: r.pairs,
+            });
+        }
+        points
+    }
+
+    /// Hybrid co-execution table (not part of the paper; not in `run_all`):
+    /// the optimized variant on the skewed Expo2D dataset, co-executed
+    /// across the simulated GPU and the modeled CPU backend at forced split
+    /// fractions plus the measured auto cut. The pair set is identical in
+    /// every row (each CPU unit is differentially checked against the GPU
+    /// segment); what varies is the co-processed makespan, and the measured
+    /// cut should land at or below both single-backend rows.
+    pub fn hybrid(&self) -> String {
+        self.begin_experiment("hybrid");
+        let mut t = Table::new(vec![
+            "mode",
+            "cut",
+            "gpu units",
+            "cpu units",
+            "gpu side",
+            "cpu side",
+            "makespan",
+            "vs gpu-only",
+            "pairs",
+        ]);
+        let points = self.hybrid_points();
+        let gpu_only = points.first().map_or(0.0, |p| p.makespan_s);
+        for p in &points {
+            t.row(vec![
+                p.mode.to_string(),
+                format!("{}/{}", p.cut, p.units),
+                p.gpu_units.to_string(),
+                p.cpu_units.to_string(),
+                fmt_time(p.gpu_s),
+                fmt_time(p.cpu_s),
+                fmt_time(p.makespan_s),
+                fmt_speedup(gpu_only / p.makespan_s),
+                p.pairs.to_string(),
+            ]);
+        }
+        let out = emit(
+            "Hybrid — CPU/GPU co-execution, forced splits vs the measured cut",
+            t.render(),
+        );
+        self.end_experiment("hybrid");
+        out
+    }
+
     pub fn run_all(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.table1());
@@ -1392,6 +1506,35 @@ pub struct FailoverPoint {
     pub reassigned_units: usize,
     /// Points executed on the exact CPU path (degradation + last resort).
     pub cpu_points: usize,
+}
+
+/// One measured point of the hybrid co-execution sweep
+/// ([`Experiments::hybrid_points`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HybridPoint {
+    /// Row label: `"gpu-only"`, `"f=<fraction>"`, `"cpu-only"`, or
+    /// `"auto"`.
+    pub mode: &'static str,
+    /// Forced CPU fraction, `None` for the measured auto cut.
+    pub cpu_fraction: Option<f64>,
+    /// Plan units in the workload-sorted list.
+    pub units: usize,
+    /// Chosen cut: units `[0, cut)` count for the GPU, `[cut, units)` for
+    /// the CPU backend.
+    pub cut: usize,
+    /// Units the GPU side was charged for.
+    pub gpu_units: usize,
+    /// Units the CPU pool computed and kept.
+    pub cpu_units: usize,
+    /// GPU-side response time (pipeline of kept units + recovery), model
+    /// seconds.
+    pub gpu_s: f64,
+    /// CPU-side backend model time, model seconds.
+    pub cpu_s: f64,
+    /// Co-processed makespan, `max(gpu, cpu)`, model seconds.
+    pub makespan_s: f64,
+    /// Result pairs — identical across every row by the differential check.
+    pub pairs: usize,
 }
 
 /// The ε each table reports (the paper picks one representative ε per
@@ -1482,6 +1625,56 @@ mod tests {
         for mode in ["clean", "reshard", "degrade"] {
             assert!(table.contains(mode), "missing {mode} row");
         }
+    }
+
+    #[test]
+    fn hybrid_auto_cut_beats_both_single_backends_on_skewed_data() {
+        let exp = tiny();
+        let points = exp.hybrid_points();
+        let by_mode = |m: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == m)
+                .unwrap_or_else(|| panic!("missing {m} row"))
+        };
+        let gpu_only = by_mode("gpu-only");
+        let cpu_only = by_mode("cpu-only");
+        let auto = by_mode("auto");
+        for p in &points {
+            assert_eq!(p.pairs, gpu_only.pairs, "{}: exactness broken", p.mode);
+        }
+        assert_eq!(gpu_only.cpu_units, 0);
+        assert_eq!(cpu_only.gpu_units, 0);
+        // The acceptance row: on the skewed workload the measured cut must
+        // land strictly below both single-backend makespans.
+        assert!(
+            auto.makespan_s < gpu_only.makespan_s && auto.makespan_s < cpu_only.makespan_s,
+            "auto {:.6e} must beat gpu-only {:.6e} and cpu-only {:.6e}",
+            auto.makespan_s,
+            gpu_only.makespan_s,
+            cpu_only.makespan_s
+        );
+        assert!(
+            auto.cut > 0 && auto.cut < auto.units,
+            "skewed data should split interior ({auto:?})"
+        );
+        let table = exp.hybrid();
+        for mode in ["gpu-only", "cpu-only", "auto", "f=0.50"] {
+            assert!(table.contains(mode), "missing {mode} row");
+        }
+    }
+
+    #[test]
+    fn hybrid_driver_reproduces_the_gpu_tables() {
+        let exp = tiny();
+        let single = exp.table3();
+        let mut hybrid = tiny();
+        hybrid.exec_mode = ExecMode::Hybrid;
+        assert_eq!(
+            single,
+            hybrid.table3(),
+            "table3 must be exec-mode invariant"
+        );
     }
 
     #[test]

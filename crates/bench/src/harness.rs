@@ -192,6 +192,66 @@ pub fn run_join_dyn_sharded_with(
     }
 }
 
+fn run_join_hybrid_fixed<const N: usize>(
+    points: &[[f32; N]],
+    config: SelfJoinConfig,
+    policy: &simjoin::HybridPolicy,
+    telemetry: &dyn Telemetry,
+) -> (GpuRunResult, simjoin::HybridReport) {
+    let start = Instant::now();
+    let label = config.label();
+    let join = SelfJoin::new(points, config)
+        .expect("join configuration must be valid")
+        .with_telemetry(telemetry);
+    let outcome = join
+        .run_hybrid(policy)
+        .expect("hybrid join execution must succeed");
+    let warp_cv = outcome.report.warp_stats().map(|s| s.cv()).unwrap_or(0.0);
+    (
+        GpuRunResult {
+            label,
+            response_s: outcome.report.response_time_s(),
+            wee: outcome.report.wee(),
+            pairs: outcome.result.len(),
+            batches: outcome.report.num_batches,
+            distance_calcs: outcome.report.distance_calcs(),
+            warp_cv,
+            sim_wall: start.elapsed(),
+        },
+        outcome.hybrid,
+    )
+}
+
+/// Runs the join through the hybrid CPU/GPU co-executor. The
+/// [`GpuRunResult`] is built from the *canonical* report, so its fields are
+/// bit-identical to [`run_join_dyn`] on the same input for any split; the
+/// [`simjoin::HybridReport`] carries the cut and the per-backend costs.
+///
+/// # Panics
+/// Panics on unsupported dimensionality, invalid configuration, or a failed
+/// differential check.
+pub fn run_join_dyn_hybrid(
+    points: &DynPoints,
+    config: SelfJoinConfig,
+    policy: &simjoin::HybridPolicy,
+    telemetry: &dyn Telemetry,
+) -> (GpuRunResult, simjoin::HybridReport) {
+    macro_rules! dims {
+        ($($n:literal),*) => {
+            match points.dims() {
+                $($n => run_join_hybrid_fixed(
+                    &points.as_fixed::<$n>().unwrap(),
+                    config,
+                    policy,
+                    telemetry,
+                ),)*
+                d => panic!("unsupported dimensionality {d}"),
+            }
+        };
+    }
+    dims!(2, 3, 4, 5, 6)
+}
+
 fn run_join_sharded_chaos_fixed<const N: usize>(
     points: &[[f32; N]],
     config: SelfJoinConfig,

@@ -21,6 +21,7 @@ USAGE:
                [--pattern full|unicomp|lid] [--balancing none|sort|queue]
                [--balanced-queue] [--devices <n>] [--shard-strategy workload|count]
                [--recovery reshard|degrade] [--sort-backend host|device]
+               [--exec-mode gpu|cpu|hybrid] [--jobs <n>] [--cpu-fraction <f>]
                [--output <pairs.csv>] [--verify]
       Run the self-join and print the execution report. --verify checks the
       result against the SUPER-EGO CPU join. With --devices N > 1 the batch
@@ -30,6 +31,12 @@ USAGE:
       single-device run. --recovery picks what happens when a device fails
       persistently mid-join: re-shard its unexecuted work onto the
       survivors (default) or degrade that shard to the exact CPU fallback.
+      --exec-mode hybrid co-executes the plan across the simulated GPU and
+      host CPU workers (--jobs threads), cutting the workload-sorted unit
+      list by measured per-backend cost (or at a forced --cpu-fraction) and
+      differentially checking every unit both backends computed; the pair
+      set and canonical report stay identical to --exec-mode gpu.
+      --exec-mode cpu routes every unit through the checked CPU backend.
   simjoin stats --input <path> --eps <f>
       Print workload statistics (mean neighbors, cells, imbalance).
   simjoin profile --input <path> --eps <f> [join flags] [--output <telemetry.json>]
@@ -40,7 +47,8 @@ USAGE:
   simjoin chaos --input <path> --eps <f> [join flags]
                 [--fault-profile transient|device-lost|overflow|counter|stall|mixed]
                 [--seed <u64>] [--devices <n>] [--shard-strategy workload|count]
-                [--recovery reshard|degrade] [--output <telemetry.json>]
+                [--recovery reshard|degrade] [--exec-mode gpu|cpu|hybrid]
+                [--output <telemetry.json>]
       Replay a seeded fault schedule against the join and report how the
       resilient executor recovered (retries, splits, re-sharding, CPU
       degradation). With --devices N > 1 every device gets its own seeded
@@ -49,11 +57,14 @@ USAGE:
       acceptable outcome under injected faults.
   simjoin soak [--iterations <n>] [--seed <base>] [--dataset <name>]
                [--n <count>] [--eps <f>] [--recovery reshard|degrade]
-               [--quick] [--output <telemetry.json>]
+               [--exec-mode gpu|hybrid] [--quick] [--output <telemetry.json>]
       Chaos soak harness: run N seeded chaos iterations cycling fault
       profile x device count x access pattern, asserting on every round
       that the fleet result is exactly the clean run's pair set and that
       the recovered makespan stays within the serial response-time bound.
+      --exec-mode hybrid soaks the CPU/GPU co-executor instead: each
+      iteration replays its fault schedule through the hybrid path and
+      asserts the co-processed pair set is exactly the clean run's.
       --quick shrinks the dataset for CI.
 ";
 
@@ -145,6 +156,66 @@ fn recovery_flag(parsed: &Parsed) -> Result<simjoin::RecoveryPolicy, String> {
     }
 }
 
+fn exec_mode_flag(parsed: &Parsed) -> Result<simjoin::ExecMode, String> {
+    match parsed.optional("exec-mode") {
+        None => Ok(simjoin::ExecMode::default()),
+        Some(name) => simjoin::ExecMode::by_name(name)
+            .ok_or_else(|| format!("unknown exec mode `{name}` (gpu|cpu|hybrid)")),
+    }
+}
+
+/// Builds the hybrid policy for a non-GPU [`simjoin::ExecMode`] from the
+/// `--jobs` and `--cpu-fraction` flags.
+fn hybrid_policy(
+    parsed: &Parsed,
+    mode: simjoin::ExecMode,
+) -> Result<simjoin::HybridPolicy, String> {
+    let jobs: usize = parsed.parse_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let mut policy = match mode {
+        simjoin::ExecMode::Cpu => simjoin::HybridPolicy::cpu_only(),
+        _ => simjoin::HybridPolicy::default(),
+    }
+    .with_jobs(jobs);
+    if let Some(f) = parsed.optional("cpu-fraction") {
+        if mode == simjoin::ExecMode::Cpu {
+            return Err("--cpu-fraction conflicts with --exec-mode cpu (always 1.0)".into());
+        }
+        let f: f64 = f
+            .parse()
+            .map_err(|_| "flag --cpu-fraction has an invalid value")?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err("--cpu-fraction must be within [0, 1]".into());
+        }
+        policy = policy.with_forced_cpu_fraction(f);
+    }
+    Ok(policy)
+}
+
+/// The hybrid accounting line(s) shared by `join` and `chaos` output.
+fn print_hybrid(h: &simjoin::HybridReport) {
+    println!(
+        "hybrid cut            : unit {} of {} ({} chosen) — {} gpu / {} cpu / {} spilled unit(s)",
+        h.cut,
+        h.units,
+        if h.forced { "forced" } else { "measured" },
+        h.gpu_units,
+        h.cpu_units,
+        h.spilled_units
+    );
+    println!(
+        "hybrid gpu side       : {:.6} model s ({} unit(s))",
+        h.gpu_response_s, h.gpu_units
+    );
+    println!(
+        "hybrid cpu side       : {:.6} model s ({} unit(s), {} jobs, {} distance calcs)",
+        h.cpu_model_s, h.cpu_units, h.jobs, h.cpu_stats.distance_calcs
+    );
+    println!("hybrid makespan       : {:.6} model s", h.makespan_s);
+}
+
 /// The fleet recovery accounting line(s) shared by `join`, `chaos` and
 /// `soak` output.
 fn print_recovery(rec: &simjoin::FleetRecoveryReport) {
@@ -208,6 +279,18 @@ type FleetRunOutput = Result<
     String,
 >;
 
+/// What a hybrid co-executed join hands back: the merged pairs, the
+/// canonical report, the hybrid accounting, and the `k` that was used.
+type HybridRunOutput = Result<
+    (
+        Vec<(u32, u32)>,
+        simjoin::JoinReport,
+        simjoin::HybridReport,
+        u32,
+    ),
+    String,
+>;
+
 /// What a chaos run produced: either a completed join (possibly degraded)
 /// or a typed error — both acceptable under injected faults; only a wrong
 /// pair set is not.
@@ -217,6 +300,8 @@ enum ChaosOutcome {
         report: Box<simjoin::JoinReport>,
         /// Present when the chaos run went through the fleet path.
         fleet: Option<Box<simjoin::FleetReport>>,
+        /// Present when the chaos run went through the hybrid co-executor.
+        hybrid: Option<Box<simjoin::HybridReport>>,
     },
     Failed {
         error: String,
@@ -234,9 +319,23 @@ trait JoinRunner {
         strategy: simjoin::ShardStrategy,
         telemetry: &dyn Telemetry,
     ) -> FleetRunOutput;
+    fn run_hybrid(
+        &self,
+        config: SelfJoinConfig,
+        auto_k: bool,
+        policy: &simjoin::HybridPolicy,
+        telemetry: &dyn Telemetry,
+    ) -> HybridRunOutput;
     fn run_chaos(
         &self,
         config: SelfJoinConfig,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String>;
+    fn run_chaos_hybrid(
+        &self,
+        config: SelfJoinConfig,
+        policy: &simjoin::HybridPolicy,
         plane: &warpsim::FaultPlane,
         telemetry: &dyn Telemetry,
     ) -> Result<ChaosOutcome, String>;
@@ -303,6 +402,30 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
         ))
     }
 
+    fn run_hybrid(
+        &self,
+        mut config: SelfJoinConfig,
+        auto_k: bool,
+        policy: &simjoin::HybridPolicy,
+        telemetry: &dyn Telemetry,
+    ) -> HybridRunOutput {
+        if auto_k {
+            let probe = SelfJoin::new(&self.points, config.clone()).map_err(|e| e.to_string())?;
+            config.k = probe.recommended_k();
+        }
+        let k = config.k;
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry);
+        let outcome = join.run_hybrid(policy).map_err(|e| e.to_string())?;
+        Ok((
+            outcome.result.sorted_pairs(),
+            outcome.report,
+            outcome.hybrid,
+            k,
+        ))
+    }
+
     fn run_chaos(
         &self,
         config: SelfJoinConfig,
@@ -318,6 +441,31 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
                 pairs: outcome.result.sorted_pairs(),
                 report: Box::new(outcome.report),
                 fleet: None,
+                hybrid: None,
+            },
+            Err(e) => ChaosOutcome::Failed {
+                error: e.to_string(),
+            },
+        })
+    }
+
+    fn run_chaos_hybrid(
+        &self,
+        config: SelfJoinConfig,
+        policy: &simjoin::HybridPolicy,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn Telemetry,
+    ) -> Result<ChaosOutcome, String> {
+        let join = SelfJoin::new(&self.points, config)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry)
+            .with_fault_plane(plane);
+        Ok(match join.run_hybrid(policy) {
+            Ok(outcome) => ChaosOutcome::Completed {
+                pairs: outcome.result.sorted_pairs(),
+                report: Box::new(outcome.report),
+                fleet: None,
+                hybrid: Some(Box::new(outcome.hybrid)),
             },
             Err(e) => ChaosOutcome::Failed {
                 error: e.to_string(),
@@ -345,6 +493,7 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
                 pairs: outcome.result.sorted_pairs(),
                 report: Box::new(outcome.report),
                 fleet: Some(Box::new(outcome.fleet)),
+                hybrid: None,
             },
             Err(e) => ChaosOutcome::Failed {
                 error: e.to_string(),
@@ -398,16 +547,21 @@ fn join(parsed: &Parsed) -> Result<(), String> {
     let strategy_name = parsed.optional("shard-strategy").unwrap_or("workload");
     let strategy = simjoin::ShardStrategy::by_name(strategy_name)
         .ok_or_else(|| format!("unknown shard strategy `{strategy_name}` (workload|count)"))?;
+    let exec_mode = exec_mode_flag(parsed)?;
+    if exec_mode != simjoin::ExecMode::Gpu && devices > 1 {
+        return Err("--exec-mode cpu|hybrid co-executes against the host; use --devices 1".into());
+    }
     let mut config = SelfJoinConfig::new(eps)
         .with_pattern(pattern)
         .with_balancing(balancing)
         .with_k(k)
-        .with_recovery(recovery_flag(parsed)?);
+        .with_recovery(recovery_flag(parsed)?)
+        .with_exec_mode(exec_mode);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
 
-    let (pairs, report, fleet, used_k) = with_fixed(&points, |runner| {
-        let (pairs, report, fleet, used_k) = if devices > 1 {
+    let (pairs, report, fleet, hybrid, used_k) = with_fixed(&points, |runner| {
+        let (pairs, report, fleet, hybrid, used_k) = if devices > 1 {
             let (pairs, report, fleet, used_k) = runner.run_fleet(
                 config.clone(),
                 auto_k,
@@ -415,11 +569,16 @@ fn join(parsed: &Parsed) -> Result<(), String> {
                 strategy,
                 &sj_telemetry::NULL,
             )?;
-            (pairs, report, Some(fleet), used_k)
+            (pairs, report, Some(fleet), None, used_k)
+        } else if exec_mode != simjoin::ExecMode::Gpu {
+            let policy = hybrid_policy(parsed, exec_mode)?;
+            let (pairs, report, hybrid, used_k) =
+                runner.run_hybrid(config.clone(), auto_k, &policy, &sj_telemetry::NULL)?;
+            (pairs, report, None, Some(hybrid), used_k)
         } else {
             let (pairs, report, used_k) =
                 runner.run(config.clone(), auto_k, &sj_telemetry::NULL)?;
-            (pairs, report, None, used_k)
+            (pairs, report, None, None, used_k)
         };
         if parsed.switch("verify") {
             let reference = runner.superego_pairs(eps);
@@ -435,13 +594,14 @@ fn join(parsed: &Parsed) -> Result<(), String> {
                 pairs.len()
             );
         }
-        Ok((pairs, report, fleet, used_k))
+        Ok((pairs, report, fleet, hybrid, used_k))
     })?;
 
     println!(
         "variant               : {} (k = {used_k})",
         config.with_k(used_k).label()
     );
+    println!("exec mode             : {}", exec_mode.label());
     println!("pairs found           : {}", pairs.len());
     println!("batches               : {}", report.num_batches);
     println!("distance calculations : {}", report.distance_calcs());
@@ -502,6 +662,15 @@ fn join(parsed: &Parsed) -> Result<(), String> {
             println!(
                 "speedup vs 1 device   : {:.2}x",
                 report.response_time_s() / fleet.makespan_s
+            );
+        }
+    }
+    if let Some(h) = &hybrid {
+        print_hybrid(h);
+        if h.makespan_s > 0.0 {
+            println!(
+                "speedup vs gpu only   : {:.2}x",
+                report.response_time_s() / h.makespan_s
             );
         }
     }
@@ -614,11 +783,16 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
     let strategy_name = parsed.optional("shard-strategy").unwrap_or("workload");
     let strategy = simjoin::ShardStrategy::by_name(strategy_name)
         .ok_or_else(|| format!("unknown shard strategy `{strategy_name}` (workload|count)"))?;
+    let exec_mode = exec_mode_flag(parsed)?;
+    if exec_mode != simjoin::ExecMode::Gpu && devices > 1 {
+        return Err("--exec-mode cpu|hybrid co-executes against the host; use --devices 1".into());
+    }
     let mut config = SelfJoinConfig::new(eps)
         .with_pattern(pattern)
         .with_balancing(balancing)
         .with_k(k)
-        .with_recovery(recovery_flag(parsed)?);
+        .with_recovery(recovery_flag(parsed)?)
+        .with_exec_mode(exec_mode);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
 
@@ -637,12 +811,20 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
     } else {
         let plane = warpsim::FaultPlane::seeded(seed, &profile);
         println!("injected faults       : {}", plane.injected_faults());
-        with_fixed(&points, |runner| {
-            runner.run_chaos(config.clone(), &plane, &sink)
-        })?
+        if exec_mode != simjoin::ExecMode::Gpu {
+            let policy = hybrid_policy(parsed, exec_mode)?;
+            with_fixed(&points, |runner| {
+                runner.run_chaos_hybrid(config.clone(), &policy, &plane, &sink)
+            })?
+        } else {
+            with_fixed(&points, |runner| {
+                runner.run_chaos(config.clone(), &plane, &sink)
+            })?
+        }
     };
 
     println!("variant               : {}", config.label());
+    println!("exec mode             : {}", exec_mode.label());
     println!("fault profile         : {profile_name} (seed {seed})");
     if devices > 1 {
         println!(
@@ -660,6 +842,7 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
             pairs,
             report,
             fleet,
+            hybrid,
         } => {
             let reference = with_fixed(&points, |runner| Ok(runner.superego_pairs(eps)))?;
             if *pairs != reference {
@@ -693,6 +876,9 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
             if let Some(fleet) = fleet {
                 println!("fleet makespan (model): {:.6} s", fleet.makespan_s);
                 print_recovery(&fleet.recovery);
+            }
+            if let Some(h) = hybrid {
+                print_hybrid(h);
             }
         }
     }
@@ -746,6 +932,12 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
     // Tuned for the default dataset at soak scale; override per dataset.
     let eps: f32 = parsed.parse_or("eps", 0.5)?;
     let recovery = recovery_flag(parsed)?;
+    let exec_mode = exec_mode_flag(parsed)?;
+    if exec_mode == simjoin::ExecMode::Cpu {
+        return Err("soak --exec-mode supports gpu|hybrid (cpu has no device to fault)".into());
+    }
+    let hybrid_soak = exec_mode == simjoin::ExecMode::Hybrid;
+    let policy = hybrid_policy(parsed, exec_mode)?;
     let points = spec.generate(n);
 
     // Probe the clean pair count once, then tighten the batch capacity so
@@ -783,8 +975,9 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
     ];
 
     println!(
-        "soak: {iterations} iteration(s) on {dataset} n={n} eps={eps} ({} recovery)",
-        recovery.label()
+        "soak: {iterations} iteration(s) on {dataset} n={n} eps={eps} ({} recovery, {} exec)",
+        recovery.label(),
+        exec_mode.label()
     );
     let mut typed_errors = 0u64;
     let mut interventions = 0u64;
@@ -793,80 +986,120 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
         let seed = seed_base + i;
         let profile_name = profiles[i as usize % profiles.len()];
         let profile = warpsim::FaultProfile::by_name(profile_name).expect("known profile");
-        let devices = 1 + i as usize % 4;
+        let devices = if hybrid_soak { 1 } else { 1 + i as usize % 4 };
         let pattern = patterns[i as usize % patterns.len()];
         let strategy = simjoin::ShardStrategy::WorkloadAware;
         let config = SelfJoinConfig::new(eps)
             .with_pattern(pattern)
             .with_batching(batching)
-            .with_recovery(recovery);
+            .with_recovery(recovery)
+            .with_exec_mode(exec_mode);
         let faults = vec![(
             i as usize % devices,
             warpsim::FaultSchedule::seeded(seed, &profile),
         )];
 
-        let round = with_fixed(&points, |runner| {
-            // Clean reference on the same fleet size: the invariant is that
-            // any fault schedule yields exactly this pair set.
-            let (clean_pairs, clean_makespan_s) = match runner.run_chaos_fleet(
-                config.clone(),
-                devices,
-                strategy,
-                &[],
-                &sj_telemetry::NULL,
-            )? {
-                ChaosOutcome::Completed { pairs, fleet, .. } => {
-                    let fleet = fleet.expect("fleet runs always report the fleet");
-                    (pairs, fleet.makespan_s)
-                }
-                ChaosOutcome::Failed { error } => {
-                    return Err(format!("clean fleet run failed: {error}"));
-                }
-            };
-            match runner.run_chaos_fleet(config.clone(), devices, strategy, &faults, &sink)? {
-                ChaosOutcome::Failed { error } => Ok(SoakRound {
-                    error: Some(error),
-                    pairs: 0,
-                    makespan_s: 0.0,
-                    clean_makespan_s,
-                    intervened: false,
-                }),
-                ChaosOutcome::Completed {
-                    pairs,
-                    report,
-                    fleet,
-                } => {
-                    if pairs != clean_pairs {
-                        return Err(format!(
-                            "exact-result invariant VIOLATED: faulted run found {} pairs, \
-                             clean run found {}",
-                            pairs.len(),
-                            clean_pairs.len()
-                        ));
+        let round = if hybrid_soak {
+            // Hybrid soak: replay the fault schedule through the CPU/GPU
+            // co-executor and hold the same exact-result invariant against
+            // the clean hybrid run.
+            with_fixed(&points, |runner| {
+                let (clean_pairs, _, clean_h, _) =
+                    runner.run_hybrid(config.clone(), false, &policy, &sj_telemetry::NULL)?;
+                let plane = warpsim::FaultPlane::seeded(seed, &profile);
+                match runner.run_chaos_hybrid(config.clone(), &policy, &plane, &sink)? {
+                    ChaosOutcome::Failed { error } => Ok(SoakRound {
+                        error: Some(error),
+                        pairs: 0,
+                        makespan_s: 0.0,
+                        clean_makespan_s: clean_h.makespan_s,
+                        intervened: false,
+                    }),
+                    ChaosOutcome::Completed { pairs, hybrid, .. } => {
+                        if pairs != clean_pairs {
+                            return Err(format!(
+                                "exact-result invariant VIOLATED: faulted hybrid run found \
+                                 {} pairs, clean run found {}",
+                                pairs.len(),
+                                clean_pairs.len()
+                            ));
+                        }
+                        let h = hybrid.expect("hybrid runs always report the cut");
+                        Ok(SoakRound {
+                            error: None,
+                            pairs: pairs.len(),
+                            makespan_s: h.makespan_s,
+                            clean_makespan_s: clean_h.makespan_s,
+                            intervened: h.spilled_units > 0,
+                        })
                     }
-                    let fleet = fleet.expect("fleet runs always report the fleet");
-                    // Structural bound: the parallel makespan can never
-                    // exceed the serialized response time of the same
-                    // recovered run (plus the host last-resort tail).
-                    let serial_bound =
-                        report.response_time_s() + fleet.recovery.cpu_last_resort_model_s;
-                    if fleet.makespan_s > serial_bound * 1.05 + 1e-12 {
-                        return Err(format!(
-                            "makespan bound VIOLATED: {:.6e} model s exceeds the serial \
-                             response bound {serial_bound:.6e}",
-                            fleet.makespan_s
-                        ));
+                }
+            })
+        } else {
+            with_fixed(&points, |runner| {
+                // Clean reference on the same fleet size: the invariant is that
+                // any fault schedule yields exactly this pair set.
+                let (clean_pairs, clean_makespan_s) = match runner.run_chaos_fleet(
+                    config.clone(),
+                    devices,
+                    strategy,
+                    &[],
+                    &sj_telemetry::NULL,
+                )? {
+                    ChaosOutcome::Completed { pairs, fleet, .. } => {
+                        let fleet = fleet.expect("fleet runs always report the fleet");
+                        (pairs, fleet.makespan_s)
                     }
-                    Ok(SoakRound {
-                        error: None,
-                        pairs: pairs.len(),
-                        makespan_s: fleet.makespan_s,
+                    ChaosOutcome::Failed { error } => {
+                        return Err(format!("clean fleet run failed: {error}"));
+                    }
+                };
+                match runner.run_chaos_fleet(config.clone(), devices, strategy, &faults, &sink)? {
+                    ChaosOutcome::Failed { error } => Ok(SoakRound {
+                        error: Some(error),
+                        pairs: 0,
+                        makespan_s: 0.0,
                         clean_makespan_s,
-                        intervened: fleet.recovery.intervened(),
-                    })
+                        intervened: false,
+                    }),
+                    ChaosOutcome::Completed {
+                        pairs,
+                        report,
+                        fleet,
+                        ..
+                    } => {
+                        if pairs != clean_pairs {
+                            return Err(format!(
+                                "exact-result invariant VIOLATED: faulted run found {} pairs, \
+                             clean run found {}",
+                                pairs.len(),
+                                clean_pairs.len()
+                            ));
+                        }
+                        let fleet = fleet.expect("fleet runs always report the fleet");
+                        // Structural bound: the parallel makespan can never
+                        // exceed the serialized response time of the same
+                        // recovered run (plus the host last-resort tail).
+                        let serial_bound =
+                            report.response_time_s() + fleet.recovery.cpu_last_resort_model_s;
+                        if fleet.makespan_s > serial_bound * 1.05 + 1e-12 {
+                            return Err(format!(
+                                "makespan bound VIOLATED: {:.6e} model s exceeds the serial \
+                             response bound {serial_bound:.6e}",
+                                fleet.makespan_s
+                            ));
+                        }
+                        Ok(SoakRound {
+                            error: None,
+                            pairs: pairs.len(),
+                            makespan_s: fleet.makespan_s,
+                            clean_makespan_s,
+                            intervened: fleet.recovery.intervened(),
+                        })
+                    }
                 }
-            }
-        })
+            })
+        }
         .map_err(|e| {
             format!(
                 "soak iteration {i} (profile={profile_name} devices={devices} seed={seed}): {e}"
@@ -1189,6 +1422,144 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn join_exec_modes_are_exact_and_validated() {
+        let dir = std::env::temp_dir().join(format!("simjoin-hybrid-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "400",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        // Every exec mode must pass --verify against SUPER-EGO, including a
+        // forced split and a parallel CPU pool.
+        for mode in ["gpu", "cpu", "hybrid"] {
+            dispatch(&argv(&[
+                "join",
+                "--input",
+                &data_s,
+                "--eps",
+                "0.5",
+                "--exec-mode",
+                mode,
+                "--jobs",
+                "2",
+                "--verify",
+            ]))
+            .unwrap_or_else(|e| panic!("exec mode {mode}: {e}"));
+        }
+        dispatch(&argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "hybrid",
+            "--cpu-fraction",
+            "0.5",
+            "--verify",
+        ]))
+        .unwrap();
+        // Chaos replays go through the co-executor too; exactness (or a
+        // typed error) is checked inside dispatch().
+        dispatch(&argv(&[
+            "chaos",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "hybrid",
+            "--fault-profile",
+            "device-lost",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        // Flag validation.
+        let bad_mode = argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "tpu",
+        ]);
+        assert!(dispatch(&bad_mode).is_err());
+        let fleet_conflict = argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "hybrid",
+            "--devices",
+            "2",
+        ]);
+        assert!(dispatch(&fleet_conflict).is_err());
+        let bad_fraction = argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "hybrid",
+            "--cpu-fraction",
+            "1.5",
+        ]);
+        assert!(dispatch(&bad_fraction).is_err());
+        let cpu_fraction_conflict = argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "cpu",
+            "--cpu-fraction",
+            "0.5",
+        ]);
+        assert!(dispatch(&cpu_fraction_conflict).is_err());
+        let zero_jobs = argv(&[
+            "join",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--exec-mode",
+            "hybrid",
+            "--jobs",
+            "0",
+        ]);
+        assert!(dispatch(&zero_jobs).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_hybrid_iteration_holds_the_exactness_invariant() {
+        dispatch(&argv(&[
+            "soak",
+            "--iterations",
+            "2",
+            "--quick",
+            "--exec-mode",
+            "hybrid",
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&["soak", "--iterations", "1", "--exec-mode", "cpu"])).is_err());
     }
 
     #[test]

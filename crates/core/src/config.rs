@@ -271,6 +271,50 @@ impl SortBackend {
     }
 }
 
+/// Which execution substrate runs the join's work units.
+///
+/// `Gpu` is the paper's configuration: every unit of the batch plan
+/// executes as simulated device kernels. `Cpu` runs every unit on the
+/// modeled host backend (the exact [`crate::fallback`] path promoted from
+/// degradation target to peer). `Hybrid` cuts the workload-sorted unit
+/// list between the two with the throughput-aware chooser of
+/// [`crate::hybrid`], co-processing both sides and merging by plan-unit
+/// order. The canonical pair set is identical across all three modes; the
+/// modes differ only in the co-processed makespan and the
+/// [`HybridReport`](crate::HybridReport) accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Every plan unit executes on the simulated GPU (default).
+    #[default]
+    Gpu,
+    /// Every plan unit executes on the modeled CPU backend.
+    Cpu,
+    /// Units are cut between the GPU and the CPU backend by the
+    /// throughput-aware chooser (or a forced split fraction).
+    Hybrid,
+}
+
+impl ExecMode {
+    /// Short display name (`"gpu"` / `"cpu"` / `"hybrid"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Gpu => "gpu",
+            ExecMode::Cpu => "cpu",
+            ExecMode::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a display name back into a mode.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "gpu" => Some(ExecMode::Gpu),
+            "cpu" => Some(ExecMode::Cpu),
+            "hybrid" => Some(ExecMode::Hybrid),
+            _ => None,
+        }
+    }
+}
+
 /// Full configuration of one self-join execution.
 #[derive(Debug, Clone)]
 pub struct SelfJoinConfig {
@@ -306,6 +350,11 @@ pub struct SelfJoinConfig {
     /// Where the planner's sort/scan pre-passes execute (see
     /// [`SortBackend`]).
     pub sort_backend: SortBackend,
+    /// Which substrate executes the join's work units (see [`ExecMode`]).
+    /// Consulted by the front-ends (CLI, bench, soak) to pick between
+    /// [`SelfJoin::run`](crate::SelfJoin::run) and
+    /// [`SelfJoin::run_hybrid`](crate::SelfJoin::run_hybrid).
+    pub exec_mode: ExecMode,
 }
 
 impl SelfJoinConfig {
@@ -326,6 +375,7 @@ impl SelfJoinConfig {
             cpu_fallback: CpuFallbackModel::default(),
             step_mode: StepMode::default(),
             sort_backend: SortBackend::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -390,6 +440,12 @@ impl SelfJoinConfig {
     /// Builder-style: set the sort/scan pre-pass backend.
     pub fn with_sort_backend(mut self, backend: SortBackend) -> Self {
         self.sort_backend = backend;
+        self
+    }
+
+    /// Builder-style: set the execution substrate.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
         self
     }
 
@@ -469,6 +525,18 @@ mod tests {
         assert_eq!(SortBackend::by_name("gpu"), None);
         let c = SelfJoinConfig::new(0.5).with_sort_backend(SortBackend::Device);
         assert_eq!(c.sort_backend, SortBackend::Device);
+    }
+
+    #[test]
+    fn exec_mode_round_trips() {
+        assert_eq!(ExecMode::default(), ExecMode::Gpu);
+        for m in [ExecMode::Gpu, ExecMode::Cpu, ExecMode::Hybrid] {
+            assert_eq!(ExecMode::by_name(m.label()), Some(m));
+        }
+        assert_eq!(ExecMode::by_name("host"), None);
+        let c = SelfJoinConfig::new(0.5).with_exec_mode(ExecMode::Hybrid);
+        assert_eq!(c.exec_mode, ExecMode::Hybrid);
+        assert_eq!(SelfJoinConfig::new(0.5).exec_mode, ExecMode::Gpu);
     }
 
     #[test]

@@ -17,10 +17,14 @@ use crate::batching::{
 };
 use crate::config::{Balancing, SelfJoinConfig, SortBackend};
 use crate::device_prepass::{DevicePrepass, PrePassReport};
-use crate::fallback::cpu_join_queries;
+use crate::fallback::{cpu_join_queries, CpuFallbackStats};
 use crate::fleet::{
     partition_units, partition_units_from_prefix, unit_workloads, FleetOutcome, FleetReport,
     ShardReport, ShardStrategy,
+};
+use crate::hybrid::{
+    choose_cut_measured, forced_cut, gpu_weight_throughput, HybridOutcome, HybridPolicy,
+    HybridReport,
 };
 use crate::kernels::{Assignment, JoinKernelSource, ResolvedPatterns};
 use crate::result::ResultSet;
@@ -39,6 +43,12 @@ pub enum JoinError {
     /// The device fleet cannot execute this join (no devices, or a device
     /// whose configuration is incompatible with the configured kernels).
     Fleet(String),
+    /// The hybrid co-processing differential check failed: a CPU-computed
+    /// segment disagrees with the GPU segment it was about to replace. The
+    /// two backends must produce the same exact pair set per plan unit;
+    /// surfacing the divergence as a typed error (instead of silently
+    /// preferring either side) is the co-executor's core test contract.
+    Hybrid(String),
 }
 
 impl std::fmt::Display for JoinError {
@@ -48,6 +58,9 @@ impl std::fmt::Display for JoinError {
             JoinError::InvalidK(e) => write!(f, "invalid thread granularity: {e}"),
             JoinError::Launch(e) => write!(f, "kernel launch failed: {e}"),
             JoinError::Fleet(msg) => write!(f, "fleet configuration error: {msg}"),
+            JoinError::Hybrid(msg) => {
+                write!(f, "hybrid co-processing differential check failed: {msg}")
+            }
         }
     }
 }
@@ -59,6 +72,7 @@ impl std::error::Error for JoinError {
             JoinError::InvalidK(e) => Some(e),
             JoinError::Launch(e) => Some(e),
             JoinError::Fleet(_) => None,
+            JoinError::Hybrid(_) => None,
         }
     }
 }
@@ -1054,6 +1068,432 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         })
     }
 
+    /// Executes the join as a hybrid CPU/GPU co-process.
+    ///
+    /// The join is planned **once**, exactly as [`SelfJoin::run`] plans it;
+    /// [`crate::hybrid::choose_cut`] (or the policy's forced fraction) then
+    /// cuts the planned unit list: units `[0, cut)` are the GPU's share,
+    /// units `[cut, n)` the CPU pool's. Execution is **differential**: the
+    /// GPU executes the full plan through the shared `execute_units` path —
+    /// which keeps the returned canonical [`JoinReport`] and the executor
+    /// telemetry bit-identical to [`SelfJoin::run`] — while the CPU pool
+    /// independently recomputes its share with the exact [`crate::fallback`]
+    /// join on [`crate::hybrid::par_map`] workers. Each CPU segment is
+    /// checked pair-for-pair against the GPU segment it replaces before the
+    /// plan-order merge; a divergence returns [`JoinError::Hybrid`] instead
+    /// of a silently different result. The split decision and both backends'
+    /// cost accounting (the overlapped makespan in model seconds) land on
+    /// [`HybridOutcome::hybrid`] and in `hybrid.*` telemetry only, so
+    /// result tables stay backend-invariant.
+    ///
+    /// Under [`crate::RecoveryPolicy::reshard`] the CPU backend is also the
+    /// failover peer: a device lost mid-run hands its unexecuted remainder
+    /// to the pool (not to last-resort degradation), the remnants are
+    /// recomputed exactly, and the merged join stays exact under any fault
+    /// schedule. Under [`crate::RecoveryPolicy::degrade`] the in-shard CPU
+    /// fallback of [`SelfJoin::run`] handles the remainder unchanged.
+    pub fn run_hybrid(&self, policy: &HybridPolicy) -> Result<HybridOutcome, JoinError> {
+        let telemetry_on = self.telemetry.is_enabled();
+        let (estimate, plan, prepass) = self.plan_with_telemetry();
+        let c = &self.config;
+        let capacity = self.capacity_for(&estimate, &plan);
+        let n = plan.num_batches();
+
+        // Quantified per-unit workload for the cut (host-side only, same
+        // reuse rule as the fleet path).
+        let fallback_profile;
+        let per_point: &[u64] = match self.profile.as_ref() {
+            Some(profile) => profile.per_point(),
+            None => {
+                fallback_profile = WorkloadProfile::compute(&self.grid);
+                fallback_profile.per_point()
+            }
+        };
+        let weights = unit_workloads(&plan, per_point);
+        let gpu_rate = gpu_weight_throughput(&c.gpu, N as u32);
+        let cpu_rate = policy.cpu.weight_throughput(N as u32, &c.gpu.cost);
+        let dispatch_s = policy.cpu.dispatch_overhead_s;
+        // A forced fraction fixes the cut up front (with throughput-model
+        // predictions); the auto chooser decides after the shadow execution,
+        // from the measured per-unit model costs of both backends.
+        let forced_choice = policy
+            .forced_cpu_fraction
+            .map(|fraction| forced_cut(&weights, fraction, gpu_rate, cpu_rate, dispatch_s));
+
+        // The GPU shadow-executes the full plan exactly as `run` does: same
+        // context, same counter, same fault plane. This is what keeps the
+        // canonical report and event stream split-invariant — and it is the
+        // oracle the CPU segments are differentially checked against.
+        let counter = DeviceCounter::new();
+        let queue_limit = match &plan {
+            BatchPlan::Queue { order, .. } => order.len() as u64,
+            _ => 0,
+        };
+        let items: Vec<WorkItem> = (0..n).map(WorkItem::planned).collect();
+        let ctx = ShardCtx {
+            device: None,
+            gpu: &c.gpu,
+            fault: self.fault,
+            counter: &counter,
+            capacity,
+            queue_limit,
+            defer: c.recovery.reshard_enabled(),
+        };
+        let exec = self.execute_units(&plan, &items, &ctx)?;
+
+        // Re-key the shard output by plan unit (the fleet merge idiom):
+        // items complete strictly in order, so each item's batches and
+        // pairs are contiguous runs of the shard output.
+        let all_pairs = exec.result.pairs();
+        let mut done: Vec<DoneItem> = Vec::new();
+        let mut seq = 0usize;
+        let mut pair_off = 0usize;
+        let mut batch_idx = 0usize;
+        while batch_idx < exec.batch_reports.len() {
+            let item_idx = exec.batch_items[batch_idx];
+            let mut end = batch_idx;
+            let mut item_pairs = 0usize;
+            while end < exec.batch_items.len() && exec.batch_items[end] == item_idx {
+                item_pairs += exec.batch_reports[end].pairs;
+                end += 1;
+            }
+            done.push(DoneItem {
+                key: items[item_idx].unit,
+                seq,
+                work: None,
+                pairs: all_pairs[pair_off..pair_off + item_pairs].to_vec(),
+                batches: exec.batch_reports[batch_idx..end].to_vec(),
+            });
+            seq += 1;
+            pair_off += item_pairs;
+            batch_idx = end;
+        }
+        if exec.recovery.cpu.is_some() {
+            // Degrade recovery: the in-shard CPU fallback finished the
+            // remainder; its blob sorts after the failing unit's salvaged
+            // fragments, exactly as on the fleet path.
+            let key = exec
+                .cpu_tail_key
+                .unwrap_or_else(|| items.last().map_or(0, |it| it.unit));
+            done.push(DoneItem {
+                key,
+                seq,
+                work: None,
+                pairs: all_pairs[pair_off..].to_vec(),
+                batches: Vec::new(),
+            });
+            seq += 1;
+        }
+
+        // The first plan unit with no complete GPU result: everything at or
+        // past it is covered by the degrade blob or by the reshard spill,
+        // so planned CPU replacement (and the differential check) applies
+        // only to the fully completed units in `[cut, f_complete)`.
+        let f_complete = if let Some(intr) = exec.interruption.as_ref() {
+            intr.remnants.first().map_or(n, |it| it.unit)
+        } else if exec.recovery.cpu.is_some() {
+            exec.cpu_tail_key.unwrap_or(n)
+        } else {
+            n
+        };
+
+        // Resolves a planned unit back to its query set.
+        let planned_queries = |u: usize| -> Vec<u32> {
+            match &plan {
+                BatchPlan::Strided { batches } => batches[u].clone(),
+                BatchPlan::Queue { order, chunks } => order[chunks[u].clone()].to_vec(),
+            }
+        };
+
+        // Measured inputs to the auto cut: the executed batch timings
+        // grouped by plan unit, and the GPU side's fixed recovery charge.
+        let mut unit_timings: Vec<Vec<BatchTiming>> = vec![Vec::new(); n];
+        for (b, &item_idx) in exec.batch_reports.iter().zip(&exec.batch_items) {
+            unit_timings[items[item_idx].unit].push(BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            });
+        }
+        let gpu_fixed_s = exec.recovery.backoff_s + exec.recovery.cpu.map_or(0.0, |(_, _, s)| s);
+
+        // The CPU pool recomputes the candidate share: under a forced cut
+        // just the forced suffix, under the auto chooser every completed
+        // unit — which is both the full differential harness and the exact
+        // per-unit CPU costs the measured cut decision needs. Only plain
+        // data crosses the pool boundary, and results come back in task
+        // order, so everything downstream is invariant under `jobs`.
+        let task_lo = forced_choice.as_ref().map_or(0, |ch| ch.cut);
+        let planned_tasks: Vec<(usize, Vec<u32>)> = (task_lo..f_complete)
+            .filter_map(|u| {
+                let queries = planned_queries(u);
+                (!queries.is_empty()).then_some((u, queries))
+            })
+            .collect();
+        let grid = &self.grid;
+        let points = self.points;
+        let resolved = &self.resolved;
+        let epsilon = c.epsilon;
+        let sw_cpu = Stopwatch::start();
+        let planned_results =
+            crate::hybrid::par_map(policy.jobs.max(1), planned_tasks, move |(key, queries)| {
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let stats = cpu_join_queries(grid, points, resolved, epsilon, &queries, &mut pairs);
+                (key, pairs, stats)
+            });
+        let choice = match forced_choice {
+            Some(ch) => ch,
+            None => {
+                let mut cpu_unit_s = vec![0.0f64; n];
+                for (u, _, stats) in &planned_results {
+                    cpu_unit_s[*u] = policy.cpu.model_seconds(stats, N as u32, &c.gpu.cost, 1);
+                }
+                choose_cut_measured(
+                    &unit_timings,
+                    gpu_fixed_s,
+                    &cpu_unit_s,
+                    c.batching.num_streams,
+                )
+            }
+        };
+        let cut = choice.cut;
+        if telemetry_on {
+            self.telemetry.record(
+                Event::new("hybrid", "cut")
+                    .u64("units", n as u64)
+                    .u64("cut", cut as u64)
+                    .u64("gpu_units", cut as u64)
+                    .u64("cpu_units", (n - cut) as u64)
+                    .bool("forced", choice.forced)
+                    .f64("predicted_gpu_model_s", choice.predicted_gpu_s)
+                    .f64("predicted_cpu_model_s", choice.predicted_cpu_s),
+            );
+        }
+
+        // Under reshard recovery, a lost device's unexecuted remnants spill
+        // onto the CPU backend — the CPU is a peer device, not a last
+        // resort, so there is no degradation accounting for them.
+        let mut spilled_units = 0usize;
+        let mut spill_tasks: Vec<(usize, Vec<u32>)> = Vec::new();
+        if let Some(intr) = exec.interruption {
+            let mut spilled_queries = 0usize;
+            for it in intr.remnants {
+                let queries = match it.queries {
+                    Some(q) => q,
+                    None => planned_queries(it.unit),
+                };
+                if queries.is_empty() {
+                    continue;
+                }
+                spilled_units += 1;
+                spilled_queries += queries.len();
+                spill_tasks.push((it.unit, queries));
+            }
+            if telemetry_on {
+                self.telemetry.record(
+                    Event::new("hybrid", "spill")
+                        .u64("units", spilled_units as u64)
+                        .u64("queries", spilled_queries as u64)
+                        .bool("device_lost", intr.device_lost),
+                );
+            }
+        }
+        let spill_results =
+            crate::hybrid::par_map(policy.jobs.max(1), spill_tasks, move |(key, queries)| {
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let stats = cpu_join_queries(grid, points, resolved, epsilon, &queries, &mut pairs);
+                (key, pairs, stats)
+            });
+        let cpu_host_ns = sw_cpu.elapsed_ns();
+
+        // Drop the GPU's copies of the replaced units `[cut, f_complete)`
+        // from the merge, and collect every checked unit's GPU segment —
+        // the oracle for the differential check.
+        let mut gpu_segments: std::collections::BTreeMap<usize, Vec<(u32, u32)>> =
+            std::collections::BTreeMap::new();
+        let mut kept: Vec<DoneItem> = Vec::with_capacity(done.len());
+        for di in done {
+            if di.key >= task_lo && di.key < f_complete {
+                gpu_segments
+                    .entry(di.key)
+                    .or_default()
+                    .extend(di.pairs.iter().copied());
+            }
+            if di.key >= cut && di.key < f_complete {
+                continue;
+            }
+            kept.push(di);
+        }
+        // Pairs the GPU side keeps in the merge (its prefix share, plus the
+        // degrade blob when the in-shard fallback ran).
+        let gpu_pairs_total: usize = kept.iter().map(|di| di.pairs.len()).sum();
+
+        // Differential check: every recomputed segment must match the GPU
+        // segment for its unit pair-for-pair. Segments at or past the cut
+        // then replace the GPU's in the merge; checked prefix segments
+        // (auto mode) are discarded; spills are admitted unchecked — the
+        // GPU never completed them, the brute-force suites cover those.
+        let mut cpu_stats = CpuFallbackStats::default();
+        let mut cpu_pairs_total = 0usize;
+        let mut cpu_items = 0usize;
+        for (key, pairs, stats) in planned_results {
+            let mut gpu = gpu_segments.remove(&key).unwrap_or_default();
+            let mut cpu = pairs.clone();
+            gpu.sort_unstable();
+            cpu.sort_unstable();
+            if gpu != cpu {
+                return Err(JoinError::Hybrid(format!(
+                    "unit {key}: the CPU segment ({} pairs) disagrees with \
+                     the GPU segment ({} pairs)",
+                    cpu.len(),
+                    gpu.len()
+                )));
+            }
+            if key < cut {
+                continue;
+            }
+            cpu_stats.queries += stats.queries;
+            cpu_stats.distance_calcs += stats.distance_calcs;
+            cpu_stats.pairs += stats.pairs;
+            cpu_pairs_total += pairs.len();
+            cpu_items += 1;
+            kept.push(DoneItem {
+                key,
+                seq,
+                work: None,
+                pairs,
+                batches: Vec::new(),
+            });
+            seq += 1;
+        }
+        if let Some((&key, gpu)) = gpu_segments.range(cut..).find(|(_, gpu)| !gpu.is_empty()) {
+            return Err(JoinError::Hybrid(format!(
+                "unit {key}: the GPU produced {} pairs but the CPU share had \
+                 no queries for it",
+                gpu.len()
+            )));
+        }
+        for (key, pairs, stats) in spill_results {
+            cpu_stats.queries += stats.queries;
+            cpu_stats.distance_calcs += stats.distance_calcs;
+            cpu_stats.pairs += stats.pairs;
+            cpu_pairs_total += pairs.len();
+            cpu_items += 1;
+            kept.push(DoneItem {
+                key,
+                seq,
+                work: None,
+                pairs,
+                batches: Vec::new(),
+            });
+            seq += 1;
+        }
+
+        // Canonical merge in plan-unit order (completion order within a
+        // unit), then the same epilogue as `run` over the full shadow
+        // execution — bit-identical report and telemetry for clean runs.
+        kept.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+        let mut result = ResultSet::default();
+        for entry in &kept {
+            result.extend(&entry.pairs);
+        }
+        let timings: Vec<BatchTiming> = exec
+            .batch_reports
+            .iter()
+            .map(|b| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
+            .collect();
+        let pipeline = StreamPipeline::new(c.batching.num_streams).schedule(&timings);
+        let total_pairs = result.len();
+        let num_batches = exec.batch_reports.len();
+        let degradation = exec.recovery.clone().into_report(num_batches);
+        let recovery_s = degradation
+            .as_ref()
+            .map_or(0.0, |d| d.backoff_s + d.cpu_model_s);
+        if telemetry_on {
+            self.record_tail_events(
+                &estimate,
+                exec.gather_ns,
+                num_batches,
+                total_pairs,
+                pipeline.total_s + recovery_s,
+                &exec.totals,
+                degradation.as_ref().is_some_and(|d| d.points_degraded > 0),
+            );
+        }
+
+        // Hybrid accounting: the GPU side is charged only for its kept
+        // prefix (rescheduled as its own pipeline) plus its recovery time;
+        // the CPU side is costed by the calibrated backend model. Both run
+        // overlapped, so the hybrid response is their maximum.
+        let gpu_timings: Vec<BatchTiming> = exec
+            .batch_reports
+            .iter()
+            .zip(&exec.batch_items)
+            .filter(|&(_, &item_idx)| items[item_idx].unit < cut)
+            .map(|(b, _)| BatchTiming {
+                kernel_s: b.kernel_s,
+                transfer_s: b.transfer_s,
+            })
+            .collect();
+        let gpu_response_s = StreamPipeline::new(c.batching.num_streams)
+            .schedule(&gpu_timings)
+            .total_s
+            + exec.recovery.backoff_s
+            + exec.recovery.cpu.map_or(0.0, |(_, _, s)| s);
+        let cpu_model_s = policy
+            .cpu
+            .model_seconds(&cpu_stats, N as u32, &c.gpu.cost, cpu_items);
+        let makespan_s = gpu_response_s.max(cpu_model_s);
+        if telemetry_on {
+            self.telemetry.record(
+                Event::new("hybrid", "backend_done")
+                    .str("backend", "gpu")
+                    .u64("units", cut.min(f_complete) as u64)
+                    .u64("pairs", gpu_pairs_total as u64)
+                    .f64("model_s", gpu_response_s),
+            );
+            self.telemetry.record(
+                Event::new("hybrid", "backend_done")
+                    .str("backend", "cpu")
+                    .u64("units", cpu_items as u64)
+                    .u64("pairs", cpu_pairs_total as u64)
+                    .f64("model_s", cpu_model_s)
+                    .u64("host_ns", cpu_host_ns),
+            );
+        }
+
+        Ok(HybridOutcome {
+            result,
+            report: JoinReport {
+                estimate,
+                num_batches,
+                batches: exec.batch_reports,
+                pipeline,
+                totals: exec.totals,
+                total_pairs,
+                degradation,
+                prepass,
+            },
+            hybrid: HybridReport {
+                units: n,
+                cut,
+                gpu_units: cut.min(f_complete),
+                cpu_units: cpu_items,
+                spilled_units,
+                forced: choice.forced,
+                predicted_gpu_s: choice.predicted_gpu_s,
+                predicted_cpu_s: choice.predicted_cpu_s,
+                gpu_response_s,
+                cpu_model_s,
+                cpu_stats,
+                makespan_s,
+                jobs: policy.jobs.max(1),
+            },
+        })
+    }
+
     /// Emits the setup-phase telemetry (index build, workload profile) and
     /// builds the batch plan, recording the estimate-and-plan event. Both
     /// the single-device and the fleet paths plan through here, so their
@@ -1971,6 +2411,117 @@ mod tests {
                 .validate()
                 .unwrap_or_else(|e| panic!("{label}: {e}"));
         }
+    }
+
+    #[test]
+    fn hybrid_matches_gpu_run_for_every_variant_and_split() {
+        let pts = skewed_points(120);
+        let eps = 0.08;
+        let expected = reference(&pts, eps);
+        for config in all_variants(eps) {
+            let label = config.label();
+            let gpu = SelfJoin::new(&pts, config.clone()).unwrap().run().unwrap();
+            for fraction in [0.0, 0.5, 1.0] {
+                let policy = HybridPolicy::default().with_forced_cpu_fraction(fraction);
+                let hybrid = SelfJoin::new(&pts, config.clone())
+                    .unwrap()
+                    .run_hybrid(&policy)
+                    .unwrap();
+                assert_eq!(
+                    hybrid.result.sorted_pairs(),
+                    expected,
+                    "variant {label}, fraction {fraction}"
+                );
+                // The canonical report is split-invariant: same batches,
+                // same pipeline schedule, same totals as the GPU run.
+                assert_eq!(hybrid.report.num_batches, gpu.report.num_batches);
+                assert_eq!(hybrid.report.total_pairs, gpu.report.total_pairs);
+                assert_eq!(
+                    hybrid.report.pipeline.total_s.to_bits(),
+                    gpu.report.pipeline.total_s.to_bits(),
+                    "variant {label}, fraction {fraction}"
+                );
+                assert_eq!(hybrid.report.totals, gpu.report.totals);
+                assert!(hybrid.hybrid.makespan_s.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_chosen_cut_beats_both_single_backends_on_skewed_data() {
+        // The makespan pin of the co-executor: on a skewed workload the
+        // chosen cut's overlapped makespan is no worse than either pure
+        // backend under the same cost model. WorkQueue without the balanced
+        // queue keeps per-unit workloads descending, so there is a light
+        // tail worth offloading.
+        let pts = skewed_points(400);
+        let config = SelfJoinConfig::new(0.1)
+            .with_pattern(AccessPattern::LidUnicomp)
+            .with_balancing(Balancing::WorkQueue)
+            .with_batching(crate::BatchingConfig {
+                max_batches: 16,
+                ..crate::BatchingConfig::default()
+            });
+        let join = SelfJoin::new(&pts, config).unwrap();
+        let auto = join.run_hybrid(&HybridPolicy::default()).unwrap();
+        let gpu_only = join
+            .run_hybrid(&HybridPolicy::default().with_forced_cpu_fraction(0.0))
+            .unwrap();
+        let cpu_only = join.run_hybrid(&HybridPolicy::cpu_only()).unwrap();
+        assert_eq!(gpu_only.hybrid.cut, gpu_only.hybrid.units);
+        assert_eq!(cpu_only.hybrid.cut, 0);
+        let bound = gpu_only.hybrid.makespan_s.min(cpu_only.hybrid.makespan_s);
+        assert!(
+            auto.hybrid.makespan_s <= bound + 1e-12,
+            "hybrid {} vs min(gpu {}, cpu {})",
+            auto.hybrid.makespan_s,
+            gpu_only.hybrid.makespan_s,
+            cpu_only.hybrid.makespan_s
+        );
+        assert_eq!(auto.result.sorted_pairs(), gpu_only.result.sorted_pairs());
+    }
+
+    #[test]
+    fn hybrid_cpu_only_is_the_checked_cpu_result() {
+        // ExecMode::Cpu routes through cpu_only(): every unit is computed
+        // by the pool and differentially checked against the GPU shadow.
+        let pts = skewed_points(150);
+        let eps = 0.1;
+        let expected = reference(&pts, eps);
+        let config = SelfJoinConfig::new(eps).with_balancing(Balancing::SortByWorkload);
+        let join = SelfJoin::new(&pts, config).unwrap();
+        let outcome = join.run_hybrid(&HybridPolicy::cpu_only()).unwrap();
+        assert_eq!(outcome.result.sorted_pairs(), expected);
+        assert_eq!(outcome.hybrid.gpu_units, 0);
+        assert!(outcome.hybrid.cpu_stats.queries >= pts.len());
+        assert!(outcome.hybrid.cpu_model_s > 0.0);
+    }
+
+    #[test]
+    fn hybrid_jobs_count_does_not_change_the_outcome() {
+        let pts = skewed_points(200);
+        let config = SelfJoinConfig::new(0.1).with_balancing(Balancing::WorkQueue);
+        let join = SelfJoin::new(&pts, config).unwrap();
+        let one = join
+            .run_hybrid(&HybridPolicy::default().with_forced_cpu_fraction(0.4))
+            .unwrap();
+        let many = join
+            .run_hybrid(
+                &HybridPolicy::default()
+                    .with_forced_cpu_fraction(0.4)
+                    .with_jobs(4),
+            )
+            .unwrap();
+        assert_eq!(one.result.sorted_pairs(), many.result.sorted_pairs());
+        assert_eq!(one.hybrid.cut, many.hybrid.cut);
+        assert_eq!(
+            one.hybrid.cpu_model_s.to_bits(),
+            many.hybrid.cpu_model_s.to_bits()
+        );
+        assert_eq!(
+            one.report.pipeline.total_s.to_bits(),
+            many.report.pipeline.total_s.to_bits()
+        );
     }
 
     #[test]

@@ -67,6 +67,69 @@ impl CpuFallbackModel {
     }
 }
 
+/// The calibrated host backend model of the hybrid co-executor: the
+/// degradation-path [`CpuFallbackModel`] promoted to a peer, with the two
+/// costs a co-processing CPU side pays that a tail-end fallback does not.
+///
+/// A fallback run owns the whole machine after the device is gone; a
+/// co-processing run shares the host with the GPU driver loop, pays a
+/// per-work-item dispatch on the worker pool, and merges its segments into
+/// the canonical output. `parallel_efficiency` derates the fallback
+/// throughput for that interference; `dispatch_overhead_s` charges each
+/// work item's pool hand-off. Both are model-seconds calibration constants
+/// in the same sense as `GpuConfig::ipc_derate` (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuBackendModel {
+    /// The underlying host model (cores, SIMD lanes, clock) shared with
+    /// the degradation path.
+    pub base: CpuFallbackModel,
+    /// Fraction of the fallback throughput a co-processing run sustains
+    /// (scheduling interference, segment merge): `0 < e <= 1`.
+    pub parallel_efficiency: f64,
+    /// Host-side dispatch cost per work item handed to the worker pool,
+    /// model seconds.
+    pub dispatch_overhead_s: f64,
+}
+
+impl Default for CpuBackendModel {
+    fn default() -> Self {
+        Self {
+            base: CpuFallbackModel::default(),
+            parallel_efficiency: 0.85,
+            dispatch_overhead_s: 2e-6,
+        }
+    }
+}
+
+impl CpuBackendModel {
+    /// Converts co-processed operation counts into model seconds: the
+    /// fallback model derated by `parallel_efficiency`, plus the dispatch
+    /// overhead of the `items` work items that produced them.
+    pub fn model_seconds(
+        &self,
+        stats: &CpuFallbackStats,
+        dims: u32,
+        cost: &CostModel,
+        items: usize,
+    ) -> f64 {
+        self.base.model_seconds(stats, dims, cost) / self.parallel_efficiency.max(f64::MIN_POSITIVE)
+            + items as f64 * self.dispatch_overhead_s
+    }
+
+    /// Quantified-workload units (candidate counts, the currency of
+    /// [`unit_workloads`](crate::unit_workloads)) this backend retires per
+    /// model second — the CPU-side rate the hybrid cut chooser compares
+    /// against [`gpu_weight_throughput`](crate::hybrid::gpu_weight_throughput).
+    pub fn weight_throughput(&self, dims: u32, cost: &CostModel) -> f64 {
+        let cycles_per_weight = cost.distance_op(dims).cycles as f64;
+        self.base.cores as f64
+            * self.base.simd_lanes as f64
+            * self.base.clock_hz
+            * self.parallel_efficiency
+            / cycles_per_weight
+    }
+}
+
 /// Range-queries `queries` on the host, appending result pairs to `out`.
 ///
 /// Exactly replays the kernel's per-query behaviour: the query's home-cell
@@ -226,6 +289,31 @@ mod tests {
         assert_eq!(combined, reference(&pts, eps));
         assert_eq!(stats.queries, pts.len());
         assert_eq!(stats.pairs as usize, combined.len());
+    }
+
+    #[test]
+    fn backend_model_is_a_derated_fallback_model() {
+        let cost = warpsim::GpuConfig::default().cost;
+        let stats = CpuFallbackStats {
+            queries: 10,
+            distance_calcs: 50_000,
+            pairs: 400,
+        };
+        let backend = CpuBackendModel::default();
+        let fallback_s = backend.base.model_seconds(&stats, 2, &cost);
+        let backend_s = backend.model_seconds(&stats, 2, &cost, 0);
+        // Co-processing never beats owning the whole machine.
+        assert!(backend_s >= fallback_s);
+        // Dispatch overhead is charged per work item.
+        let with_items = backend.model_seconds(&stats, 2, &cost, 8);
+        assert!((with_items - backend_s - 8.0 * backend.dispatch_overhead_s).abs() < 1e-15);
+        // Throughput is finite, positive, and derated by the efficiency.
+        let full = CpuBackendModel {
+            parallel_efficiency: 1.0,
+            ..backend
+        };
+        let t = backend.weight_throughput(2, &cost);
+        assert!(t > 0.0 && t < full.weight_throughput(2, &cost));
     }
 
     #[test]

@@ -97,15 +97,23 @@ pub fn partition_units(
     devices: usize,
     strategy: ShardStrategy,
 ) -> Vec<Range<usize>> {
+    partition_units_from_prefix(&inclusive_weight_prefix(weights), devices, strategy)
+}
+
+/// The inclusive cumulative-weight prefix over plan units
+/// (`prefix[i] = weights[0] + … + weights[i]`, widened to `u128`): the
+/// shared input of every contiguous cut over the unit list — the fleet's
+/// [`partition_units_from_prefix`] regions and the hybrid co-executor's
+/// GPU/CPU cut (see [`crate::hybrid::choose_cut`]).
+pub fn inclusive_weight_prefix(weights: &[u64]) -> Vec<u128> {
     let mut acc: u128 = 0;
-    let prefix: Vec<u128> = weights
+    weights
         .iter()
         .map(|&w| {
             acc += w as u128;
             acc
         })
-        .collect();
-    partition_units_from_prefix(&prefix, devices, strategy)
+        .collect()
 }
 
 /// [`partition_units`] from a precomputed inclusive weight prefix

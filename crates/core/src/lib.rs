@@ -42,6 +42,7 @@ pub mod device_prepass;
 pub mod executor;
 pub mod fallback;
 pub mod fleet;
+pub mod hybrid;
 pub mod kernels;
 pub mod patterns;
 pub mod result;
@@ -50,16 +51,23 @@ pub mod workload;
 pub use batching::{BatchPlan, BatchingConfig, ResultEstimate};
 pub use brute::brute_force_join;
 pub use config::{
-    AccessPattern, Balancing, RecoveryPolicy, RetryPolicy, SelfJoinConfig, SortBackend,
+    AccessPattern, Balancing, ExecMode, RecoveryPolicy, RetryPolicy, SelfJoinConfig, SortBackend,
 };
 pub use device_prepass::{
     device_cell_order, device_inclusive_prefix, device_sort_by_workload, PrePassReport,
 };
 pub use executor::{DegradationReport, JoinError, JoinOutcome, JoinReport, SelfJoin};
-pub use fallback::{cpu_join_queries, cpu_join_query_sets, CpuFallbackModel, CpuFallbackStats};
+pub use fallback::{
+    cpu_join_queries, cpu_join_query_sets, CpuBackendModel, CpuFallbackModel, CpuFallbackStats,
+};
 pub use fleet::{
-    partition_units, partition_units_from_prefix, unit_workloads, DeviceHealth, FleetOutcome,
-    FleetRecoveryReport, FleetReport, HealthEvent, ShardReport, ShardStrategy,
+    inclusive_weight_prefix, partition_units, partition_units_from_prefix, unit_workloads,
+    DeviceHealth, FleetOutcome, FleetRecoveryReport, FleetReport, HealthEvent, ShardReport,
+    ShardStrategy,
+};
+pub use hybrid::{
+    choose_cut, choose_cut_measured, forced_cut, gpu_weight_throughput, CutChoice, HybridOutcome,
+    HybridPolicy, HybridReport,
 };
 pub use result::ResultSet;
 pub use workload::{expand_cell_order, CellWorkload, WorkloadProfile};

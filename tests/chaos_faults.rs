@@ -8,10 +8,15 @@
 //! `CHAOS_SEED_BASE` (default 0); every seeded test offsets its seeds by it.
 
 use proptest::prelude::*;
-use simjoin::{Balancing, BatchingConfig, SelfJoin, SelfJoinConfig, ShardStrategy, SortBackend};
-use sj_integration_support::{brute_force_dyn, join_dyn_chaos, join_fleet_dyn_chaos};
+use simjoin::{
+    Balancing, BatchingConfig, HybridPolicy, RecoveryPolicy, SelfJoin, SelfJoinConfig,
+    ShardStrategy, SortBackend,
+};
+use sj_integration_support::{
+    brute_force_dyn, chaos_dataset, join_dyn_chaos, join_dyn_hybrid_chaos, join_fleet_dyn_chaos,
+    small_batches,
+};
 use sj_telemetry::{Event, JsonTelemetry, Value, NULL};
-use sjdata::DatasetSpec;
 use warpsim::{FaultPlane, FaultProfile, FaultSchedule};
 
 const BALANCINGS: [Balancing; 3] = [
@@ -25,24 +30,6 @@ fn seed_base() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
-}
-
-/// A small skewed dataset: dense enough that every fault class in the named
-/// profiles can actually land (multiple launches, non-trivial buffers).
-fn chaos_dataset() -> (epsgrid::DynPoints, f32) {
-    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
-    let pts = spec.generate(400);
-    let eps = spec.epsilons[2] * 1.5;
-    (pts, eps)
-}
-
-/// Batching tight enough to split the run into several batches, so mid-join
-/// faults leave salvageable completed work behind.
-fn small_batches(expected_pairs: usize) -> BatchingConfig {
-    BatchingConfig {
-        batch_result_capacity: expected_pairs / 3 + 8,
-        ..BatchingConfig::default()
-    }
 }
 
 /// Telemetry events with host wall-clock fields removed: only the model
@@ -243,6 +230,126 @@ proptest! {
             Err(err) => prop_assert!(!err.to_string().is_empty()),
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hybrid co-processing under chaos: for any seeded fault schedule and
+    /// any balancing, `ExecMode::Hybrid` under the reshard policy returns
+    /// the exact brute-force pair set or a typed error — and a device lost
+    /// mid-run hands its unexecuted remainder to the CPU **backend** (a
+    /// peer, visible as spilled units), never to last-resort degradation.
+    #[test]
+    fn hybrid_reshard_spills_to_cpu_backend_under_any_seeded_schedule(
+        seed in 0u64..1_000_000,
+        profile_idx in 0usize..6,
+        balancing_idx in 0usize..3,
+        jobs in 1usize..=4,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let name = FaultProfile::names()[profile_idx];
+        let profile = FaultProfile::by_name(name).unwrap();
+        let plane = FaultPlane::seeded(seed_base().wrapping_add(seed), &profile);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(small_batches(expected.len()))
+            .with_recovery(RecoveryPolicy::reshard());
+        let policy = HybridPolicy::default().with_jobs(jobs);
+        match join_dyn_hybrid_chaos(&pts, config, &policy, &plane, &NULL) {
+            Ok((pairs, report, hybrid)) => {
+                prop_assert_eq!(pairs, expected, "profile {} corrupted the hybrid result", name);
+                // Reshard policy: a lost device's remnants spill to the CPU
+                // backend; the last-resort degradation path must stay idle.
+                if let Some(d) = report.degradation.as_ref() {
+                    prop_assert_eq!(
+                        d.points_degraded, 0,
+                        "profile {}: reshard recovery must not degrade points", name
+                    );
+                    if d.device_lost {
+                        prop_assert!(
+                            hybrid.spilled_units > 0 || hybrid.cpu_units > 0,
+                            "profile {}: a lost device's remainder must reach \
+                             the CPU backend", name
+                        );
+                    }
+                }
+            }
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
+        }
+    }
+
+    /// Hand-composed fault schedules under a *forced* hybrid split: the cut
+    /// and the fault plane interleave arbitrarily, and the result is still
+    /// exact or typed.
+    #[test]
+    fn hybrid_forced_split_survives_composed_schedules(
+        lost_launch in 0u64..6,
+        transient_launch in 0u64..4,
+        overflow_launch in 0u64..4,
+        fraction in 0.0f64..=1.0,
+    ) {
+        let (pts, eps) = chaos_dataset();
+        let expected = brute_force_dyn(&pts, eps);
+        let schedule = FaultSchedule::new()
+            .device_lost_at(lost_launch)
+            .transient_at(transient_launch)
+            .overflow_at(overflow_launch);
+        let plane = FaultPlane::new(schedule);
+        let config = SelfJoinConfig::optimized(eps)
+            .with_batching(small_batches(expected.len()))
+            .with_recovery(RecoveryPolicy::reshard());
+        let policy = HybridPolicy::default().with_forced_cpu_fraction(fraction);
+        match join_dyn_hybrid_chaos(&pts, config, &policy, &plane, &NULL) {
+            Ok((pairs, _, hybrid)) => {
+                prop_assert_eq!(pairs, expected, "forced split corrupted the result");
+                prop_assert!(hybrid.forced);
+            }
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
+        }
+    }
+}
+
+/// A device lost mid-run under `ExecMode::Hybrid` + reshard recovery hands
+/// the GPU's unexecuted remainder to the CPU backend: the spill is visible
+/// on the hybrid report and in `hybrid.spill` telemetry, the last-resort
+/// degradation path stays idle, and the merged join is exact.
+#[test]
+fn hybrid_device_loss_reshards_remainder_onto_cpu_backend() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let plane = FaultPlane::new(FaultSchedule::new().device_lost_at(1));
+    let sink = JsonTelemetry::new("hybrid-device-lost");
+    let config = SelfJoinConfig::optimized(eps)
+        .with_batching(small_batches(expected.len()))
+        .with_recovery(RecoveryPolicy::reshard());
+    let (pairs, report, hybrid) =
+        join_dyn_hybrid_chaos(&pts, config, &HybridPolicy::default(), &plane, &sink).unwrap();
+
+    assert_eq!(pairs, expected, "resharded hybrid join must stay exact");
+    assert!(
+        hybrid.spilled_units > 0,
+        "the lost device's remainder must spill onto the CPU backend"
+    );
+    if let Some(d) = report.degradation.as_ref() {
+        assert!(d.device_lost);
+        assert_eq!(
+            d.points_degraded, 0,
+            "reshard recovery must not use the last-resort degradation path"
+        );
+    }
+    let spills = sink.events_named("hybrid", "spill");
+    assert_eq!(spills.len(), 1, "spill event is emitted exactly once");
+    assert_eq!(
+        spills[0].field("device_lost"),
+        Some(&Value::Bool(true)),
+        "the spill must be attributed to the device loss"
+    );
+    assert_eq!(
+        spills[0].field("units"),
+        Some(&Value::U64(hybrid.spilled_units as u64))
+    );
 }
 
 /// A transient launch fault landing on the *first pre-pass dispatch* is

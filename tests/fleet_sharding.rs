@@ -5,58 +5,15 @@
 //! and on the paper's skewed (exponential) data the workload-aware cut must
 //! beat naive equal-count partitioning on makespan.
 
-use simjoin::{Balancing, BatchingConfig, JoinReport, SelfJoinConfig, ShardStrategy};
+use simjoin::{Balancing, BatchingConfig, SelfJoinConfig, ShardStrategy};
 use sj_integration_support::{
-    brute_force_dyn, join_dyn, join_fleet_dyn, join_fleet_dyn_chaos, small_datasets,
+    assert_canonical_reports_identical, brute_force_dyn, join_dyn, join_fleet_dyn,
+    join_fleet_dyn_chaos, small_datasets,
 };
 use sjdata::DatasetSpec;
 use warpsim::{FaultProfile, FaultSchedule};
 
 const STRATEGIES: [ShardStrategy; 2] = [ShardStrategy::WorkloadAware, ShardStrategy::EqualCount];
-
-fn assert_canonical_reports_identical(single: &JoinReport, fleet: &JoinReport, ctx: &str) {
-    assert_eq!(single.estimate, fleet.estimate, "estimate differs [{ctx}]");
-    assert_eq!(
-        single.num_batches, fleet.num_batches,
-        "batch count differs [{ctx}]"
-    );
-    assert_eq!(
-        single.total_pairs, fleet.total_pairs,
-        "pair count differs [{ctx}]"
-    );
-    assert_eq!(single.totals, fleet.totals, "warp totals differ [{ctx}]");
-    assert_eq!(
-        single.degradation, fleet.degradation,
-        "degradation differs [{ctx}]"
-    );
-    assert_eq!(
-        single.pipeline.total_s.to_bits(),
-        fleet.pipeline.total_s.to_bits(),
-        "pipeline time differs [{ctx}]"
-    );
-    assert_eq!(
-        single.response_time_s().to_bits(),
-        fleet.response_time_s().to_bits(),
-        "response time differs [{ctx}]"
-    );
-    for (i, (s, f)) in single.batches.iter().zip(&fleet.batches).enumerate() {
-        assert_eq!(s.pairs, f.pairs, "batch {i} pairs differ [{ctx}]");
-        assert_eq!(
-            s.kernel_s.to_bits(),
-            f.kernel_s.to_bits(),
-            "batch {i} kernel time differs [{ctx}]"
-        );
-        assert_eq!(
-            s.transfer_s.to_bits(),
-            f.transfer_s.to_bits(),
-            "batch {i} transfer time differs [{ctx}]"
-        );
-        assert_eq!(
-            s.launch.totals, f.launch.totals,
-            "batch {i} launch totals differ [{ctx}]"
-        );
-    }
-}
 
 /// Across every Table-I dataset family, every balancing, and both
 /// strategies: the fleet result is exact, and the canonical report is

@@ -1,0 +1,253 @@
+//! Differential co-processing suite for the hybrid CPU/GPU executor: for
+//! **any** access pattern, ε, and split fraction — forced all-GPU, forced
+//! all-CPU, an arbitrary interior fraction, or the measured auto cut — the
+//! merged hybrid pair set must equal the brute-force truth and the
+//! single-device GPU run exactly, and the canonical join report must stay
+//! **bit-identical** to the GPU run (the split is visible only on the
+//! hybrid report and in `hybrid.*` telemetry). The suite also pins the
+//! pool-independence guarantee (same outcome for `jobs = 1` and `jobs = N`)
+//! and the telemetry schema of the three `hybrid.*` events.
+
+use proptest::prelude::*;
+use simjoin::{Balancing, HybridPolicy, SelfJoinConfig};
+use sj_integration_support::{
+    assert_canonical_reports_identical, brute_force_dyn, chaos_dataset, join_dyn, join_dyn_hybrid,
+    join_dyn_hybrid_chaos, small_batches, small_datasets,
+};
+use sj_telemetry::{JsonTelemetry, Value};
+use warpsim::{FaultPlane, FaultSchedule};
+
+const BALANCINGS: [Balancing; 3] = [
+    Balancing::None,
+    Balancing::SortByWorkload,
+    Balancing::WorkQueue,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random balancing × ε scale × split fraction (0.0, 1.0, or an
+    /// arbitrary interior value) × worker count: the hybrid pair set equals
+    /// brute force and the GPU run, and the canonical report is
+    /// bit-identical to the GPU run's.
+    #[test]
+    fn any_forced_split_is_exact_and_report_invariant(
+        balancing_idx in 0usize..3,
+        eps_scale in 0.8f32..1.6,
+        split_kind in 0usize..3,
+        fraction in 0.0f64..=1.0,
+        jobs in 1usize..=4,
+    ) {
+        let (pts, base_eps) = chaos_dataset();
+        let eps = base_eps * eps_scale;
+        let expected = brute_force_dyn(&pts, eps);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(small_batches(expected.len()));
+        let (gpu_pairs, gpu_report) = join_dyn(&pts, config.clone());
+        prop_assert_eq!(&gpu_pairs, &expected, "GPU reference lost exactness");
+
+        let fraction = match split_kind {
+            0 => 0.0,
+            1 => 1.0,
+            _ => fraction,
+        };
+        let policy = HybridPolicy::default()
+            .with_forced_cpu_fraction(fraction)
+            .with_jobs(jobs);
+        let (pairs, report, hybrid) = join_dyn_hybrid(&pts, config, &policy);
+
+        prop_assert_eq!(pairs, expected, "hybrid merge lost exactness (f = {})", fraction);
+        assert_canonical_reports_identical(
+            &gpu_report,
+            &report,
+            &format!("hybrid f = {fraction}, jobs = {jobs}"),
+        );
+        prop_assert!(hybrid.forced);
+        prop_assert_eq!(hybrid.gpu_units, hybrid.cut, "clean run keeps the full GPU prefix");
+        prop_assert!(hybrid.cpu_units <= hybrid.units - hybrid.cut);
+        prop_assert_eq!(hybrid.spilled_units, 0, "no spills without faults");
+        prop_assert_eq!(
+            hybrid.makespan_s,
+            hybrid.gpu_response_s.max(hybrid.cpu_model_s),
+            "makespan must be the overlapped maximum"
+        );
+        if fraction == 0.0 {
+            prop_assert_eq!(hybrid.cut, hybrid.units, "f = 0 is all-GPU");
+            prop_assert_eq!(hybrid.cpu_units, 0);
+        }
+        if fraction == 1.0 {
+            prop_assert_eq!(hybrid.cut, 0, "f = 1 is all-CPU");
+            prop_assert_eq!(hybrid.gpu_units, 0);
+        }
+    }
+
+    /// The measured auto cut under random balancing and ε: same exactness
+    /// and report-invariance contract as the forced splits, plus chooser
+    /// sanity (in-range cut, non-negative side predictions).
+    #[test]
+    fn auto_cut_is_exact_and_report_invariant(
+        balancing_idx in 0usize..3,
+        eps_scale in 0.8f32..1.6,
+        jobs in 1usize..=4,
+    ) {
+        let (pts, base_eps) = chaos_dataset();
+        let eps = base_eps * eps_scale;
+        let expected = brute_force_dyn(&pts, eps);
+        let config = SelfJoinConfig::new(eps)
+            .with_balancing(BALANCINGS[balancing_idx])
+            .with_batching(small_batches(expected.len()));
+        let (gpu_pairs, gpu_report) = join_dyn(&pts, config.clone());
+        prop_assert_eq!(&gpu_pairs, &expected);
+
+        let policy = HybridPolicy::default().with_jobs(jobs);
+        let (pairs, report, hybrid) = join_dyn_hybrid(&pts, config, &policy);
+
+        prop_assert_eq!(pairs, expected, "auto-cut hybrid lost exactness");
+        assert_canonical_reports_identical(
+            &gpu_report,
+            &report,
+            &format!("hybrid auto, jobs = {jobs}"),
+        );
+        prop_assert!(!hybrid.forced);
+        prop_assert!(hybrid.cut <= hybrid.units);
+        prop_assert!(hybrid.predicted_gpu_s >= 0.0);
+        prop_assert!(hybrid.predicted_cpu_s >= 0.0);
+        prop_assert_eq!(hybrid.spilled_units, 0);
+    }
+}
+
+/// Every Table-I dataset family through the full split sweep: the hybrid
+/// executor's contract is dataset-independent, not an Expo2D artifact.
+#[test]
+fn all_dataset_families_survive_the_split_sweep() {
+    for (name, pts, eps) in small_datasets(200) {
+        let expected = brute_force_dyn(&pts, eps);
+        let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+        let (gpu_pairs, gpu_report) = join_dyn(&pts, config.clone());
+        assert_eq!(gpu_pairs, expected, "{name}: GPU reference");
+        for fraction in [
+            None,
+            Some(0.0),
+            Some(0.25),
+            Some(0.5),
+            Some(0.75),
+            Some(1.0),
+        ] {
+            let mut policy = HybridPolicy::default().with_jobs(2);
+            if let Some(f) = fraction {
+                policy = policy.with_forced_cpu_fraction(f);
+            }
+            let ctx = format!("{name}, split {fraction:?}");
+            let (pairs, report, hybrid) = join_dyn_hybrid(&pts, config.clone(), &policy);
+            assert_eq!(pairs, expected, "pairs wrong [{ctx}]");
+            assert_canonical_reports_identical(&gpu_report, &report, &ctx);
+            assert_eq!(hybrid.forced, fraction.is_some(), "[{ctx}]");
+        }
+    }
+}
+
+/// The forced all-CPU run **is** the pure `cpu_join_queries` join: every
+/// planned unit is recomputed on the host pool and differentially checked
+/// against the GPU shadow, so equality here certifies the host join itself
+/// against brute force and the kernel path.
+#[test]
+fn cpu_only_run_equals_the_pure_cpu_join() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+    let (gpu_pairs, gpu_report) = join_dyn(&pts, config.clone());
+    let (pairs, report, hybrid) = join_dyn_hybrid(&pts, config, &HybridPolicy::cpu_only());
+
+    assert_eq!(pairs, expected, "the host join must match brute force");
+    assert_eq!(pairs, gpu_pairs, "the host join must match the kernel path");
+    assert_canonical_reports_identical(&gpu_report, &report, "cpu-only");
+    assert_eq!(hybrid.cut, 0);
+    assert_eq!(hybrid.gpu_units, 0, "no unit is kept from the GPU side");
+    assert!(hybrid.cpu_units > 0);
+    assert!(hybrid.cpu_stats.queries > 0);
+    assert!(hybrid.cpu_stats.distance_calcs > 0);
+    assert!(hybrid.cpu_model_s > 0.0);
+}
+
+/// Pool independence: the same configuration replayed with `jobs = 1` and
+/// `jobs = N` yields the identical pair set, a bit-identical canonical
+/// report, and the identical hybrid accounting (all model-side numbers are
+/// scheduling-invariant; only the `jobs` field itself may differ).
+#[test]
+fn replay_is_deterministic_across_worker_counts() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+    for fraction in [None, Some(0.37), Some(1.0)] {
+        let run = |jobs: usize| {
+            let mut policy = HybridPolicy::default().with_jobs(jobs);
+            if let Some(f) = fraction {
+                policy = policy.with_forced_cpu_fraction(f);
+            }
+            join_dyn_hybrid(&pts, config.clone(), &policy)
+        };
+        let (pairs_1, report_1, hybrid_1) = run(1);
+        assert_eq!(pairs_1, expected, "split {fraction:?}");
+        for jobs in [2usize, 8] {
+            let (pairs_n, report_n, mut hybrid_n) = run(jobs);
+            let ctx = format!("split {fraction:?}, jobs 1 vs {jobs}");
+            assert_eq!(pairs_1, pairs_n, "pair set drifted [{ctx}]");
+            assert_canonical_reports_identical(&report_1, &report_n, &ctx);
+            assert_eq!(hybrid_n.jobs, jobs);
+            hybrid_n.jobs = hybrid_1.jobs;
+            assert_eq!(hybrid_1, hybrid_n, "hybrid accounting drifted [{ctx}]");
+        }
+    }
+}
+
+/// The `hybrid.*` telemetry contract: one `cut` event carrying the split
+/// decision, then exactly one `backend_done` per backend whose pair counts
+/// partition the merged result.
+#[test]
+fn hybrid_telemetry_records_the_cut_and_both_backends() {
+    let (pts, eps) = chaos_dataset();
+    let expected = brute_force_dyn(&pts, eps);
+    let config = SelfJoinConfig::optimized(eps).with_batching(small_batches(expected.len()));
+    let policy = HybridPolicy::default().with_forced_cpu_fraction(0.5);
+    let sink = JsonTelemetry::new("hybrid-events");
+    let plane = FaultPlane::new(FaultSchedule::new());
+    let (pairs, _, hybrid) = join_dyn_hybrid_chaos(&pts, config, &policy, &plane, &sink).unwrap();
+    assert_eq!(pairs, expected);
+
+    let cuts = sink.events_named("hybrid", "cut");
+    assert_eq!(cuts.len(), 1, "exactly one cut decision per run");
+    assert_eq!(
+        cuts[0].field("units"),
+        Some(&Value::U64(hybrid.units as u64))
+    );
+    assert_eq!(cuts[0].field("cut"), Some(&Value::U64(hybrid.cut as u64)));
+    assert_eq!(cuts[0].field("forced"), Some(&Value::Bool(true)));
+
+    let done = sink.events_named("hybrid", "backend_done");
+    assert_eq!(done.len(), 2, "one completion event per backend");
+    let gpu = done
+        .iter()
+        .find(|e| e.field("backend") == Some(&Value::Str("gpu".into())))
+        .expect("gpu backend event");
+    let cpu = done
+        .iter()
+        .find(|e| e.field("backend") == Some(&Value::Str("cpu".into())))
+        .expect("cpu backend event");
+    let (Some(&Value::U64(gpu_pairs)), Some(&Value::U64(cpu_pairs))) =
+        (gpu.field("pairs"), cpu.field("pairs"))
+    else {
+        panic!("backend_done events must carry u64 pair counts");
+    };
+    assert_eq!(
+        gpu_pairs + cpu_pairs,
+        pairs.len() as u64,
+        "the two backends' pairs must partition the merged result"
+    );
+    assert!(cpu.field("host_ns").is_some(), "cpu side reports host time");
+    assert_eq!(
+        sink.events_named("hybrid", "spill").len(),
+        0,
+        "clean runs never spill"
+    );
+}

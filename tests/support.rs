@@ -3,6 +3,77 @@
 use epsgrid::DynPoints;
 use sjdata::DatasetSpec;
 
+/// A small skewed dataset: dense enough that every fault class in the named
+/// profiles can actually land (multiple launches, non-trivial buffers).
+/// Shared by the chaos, fleet, and hybrid co-processing suites.
+pub fn chaos_dataset() -> (DynPoints, f32) {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(400);
+    let eps = spec.epsilons[2] * 1.5;
+    (pts, eps)
+}
+
+/// Batching tight enough to split the run into several batches, so mid-join
+/// faults leave salvageable completed work behind — and so a hybrid cut has
+/// several units to choose between.
+pub fn small_batches(expected_pairs: usize) -> simjoin::BatchingConfig {
+    simjoin::BatchingConfig {
+        batch_result_capacity: expected_pairs / 3 + 8,
+        ..simjoin::BatchingConfig::default()
+    }
+}
+
+/// Asserts that two canonical join reports are bit-identical — the invariant
+/// every alternative execution substrate (fleet sharding, hybrid
+/// co-processing) must uphold against the single-device GPU run.
+pub fn assert_canonical_reports_identical(
+    single: &simjoin::JoinReport,
+    other: &simjoin::JoinReport,
+    ctx: &str,
+) {
+    assert_eq!(single.estimate, other.estimate, "estimate differs [{ctx}]");
+    assert_eq!(
+        single.num_batches, other.num_batches,
+        "batch count differs [{ctx}]"
+    );
+    assert_eq!(
+        single.total_pairs, other.total_pairs,
+        "pair count differs [{ctx}]"
+    );
+    assert_eq!(single.totals, other.totals, "warp totals differ [{ctx}]");
+    assert_eq!(
+        single.degradation, other.degradation,
+        "degradation differs [{ctx}]"
+    );
+    assert_eq!(
+        single.pipeline.total_s.to_bits(),
+        other.pipeline.total_s.to_bits(),
+        "pipeline time differs [{ctx}]"
+    );
+    assert_eq!(
+        single.response_time_s().to_bits(),
+        other.response_time_s().to_bits(),
+        "response time differs [{ctx}]"
+    );
+    for (i, (s, f)) in single.batches.iter().zip(&other.batches).enumerate() {
+        assert_eq!(s.pairs, f.pairs, "batch {i} pairs differ [{ctx}]");
+        assert_eq!(
+            s.kernel_s.to_bits(),
+            f.kernel_s.to_bits(),
+            "batch {i} kernel time differs [{ctx}]"
+        );
+        assert_eq!(
+            s.transfer_s.to_bits(),
+            f.transfer_s.to_bits(),
+            "batch {i} transfer time differs [{ctx}]"
+        );
+        assert_eq!(
+            s.launch.totals, f.launch.totals,
+            "batch {i} launch totals differ [{ctx}]"
+        );
+    }
+}
+
 /// Small instances of every dataset family in Table I, sized for exhaustive
 /// (brute-force-verified) integration testing.
 pub fn small_datasets(n: usize) -> Vec<(String, DynPoints, f32)> {
@@ -188,6 +259,111 @@ pub fn join_fleet_dyn_chaos(
             devices,
             strategy,
             faults,
+        ),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
+/// Runs a hybrid CPU/GPU co-processed self-join over a dimension-erased
+/// dataset and returns `(sorted pairs, canonical report, hybrid report)`.
+/// Panics on any error — clean-run suites use this.
+pub fn join_dyn_hybrid(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+    policy: &simjoin::HybridPolicy,
+) -> (Vec<(u32, u32)>, simjoin::JoinReport, simjoin::HybridReport) {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+        policy: &simjoin::HybridPolicy,
+    ) -> (Vec<(u32, u32)>, simjoin::JoinReport, simjoin::HybridReport) {
+        let outcome = simjoin::SelfJoin::new(pts, config)
+            .expect("config")
+            .run_hybrid(policy)
+            .expect("hybrid join");
+        (
+            outcome.result.sorted_pairs(),
+            outcome.report,
+            outcome.hybrid,
+        )
+    }
+    match points.dims() {
+        2 => run(&points.as_fixed::<2>().unwrap(), config, policy),
+        3 => run(&points.as_fixed::<3>().unwrap(), config, policy),
+        4 => run(&points.as_fixed::<4>().unwrap(), config, policy),
+        5 => run(&points.as_fixed::<5>().unwrap(), config, policy),
+        6 => run(&points.as_fixed::<6>().unwrap(), config, policy),
+        d => panic!("unsupported dims {d}"),
+    }
+}
+
+/// What a faulted hybrid run yields: `(sorted pairs, canonical report,
+/// hybrid report)`, or the typed error.
+pub type HybridChaosResult =
+    Result<(Vec<(u32, u32)>, simjoin::JoinReport, simjoin::HybridReport), simjoin::JoinError>;
+
+/// Runs a hybrid co-processed self-join with a fault plane and telemetry
+/// attached. `Err` carries the typed error — an acceptable chaos outcome,
+/// unlike a wrong pair set.
+pub fn join_dyn_hybrid_chaos(
+    points: &DynPoints,
+    config: simjoin::SelfJoinConfig,
+    policy: &simjoin::HybridPolicy,
+    plane: &warpsim::FaultPlane,
+    telemetry: &dyn sj_telemetry::Telemetry,
+) -> HybridChaosResult {
+    fn run<const N: usize>(
+        pts: &[[f32; N]],
+        config: simjoin::SelfJoinConfig,
+        policy: &simjoin::HybridPolicy,
+        plane: &warpsim::FaultPlane,
+        telemetry: &dyn sj_telemetry::Telemetry,
+    ) -> HybridChaosResult {
+        let outcome = simjoin::SelfJoin::new(pts, config)?
+            .with_telemetry(telemetry)
+            .with_fault_plane(plane)
+            .run_hybrid(policy)?;
+        Ok((
+            outcome.result.sorted_pairs(),
+            outcome.report,
+            outcome.hybrid,
+        ))
+    }
+    match points.dims() {
+        2 => run(
+            &points.as_fixed::<2>().unwrap(),
+            config,
+            policy,
+            plane,
+            telemetry,
+        ),
+        3 => run(
+            &points.as_fixed::<3>().unwrap(),
+            config,
+            policy,
+            plane,
+            telemetry,
+        ),
+        4 => run(
+            &points.as_fixed::<4>().unwrap(),
+            config,
+            policy,
+            plane,
+            telemetry,
+        ),
+        5 => run(
+            &points.as_fixed::<5>().unwrap(),
+            config,
+            policy,
+            plane,
+            telemetry,
+        ),
+        6 => run(
+            &points.as_fixed::<6>().unwrap(),
+            config,
+            policy,
+            plane,
+            telemetry,
         ),
         d => panic!("unsupported dims {d}"),
     }

@@ -312,6 +312,37 @@ fn fleet_join_telemetry_is_strict_json() {
     }
 }
 
+/// The hybrid co-executor's `hybrid.*` events — the cut decision and both
+/// backend completions, including the CPU side's host-time observation —
+/// are strict JSON and carry the schema EXPERIMENTS.md documents.
+#[test]
+fn hybrid_join_telemetry_is_strict_json() {
+    let pts: Vec<[f32; 2]> = (0..120)
+        .map(|i| [0.03 * (i % 12) as f32, 0.05 * (i / 12) as f32])
+        .collect();
+    let config = SelfJoinConfig::new(0.08).with_balancing(Balancing::WorkQueue);
+    let sink = JsonTelemetry::new("hybrid");
+    simjoin::SelfJoin::new(&pts, config)
+        .unwrap()
+        .with_telemetry(&sink)
+        .run_hybrid(&simjoin::HybridPolicy::default().with_jobs(2))
+        .unwrap();
+    let doc = sink.to_json();
+    assert_strict_json(&doc, "hybrid telemetry");
+    for needle in [
+        "\"scope\": \"hybrid\"",
+        "\"name\": \"cut\"",
+        "\"name\": \"backend_done\"",
+        "\"backend\": \"gpu\"",
+        "\"backend\": \"cpu\"",
+        "\"predicted_gpu_model_s\":",
+        "\"predicted_cpu_model_s\":",
+        "\"host_ns\":",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+    }
+}
+
 /// Every telemetry artifact recorded under `results/` must round-trip
 /// through the strict parser. Skips silently when no artifacts exist (the
 /// experiment driver hasn't been run in this checkout).
