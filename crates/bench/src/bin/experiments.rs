@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick | --scale <f>] [--eps-stride <n>] [--jobs <n>] \
-//!             [--step-mode stepped|runlength] [--devices <n>] \
-//!             [--sort-backend host|device] \
+//!             [--host-jobs <n>] [--step-mode stepped|runlength] \
+//!             [--devices <n>] [--sort-backend host|device] \
 //!             [all|table1|fig9|table3|fig10|table4|fig11|table5|fig12|table6|fig13|ablations]...
 //! ```
 //!
@@ -15,13 +15,21 @@
 //! stepped-vs-run-length micro-benchmark of a fully converged 32-lane warp —
 //! to `results/bench_baseline.json`.
 //!
-//! Neither `--jobs`, `--step-mode`, `--devices`, nor `--sort-backend` can
-//! change any table: sweep cells are reassembled in input order, the two
-//! step modes are bit-identical, the sharded executor's canonical merged
-//! report is device-count invariant, and the device sort/scan pre-pass is
+//! Neither `--jobs`, `--host-jobs`, `--step-mode`, `--devices`, nor
+//! `--sort-backend` can change any table: sweep cells are reassembled in
+//! input order, the intra-join layers merge in plan order, the two step
+//! modes are bit-identical, the sharded executor's canonical merged report
+//! is device-count invariant, and the device sort/scan pre-pass is
 //! differentially tested against the host planner (its cost lands only in
-//! telemetry), so stdout diffs clean across all four knobs (CI verifies the
-//! step modes, `--devices 1` vs `--devices 4`, and host vs device sorting).
+//! telemetry), so stdout diffs clean across all five knobs (CI verifies the
+//! step modes, `--devices 1` vs `--devices 4`, host vs device sorting, and
+//! `--host-jobs 1` vs `--host-jobs 4`).
+//!
+//! `--jobs` parallelizes *across* sweep cells; `--host-jobs` parallelizes
+//! *inside* each join (fleet shards, batches, warps). Passing `--host-jobs`
+//! without an explicit `--jobs` pins the sweep pool to one worker so the
+//! two layers don't nest and intra-join scaling is what the wall-clock
+//! measures.
 
 use std::time::Instant;
 
@@ -31,14 +39,16 @@ use warpsim::StepMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--exec-mode gpu|cpu|hybrid] [--no-telemetry] [EXPERIMENT]...\n\
+        "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--host-jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--exec-mode gpu|cpu|hybrid] [--no-telemetry] [EXPERIMENT]...\n\
          experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover, hybrid\n\
          (chaos, scaling, failover, and hybrid are not part of `all`: chaos exercises the fault-injection plane,\n\
           scaling shards the join across a simulated multi-device fleet, failover compares reshard\n\
           recovery against CPU degradation after a mid-join device loss, hybrid sweeps the CPU/GPU\n\
           co-executor's split fraction against the measured auto cut; --lose-device <d> injects a\n\
           device-lost fault into every fleet run — requires --devices > d; --exec-mode hybrid routes\n\
-          every single-device cell through the co-executor — tables still diff clean)"
+          every single-device cell through the co-executor — tables still diff clean;\n\
+          --jobs spreads sweep cells across workers, --host-jobs threads the inside of each join —\n\
+          both leave every table and telemetry artifact bit-identical)"
     );
     std::process::exit(2);
 }
@@ -118,9 +128,20 @@ fn hybrid_rows() -> Vec<sj_bench::experiments::HybridPoint> {
     Experiments::new(ExperimentScale::quick()).hybrid_points()
 }
 
+/// Host-parallel wall-clock rows recorded into the baseline artifact,
+/// pinned to quick scale: the same single-device join at `host_jobs`
+/// 1/2/4/8. These are the only host-wall-clock rows keyed to a
+/// results-invariant knob — the acceptance row is `host_jobs = 4` landing
+/// well below the `host_jobs = 1` wall-clock while model seconds and pairs
+/// stay bit-identical (asserted inside the sweep).
+fn host_parallel_rows() -> Vec<sj_bench::experiments::HostParallelPoint> {
+    Experiments::new(ExperimentScale::quick()).host_parallel_points()
+}
+
 fn write_baseline(
     scale: ExperimentScale,
     jobs: usize,
+    host_jobs: usize,
     step_mode: StepMode,
     sort_backend: SortBackend,
     timings: &[(String, f64)],
@@ -134,10 +155,11 @@ fn write_baseline(
     };
     let mut json = String::from("{\n  \"schema\": \"bench_baseline/1\",\n");
     json.push_str(&format!(
-        "  \"points_scale\": {},\n  \"eps_stride\": {},\n  \"jobs\": {},\n  \"step_mode\": \"{}\",\n  \"sort_backend\": \"{}\",\n",
+        "  \"points_scale\": {},\n  \"eps_stride\": {},\n  \"jobs\": {},\n  \"host_jobs\": {},\n  \"step_mode\": \"{}\",\n  \"sort_backend\": \"{}\",\n",
         scale.points_scale,
         scale.eps_stride,
         jobs,
+        host_jobs,
         step_mode.name(),
         sort_backend.label()
     ));
@@ -194,6 +216,17 @@ fn write_baseline(
         ));
     }
     json.push_str("  ],\n");
+    let host_parallel = host_parallel_rows();
+    json.push_str("  \"host_parallel\": [\n");
+    for (i, p) in host_parallel.iter().enumerate() {
+        let sep = if i + 1 < host_parallel.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"host_jobs\": {}, \"sim_wall_s\": {:.6}, \"speedup\": {:.2}, \
+             \"canonical_model_s\": {:.9}, \"pairs\": {}}}{sep}\n",
+            p.host_jobs, p.wall_s, p.speedup, p.model_s, p.pairs
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"warp_fastpath\": {{\"lanes\": 32, \"candidates\": {FASTPATH_CANDS}, \
          \"stepped_s\": {stepped_s:.9}, \"runlength_s\": {runlength_s:.9}, \
@@ -221,6 +254,7 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut telemetry = true;
     let mut jobs: Option<usize> = None;
+    let mut host_jobs: Option<usize> = None;
     let mut step_mode = StepMode::default();
     let mut devices = 1usize;
     let mut lose_device: Option<usize> = None;
@@ -242,6 +276,10 @@ fn main() {
             "--jobs" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 jobs = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--host-jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                host_jobs = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--step-mode" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -280,6 +318,15 @@ fn main() {
     }
     if let Some(jobs) = jobs {
         exp.jobs = jobs.max(1);
+    }
+    if let Some(hj) = host_jobs {
+        exp.host_jobs = hj;
+        // Intra-join scaling is what --host-jobs measures; unless the
+        // caller also pinned --jobs, drop the sweep-cell pool to a single
+        // worker so the two thread layers don't nest (and oversubscribe).
+        if jobs.is_none() {
+            exp.jobs = 1;
+        }
     }
     exp.step_mode = step_mode;
     exp.devices = devices;
@@ -320,5 +367,12 @@ fn main() {
         }
         timings.push((name, start.elapsed().as_secs_f64()));
     }
-    write_baseline(scale, exp.jobs, step_mode, sort_backend, &timings);
+    write_baseline(
+        scale,
+        exp.jobs,
+        exp.host_jobs,
+        step_mode,
+        sort_backend,
+        &timings,
+    );
 }

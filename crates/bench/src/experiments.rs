@@ -84,6 +84,12 @@ pub struct Experiments {
     /// deterministic regardless; with `jobs > 1` only the *interleaving* of
     /// telemetry events across concurrent cells varies between runs.
     pub jobs: usize,
+    /// Host worker threads used *inside* each join (fleet shards,
+    /// within-device batches, warp micro-execution) — the
+    /// [`SelfJoinConfig::with_host_jobs`] knob, `0` = auto. Orthogonal to
+    /// `jobs`, which parallelizes across sweep cells: canonical reports,
+    /// tables, and telemetry artifacts are bit-identical for any value.
+    pub host_jobs: usize,
     /// Warp simulator step mode for every GPU run (host-side only; simulated
     /// results are bit-identical across modes — CI diffs both).
     pub step_mode: StepMode,
@@ -263,20 +269,11 @@ impl CellOut {
     }
 }
 
-/// Maps `f` over `items` on up to `jobs` worker threads. Results come back
-/// in input order no matter how the cells were scheduled, so every table
-/// built from them is deterministic. Delegates to the shared
-/// [`simjoin::hybrid::par_map`] pool — the same worker pool the hybrid
-/// co-executor schedules its CPU units on.
-fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    simjoin::hybrid::par_map(jobs, items, f)
-}
+// Sweep cells run on `simjoin::pool::par_map` — the one shared pool behind
+// the hybrid CPU backend and the executor's intra-join layers. Results come
+// back in input order no matter how cells were scheduled, so every table
+// built from them is deterministic.
+use simjoin::pool::par_map;
 
 impl Experiments {
     /// Creates a driver at the given scale.
@@ -285,6 +282,7 @@ impl Experiments {
             scale,
             artifact_dir: None,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            host_jobs: 0,
             step_mode: StepMode::default(),
             devices: 1,
             sort_backend: SortBackend::default(),
@@ -331,6 +329,7 @@ impl Experiments {
             .with_batching(self.batching)
             .with_step_mode(self.step_mode)
             .with_sort_backend(self.sort_backend)
+            .with_host_jobs(self.host_jobs)
     }
 
     /// Snapshot of the state a sweep cell needs, detached from the
@@ -1220,6 +1219,64 @@ impl Experiments {
         out
     }
 
+    /// One measured point of the host-parallel wall-clock sweep: the same
+    /// single-device join with `host_jobs` forced to 1, 2, 4, and 8. Model
+    /// seconds and the pair count are asserted bit-identical across the
+    /// rows — host threads are allowed to change wall-clock only.
+    pub fn host_parallel_points(&self) -> Vec<HostParallelPoint> {
+        let (spec, pts) = self.dataset("Expo2D2M");
+        let eps = selected_eps(&spec);
+        // Same probe-and-tighten as the scaling sweep: shrink the batch
+        // capacity so the plan holds enough independent units for the
+        // batch-level layer to have work to spread across threads.
+        let probe = self.run(
+            &pts,
+            SelfJoinConfig::optimized(eps).with_batching(self.batching),
+        );
+        let batching = BatchingConfig {
+            batch_result_capacity: probe.pairs / 24 + 64,
+            max_batches: 64,
+            ..self.batching
+        };
+        let runner = self.runner();
+        let mut points: Vec<HostParallelPoint> = Vec::new();
+        let mut single = 0.0f64;
+        let mut canonical: Option<(usize, f64)> = None;
+        for host_jobs in [1usize, 2, 4, 8] {
+            let config = SelfJoinConfig::optimized(eps)
+                .with_batching(batching)
+                .with_host_jobs(host_jobs);
+            let r = runner.run(&pts, config);
+            let wall = r.sim_wall.as_secs_f64();
+            match canonical {
+                None => canonical = Some((r.pairs, r.response_s)),
+                Some((pairs, model_s)) => {
+                    assert_eq!(pairs, r.pairs, "host_jobs must not change the pair count");
+                    assert_eq!(
+                        model_s.to_bits(),
+                        r.response_s.to_bits(),
+                        "host_jobs must not change model seconds"
+                    );
+                }
+            }
+            if host_jobs == 1 {
+                single = wall;
+            }
+            points.push(HostParallelPoint {
+                host_jobs,
+                wall_s: wall,
+                speedup: if wall > 0.0 {
+                    single / wall
+                } else {
+                    f64::INFINITY
+                },
+                model_s: r.response_s,
+                pairs: r.pairs,
+            });
+        }
+        points
+    }
+
     /// One measured point of [`Self::failover`]: the same 4-device join
     /// under a clean fleet, a mid-join device loss with reshard recovery,
     /// and the same loss with CPU degradation.
@@ -1486,6 +1543,24 @@ pub struct ScalingPoint {
     pub canonical_s: f64,
     /// Batches in the canonical merged report.
     pub batches: usize,
+}
+
+/// One measured point of the host-parallel wall-clock sweep
+/// ([`Experiments::host_parallel_points`]). Wall-clock only: the canonical
+/// report and model seconds are bit-identical across rows by the
+/// host-parallelism invariant (asserted when the sweep runs).
+#[derive(Debug, Clone, Copy)]
+pub struct HostParallelPoint {
+    /// Forced [`SelfJoinConfig::host_jobs`] for this row.
+    pub host_jobs: usize,
+    /// Host wall-clock of the join in seconds (machine-dependent).
+    pub wall_s: f64,
+    /// `wall_s(host_jobs = 1) / wall_s` — intra-join thread scaling.
+    pub speedup: f64,
+    /// Canonical response time in model seconds (identical across rows).
+    pub model_s: f64,
+    /// Result pairs (identical across rows).
+    pub pairs: usize,
 }
 
 /// One measured point of the failover comparison

@@ -22,7 +22,7 @@ USAGE:
                [--balanced-queue] [--devices <n>] [--shard-strategy workload|count]
                [--recovery reshard|degrade] [--sort-backend host|device]
                [--exec-mode gpu|cpu|hybrid] [--jobs <n>] [--cpu-fraction <f>]
-               [--output <pairs.csv>] [--verify]
+               [--host-jobs <n>] [--output <pairs.csv>] [--verify]
       Run the self-join and print the execution report. --verify checks the
       result against the SUPER-EGO CPU join. With --devices N > 1 the batch
       plan is sharded across N simulated GPUs (workload-aware by default)
@@ -37,6 +37,11 @@ USAGE:
       differentially checking every unit both backends computed; the pair
       set and canonical report stay identical to --exec-mode gpu.
       --exec-mode cpu routes every unit through the checked CPU backend.
+      --host-jobs N threads the inside of the join itself (fleet shards,
+      batches, warp stepping; 0 = one per core, default from the HOST_JOBS
+      env var): the pair set, report, and telemetry are bit-identical for
+      any value — only wall-clock changes. Also accepted by profile, chaos,
+      and soak.
   simjoin stats --input <path> --eps <f>
       Print workload statistics (mean neighbors, cells, imbalance).
   simjoin profile --input <path> --eps <f> [join flags] [--output <telemetry.json>]
@@ -154,6 +159,19 @@ fn recovery_flag(parsed: &Parsed) -> Result<simjoin::RecoveryPolicy, String> {
         Some(name) => simjoin::RecoveryPolicy::by_name(name)
             .ok_or_else(|| format!("unknown recovery mode `{name}` (reshard|degrade)")),
     }
+}
+
+/// `--host-jobs <n>`: worker threads inside each join (fleet shards,
+/// batches, warps); `0` = one per core. When absent the config keeps its
+/// default (the `HOST_JOBS` env var, else auto). Results are bit-identical
+/// for any value — the knob changes wall-clock only.
+fn host_jobs_flag(parsed: &Parsed, config: &mut SelfJoinConfig) -> Result<(), String> {
+    if let Some(v) = parsed.optional("host-jobs") {
+        config.host_jobs = v
+            .parse()
+            .map_err(|_| "flag --host-jobs has an invalid value")?;
+    }
+    Ok(())
 }
 
 fn exec_mode_flag(parsed: &Parsed) -> Result<simjoin::ExecMode, String> {
@@ -559,6 +577,7 @@ fn join(parsed: &Parsed) -> Result<(), String> {
         .with_exec_mode(exec_mode);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
+    host_jobs_flag(parsed, &mut config)?;
 
     let (pairs, report, fleet, hybrid, used_k) = with_fixed(&points, |runner| {
         let (pairs, report, fleet, hybrid, used_k) = if devices > 1 {
@@ -706,6 +725,7 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
         .with_k(k);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
+    host_jobs_flag(parsed, &mut config)?;
 
     let sink = JsonTelemetry::new(format!(
         "simjoin profile eps={eps} pattern={pattern:?} balancing={balancing:?}"
@@ -795,6 +815,7 @@ fn chaos(parsed: &Parsed) -> Result<(), String> {
         .with_exec_mode(exec_mode);
     config.batching.balanced_queue = parsed.switch("balanced-queue");
     config.sort_backend = sort_backend_flag(parsed)?;
+    host_jobs_flag(parsed, &mut config)?;
 
     let sink = JsonTelemetry::new(format!(
         "simjoin chaos profile={profile_name} seed={seed} eps={eps} devices={devices}"
@@ -989,11 +1010,12 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
         let devices = if hybrid_soak { 1 } else { 1 + i as usize % 4 };
         let pattern = patterns[i as usize % patterns.len()];
         let strategy = simjoin::ShardStrategy::WorkloadAware;
-        let config = SelfJoinConfig::new(eps)
+        let mut config = SelfJoinConfig::new(eps)
             .with_pattern(pattern)
             .with_batching(batching)
             .with_recovery(recovery)
             .with_exec_mode(exec_mode);
+        host_jobs_flag(parsed, &mut config)?;
         let faults = vec![(
             i as usize % devices,
             warpsim::FaultSchedule::seeded(seed, &profile),

@@ -16,8 +16,13 @@ pub struct RetryPolicy {
     /// Re-submissions of a transiently failed batch before the executor
     /// treats the device as unusable.
     pub max_transient_retries: u32,
-    /// Total batch splits the executor may perform per join when result
-    /// buffers overflow; past this ceiling the overflow error surfaces.
+    /// Batch splits the executor may perform **per plan unit** when result
+    /// buffers overflow; past this ceiling the overflow error surfaces. The
+    /// budget is per unit (a unit's split ancestry depth), never shared
+    /// across units, so one unit's recovery can never be starved — or
+    /// rescued — by another unit's splits. This is also what lets
+    /// independent units execute on different host threads without their
+    /// recovery state interacting.
     pub max_overflow_splits: u32,
     /// Static re-runs of a queue chunk after a detected counter fault
     /// before the fault surfaces as a typed error.
@@ -355,6 +360,14 @@ pub struct SelfJoinConfig {
     /// [`SelfJoin::run`](crate::SelfJoin::run) and
     /// [`SelfJoin::run_hybrid`](crate::SelfJoin::run_hybrid).
     pub exec_mode: ExecMode,
+    /// Host worker threads for intra-join parallelism: fleet shards,
+    /// within-device batches, and warp micro-execution all run on up to
+    /// this many OS threads. `0` means "auto" (available hardware
+    /// parallelism). Purely host-side — canonical results, reports, model
+    /// seconds, and telemetry artifacts are bit-identical for every value;
+    /// only wall-clock time changes. Defaults to the `HOST_JOBS`
+    /// environment variable when set, else auto.
+    pub host_jobs: usize,
 }
 
 impl SelfJoinConfig {
@@ -376,6 +389,10 @@ impl SelfJoinConfig {
             step_mode: StepMode::default(),
             sort_backend: SortBackend::default(),
             exec_mode: ExecMode::default(),
+            host_jobs: std::env::var("HOST_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 
@@ -447,6 +464,18 @@ impl SelfJoinConfig {
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
         self
+    }
+
+    /// Builder-style: set the host worker thread count (`0` = auto).
+    pub fn with_host_jobs(mut self, jobs: usize) -> Self {
+        self.host_jobs = jobs;
+        self
+    }
+
+    /// The concrete host worker count: `host_jobs`, with `0` resolved to
+    /// the available hardware parallelism.
+    pub fn resolved_host_jobs(&self) -> usize {
+        crate::pool::resolve(self.host_jobs)
     }
 
     /// The warp issue order implied by the balancing strategy: the

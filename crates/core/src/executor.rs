@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use epsgrid::{GridBuildError, GridIndex, Point};
-use sj_telemetry::{Event, Stopwatch, Telemetry};
+use sj_telemetry::{Event, Stopwatch, Telemetry, Value};
 use warpsim::{
     launch_with, BatchTiming, CoopGroups, CounterFault, DeviceBuffer, DeviceCounter, DeviceFleet,
     FaultPlane, GpuConfig, LaunchError, LaunchOptions, LaunchReport, PipelineReport,
@@ -621,21 +621,49 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         // by the round budget), then give stragglers the same treatment.
         loop {
             let mut leftovers: Vec<WorkItem> = Vec::new();
-            for (d, items) in std::mem::take(&mut assignment) {
-                if items.is_empty() {
-                    continue;
+            // Execute this round's shard assignments concurrently on the
+            // host pool: every device owns its queue counter and fault
+            // plane, so per-device execution is independent. Each device's
+            // event stream is captured into its own buffer and spliced in
+            // device (assignment) order below; all result merging stays
+            // serial in that same order, so the outcome is bit-identical
+            // to executing the devices one after another.
+            let round_assignment: Vec<(usize, Vec<WorkItem>)> = std::mem::take(&mut assignment)
+                .into_iter()
+                .filter(|(_, items)| !items.is_empty())
+                .collect();
+            type DeviceRun = (
+                usize,
+                Vec<WorkItem>,
+                EventBuffer,
+                Result<ShardExecution, JoinError>,
+            );
+            let execs: Vec<DeviceRun> =
+                crate::pool::par_map(c.resolved_host_jobs(), round_assignment, |(d, items)| {
+                    let device = fleet.device(d);
+                    let ctx = ShardCtx {
+                        device: Some(d as u64),
+                        gpu: device.gpu(),
+                        fault: device.fault_plane(),
+                        counter: device.counter(),
+                        capacity,
+                        queue_limit,
+                        defer,
+                    };
+                    let buffer = EventBuffer::new(telemetry_on);
+                    let res = self.execute_units_with(&plan, &items, &ctx, &buffer);
+                    (d, items, buffer, res)
+                });
+            for (d, items, buffer, res) in execs {
+                if telemetry_on {
+                    for event in buffer.into_events() {
+                        self.telemetry.record(event);
+                    }
                 }
-                let device = fleet.device(d);
-                let ctx = ShardCtx {
-                    device: Some(d as u64),
-                    gpu: device.gpu(),
-                    fault: device.fault_plane(),
-                    counter: device.counter(),
-                    capacity,
-                    queue_limit,
-                    defer,
-                };
-                let exec = self.execute_units(&plan, &items, &ctx)?;
+                // A typed error surfaces after the failing device's own
+                // partial events, exactly as in the serial walk; later
+                // devices' buffers are dropped unseen.
+                let exec = res?;
                 gather_ns += exec.gather_ns;
                 let state = &mut states[d];
                 state.recovery.merge(&exec.recovery);
@@ -1214,7 +1242,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 transfer_s: b.transfer_s,
             });
         }
-        let gpu_fixed_s = exec.recovery.backoff_s + exec.recovery.cpu.map_or(0.0, |(_, _, s)| s);
+        let gpu_fixed_s = exec.recovery.backoff_s() + exec.recovery.cpu.map_or(0.0, |(_, _, s)| s);
 
         // The CPU pool recomputes the candidate share: under a forced cut
         // just the forced suffix, under the auto chooser every completed
@@ -1440,7 +1468,7 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         let gpu_response_s = StreamPipeline::new(c.batching.num_streams)
             .schedule(&gpu_timings)
             .total_s
-            + exec.recovery.backoff_s
+            + exec.recovery.backoff_s()
             + exec.recovery.cpu.map_or(0.0, |(_, _, s)| s);
         let cpu_model_s = policy
             .cpu
@@ -1677,7 +1705,46 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
         items: &[WorkItem],
         ctx: &ShardCtx<'_>,
     ) -> Result<ShardExecution, JoinError> {
-        let telemetry_on = self.telemetry.is_enabled();
+        self.execute_units_with(plan, items, ctx, self.telemetry)
+    }
+
+    /// [`SelfJoin::execute_units`] with an explicit telemetry sink, so a
+    /// caller running several shards concurrently can capture each shard's
+    /// event stream into its own buffer.
+    ///
+    /// Dispatches between the serial walk and the host-parallel item merge.
+    /// Independent items execute on pool threads only when no fault plane
+    /// is attached — fault admission is a cross-item serial protocol (the
+    /// plane's schedule is keyed by global launch index), so faulted
+    /// contexts always take the serial walk. Either path produces
+    /// bit-identical results, reports, and event streams; only wall-clock
+    /// time differs.
+    fn execute_units_with(
+        &self,
+        plan: &BatchPlan,
+        items: &[WorkItem],
+        ctx: &ShardCtx<'_>,
+        sink: &dyn Telemetry,
+    ) -> Result<ShardExecution, JoinError> {
+        let jobs = self.config.resolved_host_jobs();
+        if ctx.fault.is_some() || jobs <= 1 || items.len() <= 1 {
+            return self.execute_units_serial(plan, items, ctx, sink, jobs.max(1));
+        }
+        self.execute_units_parallel(plan, items, ctx, sink, jobs)
+    }
+
+    /// The serial item walk: one item at a time, depth-first through its
+    /// recovery splits. `workers` bounds the host threads the warp
+    /// simulator may use underneath each launch.
+    fn execute_units_serial(
+        &self,
+        plan: &BatchPlan,
+        items: &[WorkItem],
+        ctx: &ShardCtx<'_>,
+        sink: &dyn Telemetry,
+        workers: usize,
+    ) -> Result<ShardExecution, JoinError> {
+        let telemetry_on = sink.is_enabled();
         let c = &self.config;
         let issue_order = c.issue_order();
         let tag = |event: Event| match ctx.device {
@@ -1761,10 +1828,9 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     if let Some(bump) = plane.take_counter_bump() {
                         counter.fetch_add(bump);
                         if telemetry_on {
-                            self.telemetry
-                                .record(tag(Event::new("executor", "fault_injected")
-                                    .str("kind", "counter_bump")
-                                    .u64("bump", bump)));
+                            sink.record(tag(Event::new("executor", "fault_injected")
+                                .str("kind", "counter_bump")
+                                .u64("bump", bump)));
                         }
                     }
                 }
@@ -1797,9 +1863,10 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 assignment,
                 num_groups,
             };
-            let mut opts = LaunchOptions::with_telemetry(self.telemetry);
+            let mut opts = LaunchOptions::with_telemetry(sink);
             opts.fault_plane = ctx.fault;
             opts.step_mode = c.step_mode;
+            opts.workers = Some(workers);
             match launch_with(ctx.gpu, &source, issue_order, &mut buffer, &opts) {
                 Ok(launch_report) => {
                     // Queue-drain invariant, promoted from a debug assert:
@@ -1819,15 +1886,16 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                                 .backoff_for(c.retry.counter_backoff_s, unit.counter_attempts);
                             // The corrupted launch's kernel time is wasted
                             // serial host time, not pipeline time.
-                            recovery.backoff_s += backoff + launch_report.elapsed_seconds();
+                            recovery
+                                .backoff_terms
+                                .push(backoff + launch_report.elapsed_seconds());
                             if telemetry_on {
-                                self.telemetry
-                                    .record(tag(Event::new("executor", "fault_retry")
-                                        .str("class", "counter")
-                                        .u64("attempt", unit.counter_attempts as u64)
-                                        .u64("expected", expected)
-                                        .u64("observed", observed)
-                                        .f64("backoff_model_s", backoff)));
+                                sink.record(tag(Event::new("executor", "fault_retry")
+                                    .str("class", "counter")
+                                    .u64("attempt", unit.counter_attempts as u64)
+                                    .u64("expected", expected)
+                                    .u64("observed", observed)
+                                    .f64("backoff_model_s", backoff)));
                             }
                             if unit.counter_attempts > c.retry.max_counter_retries {
                                 return Err(JoinError::Launch(LaunchError::CounterFault(
@@ -1864,17 +1932,14 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                             transfer_s += stall_s;
                             recovery.transfer_stalls += 1;
                             if telemetry_on {
-                                self.telemetry.record(tag(Event::new(
-                                    "executor",
-                                    "fault_injected",
-                                )
-                                .str("kind", "transfer_stall")
-                                .f64("stall_model_s", stall_s)));
+                                sink.record(tag(Event::new("executor", "fault_injected")
+                                    .str("kind", "transfer_stall")
+                                    .f64("stall_model_s", stall_s)));
                             }
                         }
                     }
                     if telemetry_on {
-                        self.telemetry.record(tag(Event::new("executor", "batch")
+                        sink.record(tag(Event::new("executor", "batch")
                             .u64("index", batch_reports.len() as u64)
                             .u64("pairs", pairs as u64)
                             .f64("kernel_model_s", kernel_s)
@@ -1901,16 +1966,19 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                         Work::Split(queries) => queries,
                         ref planned => queries_of(planned),
                     };
-                    if queries.len() <= 1 || recovery.overflow_splits >= c.retry.max_overflow_splits
-                    {
+                    // The split budget is the unit's own ancestry depth —
+                    // never a run-global tally — so the terminal decision
+                    // depends only on this unit's history and stays
+                    // identical under any sharding or host-parallel
+                    // interleaving of the other units.
+                    if queries.len() <= 1 || unit.split_attempts >= c.retry.max_overflow_splits {
                         if telemetry_on {
-                            self.telemetry
-                                .record(tag(Event::new("executor", "overflow_recovery")
-                                    .bool("terminal", true)
-                                    .u64("splits_used", recovery.overflow_splits as u64)
-                                    .u64("batch_queries", queries.len() as u64)
-                                    .u64("attempted", overflow.attempted as u64)
-                                    .u64("capacity", overflow.capacity as u64)));
+                            sink.record(tag(Event::new("executor", "overflow_recovery")
+                                .bool("terminal", true)
+                                .u64("splits_used", recovery.overflow_splits as u64)
+                                .u64("batch_queries", queries.len() as u64)
+                                .u64("attempted", overflow.attempted as u64)
+                                .u64("capacity", overflow.capacity as u64)));
                         }
                         return Err(JoinError::Launch(LaunchError::ResultOverflow(overflow)));
                     }
@@ -1920,17 +1988,16 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     // recovery deterministic under any sharding of the plan.
                     let attempt = unit.split_attempts + 1;
                     let backoff = c.retry.backoff_for(c.retry.overflow_backoff_s, attempt);
-                    recovery.backoff_s += backoff;
+                    recovery.backoff_terms.push(backoff);
                     let right = queries.split_off(queries.len() / 2);
                     if telemetry_on {
-                        self.telemetry
-                            .record(tag(Event::new("executor", "overflow_recovery")
-                                .bool("terminal", false)
-                                .u64("split", recovery.overflow_splits as u64)
-                                .u64("attempt", attempt as u64)
-                                .u64("left_queries", queries.len() as u64)
-                                .u64("right_queries", right.len() as u64)
-                                .f64("backoff_model_s", backoff)));
+                        sink.record(tag(Event::new("executor", "overflow_recovery")
+                            .bool("terminal", false)
+                            .u64("split", recovery.overflow_splits as u64)
+                            .u64("attempt", attempt as u64)
+                            .u64("left_queries", queries.len() as u64)
+                            .u64("right_queries", right.len() as u64)
+                            .f64("backoff_model_s", backoff)));
                     }
                     pending.push_front(Pending::split(unit.item, right, attempt));
                     pending.push_front(Pending::split(unit.item, queries, attempt));
@@ -1944,13 +2011,12 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     let backoff = c
                         .retry
                         .backoff_for(c.retry.transient_backoff_s, unit.transient_attempts);
-                    recovery.backoff_s += backoff;
+                    recovery.backoff_terms.push(backoff);
                     if telemetry_on {
-                        self.telemetry
-                            .record(tag(Event::new("executor", "fault_retry")
-                                .str("class", "transient")
-                                .u64("attempt", unit.transient_attempts as u64)
-                                .f64("backoff_model_s", backoff)));
+                        sink.record(tag(Event::new("executor", "fault_retry")
+                            .str("class", "transient")
+                            .u64("attempt", unit.transient_attempts as u64)
+                            .f64("backoff_model_s", backoff)));
                     }
                     if unit.transient_attempts <= c.retry.max_transient_retries {
                         pending.push_front(unit);
@@ -2027,15 +2093,14 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 .model_seconds(&stats, N as u32, &ctx.gpu.cost);
             recovery.cpu = Some((remaining.len(), stats.pairs, cpu_model_s));
             if telemetry_on {
-                self.telemetry
-                    .record(tag(Event::new("executor", "degradation")
-                        .u64("batches_salvaged", batch_reports.len() as u64)
-                        .u64("points_degraded", remaining.len() as u64)
-                        .u64("cpu_pairs", stats.pairs)
-                        .u64("cpu_distance_calcs", stats.distance_calcs)
-                        .f64("cpu_model_s", cpu_model_s)
-                        .bool("device_lost", recovery.device_lost)
-                        .u64("host_ns", sw_cpu.elapsed_ns())));
+                sink.record(tag(Event::new("executor", "degradation")
+                    .u64("batches_salvaged", batch_reports.len() as u64)
+                    .u64("points_degraded", remaining.len() as u64)
+                    .u64("cpu_pairs", stats.pairs)
+                    .u64("cpu_distance_calcs", stats.distance_calcs)
+                    .f64("cpu_model_s", cpu_model_s)
+                    .bool("device_lost", recovery.device_lost)
+                    .u64("host_ns", sw_cpu.elapsed_ns())));
             }
         } else if interruption.is_none() {
             // Final queue-drain invariant: a fully GPU-completed queue shard
@@ -2062,6 +2127,178 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
             interruption,
             cpu_tail_key,
         })
+    }
+
+    /// Executes independent work items concurrently on the host pool.
+    ///
+    /// Each item runs alone through [`SelfJoin::execute_units_serial`]
+    /// against a **private** queue-head counter — every queue chunk re-aims
+    /// the head at its own start before launching, so a private head pops
+    /// exactly the chunk's range — with its events captured into a
+    /// per-item buffer. Outputs are then merged strictly in item order:
+    /// pairs, batch reports, warp totals, recovery tallies, and the spliced
+    /// event stream are bit-identical to the serial walk (which executes
+    /// items depth-first, so its outputs are grouped by item in item
+    /// order); only wall-clock time changes. Run-global running counts in
+    /// events (`executor.batch` `index`, `executor.overflow_recovery`
+    /// `split`/`splits_used`) are restored during the splice by offsetting
+    /// each item's local counts with the totals of the items before it.
+    ///
+    /// Only clean-path recovery (result-buffer overflow splits, whose
+    /// budget is per-unit) can occur here: the dispatcher routes every
+    /// faulted context to the serial walk, so transient/device-lost/counter
+    /// handling — and therefore interruptions, degradation, and CPU tails —
+    /// never cross threads.
+    fn execute_units_parallel(
+        &self,
+        plan: &BatchPlan,
+        items: &[WorkItem],
+        ctx: &ShardCtx<'_>,
+        sink: &dyn Telemetry,
+        jobs: usize,
+    ) -> Result<ShardExecution, JoinError> {
+        let telemetry_on = sink.is_enabled();
+        let subs: Vec<(EventBuffer, Result<ShardExecution, JoinError>)> =
+            crate::pool::par_map(jobs, items.to_vec(), |item| {
+                let buffer = EventBuffer::new(telemetry_on);
+                let counter = DeviceCounter::new();
+                let sub_ctx = ShardCtx {
+                    device: ctx.device,
+                    gpu: ctx.gpu,
+                    fault: None,
+                    counter: &counter,
+                    capacity: ctx.capacity,
+                    queue_limit: ctx.queue_limit,
+                    defer: ctx.defer,
+                };
+                let res = self.execute_units_serial(
+                    plan,
+                    std::slice::from_ref(&item),
+                    &sub_ctx,
+                    &buffer,
+                    1,
+                );
+                (buffer, res)
+            });
+
+        let mut result = ResultSet::default();
+        let mut batch_reports: Vec<BatchReport> = Vec::with_capacity(items.len());
+        let mut batch_items: Vec<usize> = Vec::with_capacity(items.len());
+        let mut totals = WarpExecution {
+            warp_size: ctx.gpu.warp_size,
+            ..WarpExecution::default()
+        };
+        let mut gather_ns: u64 = 0;
+        let mut recovery = RecoveryCounters::default();
+        for (item_idx, (buffer, res)) in subs.into_iter().enumerate() {
+            // Offsets restoring the run-global running counts this item's
+            // events would have carried in the serial walk.
+            let batch_offset = batch_reports.len() as u64;
+            let split_offset = recovery.overflow_splits as u64;
+            if telemetry_on {
+                for mut event in buffer.into_events() {
+                    if event.scope == "executor" {
+                        match event.name {
+                            "batch" => bump_u64_field(&mut event, "index", batch_offset),
+                            "overflow_recovery" => {
+                                bump_u64_field(&mut event, "split", split_offset);
+                                bump_u64_field(&mut event, "splits_used", split_offset);
+                            }
+                            _ => {}
+                        }
+                    }
+                    sink.record(event);
+                }
+            }
+            // An error aborts the merge exactly where the serial walk would
+            // have stopped: this item's partial events are spliced, later
+            // items' buffers are dropped unseen.
+            let sub = res?;
+            debug_assert!(
+                sub.interruption.is_none() && sub.cpu_tail_key.is_none(),
+                "faultless items cannot interrupt or degrade"
+            );
+            result.extend(sub.result.pairs());
+            for report in sub.batch_reports {
+                totals.accumulate(&report.launch.totals);
+                batch_reports.push(report);
+                batch_items.push(item_idx);
+            }
+            gather_ns += sub.gather_ns;
+            recovery.merge(&sub.recovery);
+        }
+        // Leave the shared queue head where the serial walk would have:
+        // drained past this item list's last planned chunk.
+        if let BatchPlan::Queue { chunks, .. } = plan {
+            if let Some(expected) = items
+                .iter()
+                .filter(|item| item.queries.is_none() && !chunks[item.unit].is_empty())
+                .map(|item| chunks[item.unit].end as u64)
+                .next_back()
+            {
+                ctx.counter.store(expected);
+            }
+        }
+        Ok(ShardExecution {
+            result,
+            batch_reports,
+            batch_items,
+            totals,
+            gather_ns,
+            recovery,
+            interruption: None,
+            cpu_tail_key: None,
+        })
+    }
+}
+
+/// A thread-local telemetry capture: events recorded here are spliced into
+/// the real sink afterwards, in a deterministic merge order chosen by the
+/// capturing caller (item order within a shard, device order across a
+/// fleet round).
+struct EventBuffer {
+    enabled: bool,
+    events: std::sync::Mutex<Vec<Event>>,
+}
+
+impl EventBuffer {
+    fn new(enabled: bool) -> Self {
+        EventBuffer {
+            enabled,
+            events: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn into_events(self) -> Vec<Event> {
+        self.events.into_inner().unwrap()
+    }
+}
+
+impl Telemetry for EventBuffer {
+    fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&self, event: Event) {
+        if self.enabled {
+            self.events.lock().unwrap().push(event);
+        }
+    }
+}
+
+/// Adds `delta` to an event's `key` field (when present and `u64`-typed):
+/// the splice-time restoration of run-global running counts in buffered
+/// per-item event streams.
+fn bump_u64_field(event: &mut Event, key: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    for (k, v) in event.fields.iter_mut() {
+        if *k == key {
+            if let Value::U64(x) = v {
+                *x += delta;
+            }
+        }
     }
 }
 
@@ -2225,7 +2462,7 @@ impl DeviceState {
             .collect();
         let pipeline = StreamPipeline::new(num_streams).schedule(&timings);
         let cpu_s = self.recovery.cpu.map_or(0.0, |(_, _, s)| s);
-        let response = pipeline.total_s + self.recovery.backoff_s + cpu_s;
+        let response = pipeline.total_s + self.recovery.backoff_s() + cpu_s;
         (pipeline, response)
     }
 }
@@ -2279,13 +2516,24 @@ struct RecoveryCounters {
     overflow_splits: u32,
     counter_retries: u32,
     transfer_stalls: u32,
-    backoff_s: f64,
+    /// Individual backoff charges, model seconds, in execution order. Kept
+    /// as terms and left-folded at report time, so that merging per-item or
+    /// per-device tallies by concatenation (always in plan/device order)
+    /// reproduces the serial `+=` accumulation bit-for-bit — f64 addition
+    /// is not associative, partial sums would not be.
+    backoff_terms: Vec<f64>,
     device_lost: bool,
     /// `(points, pairs, model seconds)` of the CPU fallback, if it ran.
     cpu: Option<(usize, u64, f64)>,
 }
 
 impl RecoveryCounters {
+    /// Total recovery backoff in model seconds: the left-fold of the
+    /// charge terms in execution order.
+    fn backoff_s(&self) -> f64 {
+        self.backoff_terms.iter().fold(0.0, |acc, t| acc + t)
+    }
+
     /// Folds another shard's tallies into this one (fleet merge). The
     /// `device_lost` flag becomes "any device lost"; CPU fallback accounting
     /// sums across shards.
@@ -2294,7 +2542,7 @@ impl RecoveryCounters {
         self.overflow_splits += other.overflow_splits;
         self.counter_retries += other.counter_retries;
         self.transfer_stalls += other.transfer_stalls;
-        self.backoff_s += other.backoff_s;
+        self.backoff_terms.extend_from_slice(&other.backoff_terms);
         self.device_lost |= other.device_lost;
         if let Some((points, pairs, model_s)) = other.cpu {
             let acc = self.cpu.get_or_insert((0, 0, 0.0));
@@ -2324,7 +2572,7 @@ impl RecoveryCounters {
             overflow_splits: self.overflow_splits,
             counter_retries: self.counter_retries,
             transfer_stalls: self.transfer_stalls,
-            backoff_s: self.backoff_s,
+            backoff_s: self.backoff_s(),
             device_lost: self.device_lost,
         })
     }

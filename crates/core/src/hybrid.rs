@@ -371,48 +371,12 @@ pub struct HybridOutcome {
     pub hybrid: HybridReport,
 }
 
-/// Deterministic worker pool: applies `f` to every item on up to `jobs`
-/// threads and returns results in input order regardless of scheduling.
+/// Deterministic worker pool, re-exported from [`crate::pool`].
 ///
-/// This is the PR-3 bench pool promoted into core so the hybrid CPU backend
-/// and the bench sweep cells share one implementation. Workers claim items
-/// from an atomic counter; results land in per-index slots, so the output
-/// order (and therefore every downstream merge) is independent of `jobs`.
-pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let slots: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let work: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= work.len() {
-                    break;
-                }
-                let item = work[idx].lock().unwrap().take().expect("item claimed once");
-                let out = f(item);
-                *slots[idx].lock().unwrap() = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
-        .collect()
-}
+/// The PR-3 bench pool was first promoted here for the hybrid CPU backend;
+/// it now lives in [`crate::pool`], shared by every host-parallel layer
+/// (sweep cells, the CPU backend, fleet shards, within-device batches).
+pub use crate::pool::par_map;
 
 #[cfg(test)]
 mod tests {

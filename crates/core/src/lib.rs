@@ -45,6 +45,7 @@ pub mod fleet;
 pub mod hybrid;
 pub mod kernels;
 pub mod patterns;
+pub mod pool;
 pub mod result;
 pub mod workload;
 

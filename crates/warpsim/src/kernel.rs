@@ -187,7 +187,22 @@ impl<'t> LaunchOptions<'t> {
         self.step_mode = mode;
         self
     }
+
+    /// Builder-style: force the host worker thread count for warp
+    /// micro-execution (`None`/unset uses the available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
 }
+
+/// A Phase-2 work slot: one constructed warp, claimed exactly once by a
+/// stealing worker.
+type WarpWork<L> = std::sync::Mutex<Option<(u32, Vec<L>)>>;
+
+/// A Phase-2 result slot, indexed like its work slot so Phase 3 aggregates
+/// in an order independent of worker scheduling.
+type WarpOut = std::sync::Mutex<Option<(u32, WarpExecution, LaneSink)>>;
 
 /// Launches a kernel: constructs warps in issue order, micro-executes them,
 /// appends their result pairs to `out` (in warp-id order, so output is
@@ -256,38 +271,60 @@ pub fn launch_with<S: WarpSource>(
     }
     let construct_ns = sw_construct.elapsed_ns();
 
-    // Phase 2: micro-execute warp bodies, in parallel on the host.
+    // Phase 2: micro-execute warp bodies, in parallel on the host. Workers
+    // steal fixed-size chunks of the warp list from an atomic cursor, so a
+    // long warp only delays its own chunk while idle workers drain the
+    // rest; each warp advances on exactly one thread (the run-length fast
+    // path stays lock-free per warp) and its result lands in a per-index
+    // slot, which keeps Phase 3 aggregation order independent of workers.
     let sw_exec = Stopwatch::start();
     let warp_size = gpu.warp_size;
-    let mut slots: Vec<Option<(u32, WarpExecution, LaneSink)>> = Vec::with_capacity(num_warps);
-    slots.resize_with(num_warps, || None);
-    let workers = opts.workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    let chunk_size = num_warps.div_ceil(workers.max(1)).max(1);
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(num_warps.max(1));
     let step_mode = opts.step_mode;
-    if num_warps > 0 {
-        crossbeam::thread::scope(|s| {
-            let mut warps_rest: &mut [(u32, Vec<S::Lane>)] = &mut warps;
-            let mut slots_rest: &mut [Option<(u32, WarpExecution, LaneSink)>] = &mut slots;
-            while !warps_rest.is_empty() {
-                let take = chunk_size.min(warps_rest.len());
-                let (w_chunk, w_tail) = warps_rest.split_at_mut(take);
-                let (s_chunk, s_tail) = slots_rest.split_at_mut(take);
-                warps_rest = w_tail;
-                slots_rest = s_tail;
-                s.spawn(move |_| {
-                    for ((warp_id, lanes), slot) in w_chunk.iter_mut().zip(s_chunk.iter_mut()) {
+    let mut slots: Vec<Option<(u32, WarpExecution, LaneSink)>>;
+    if workers > 1 {
+        let work: Vec<WarpWork<S::Lane>> = warps
+            .into_iter()
+            .map(|w| std::sync::Mutex::new(Some(w)))
+            .collect();
+        let out: Vec<WarpOut> = (0..num_warps)
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let chunk = num_warps.div_ceil(workers * 4).max(1);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                    if start >= work.len() {
+                        break;
+                    }
+                    for idx in start..(start + chunk).min(work.len()) {
+                        let (warp_id, mut lanes) =
+                            work[idx].lock().unwrap().take().expect("warp claimed once");
                         let mut sink = LaneSink::new();
-                        let exec = execute_warp_with(lanes, warp_size, &mut sink, step_mode);
-                        *slot = Some((*warp_id, exec, sink));
+                        let exec = execute_warp_with(&mut lanes, warp_size, &mut sink, step_mode);
+                        *out[idx].lock().unwrap() = Some((warp_id, exec, sink));
                     }
                 });
             }
-        })
-        .expect("warp execution worker panicked");
+        });
+        slots = out.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    } else {
+        slots = Vec::with_capacity(num_warps);
+        for (warp_id, mut lanes) in warps {
+            let mut sink = LaneSink::new();
+            let exec = execute_warp_with(&mut lanes, warp_size, &mut sink, step_mode);
+            slots.push(Some((warp_id, exec, sink)));
+        }
     }
     let exec_ns = sw_exec.elapsed_ns();
 

@@ -150,6 +150,89 @@ fn same_seed_faulted_fleet_replays_bit_identically() {
     }
 }
 
+/// The host-parallel invariant across the fleet: for any `host_jobs`, any
+/// device count, and any seeded fault profile, the merged pair set, the
+/// canonical report, the fleet makespan bits, and the recovery accounting
+/// are identical to the serial (`host_jobs = 1`) run — host threads
+/// reshuffle wall-clock only, never results.
+#[test]
+fn host_jobs_invariant_across_devices_and_chaos() {
+    let spec = DatasetSpec::by_name("Expo2D2M").unwrap();
+    let pts = spec.generate(400);
+    let eps = spec.epsilons[2] * 1.5;
+    let truth = brute_force_dyn(&pts, eps);
+    let base = SelfJoinConfig::new(eps)
+        .with_balancing(Balancing::WorkQueue)
+        .with_batching(BatchingConfig {
+            batch_result_capacity: truth.len() / 10 + 8,
+            ..BatchingConfig::default()
+        });
+    // Clean fleets: host_jobs x device count.
+    for devices in [1usize, 2, 4] {
+        let run = |jobs: usize| {
+            join_fleet_dyn(
+                &pts,
+                base.clone().with_host_jobs(jobs),
+                devices,
+                ShardStrategy::WorkloadAware,
+            )
+        };
+        let (pairs_1, report_1, fleet_1) = run(1);
+        assert_eq!(pairs_1, truth, "x{devices}: serial fleet must be exact");
+        for jobs in [2usize, 4, 8] {
+            let ctx = format!("clean x{devices}, host_jobs={jobs}");
+            let (pairs_n, report_n, fleet_n) = run(jobs);
+            assert_eq!(pairs_1, pairs_n, "pair set drifted [{ctx}]");
+            assert_canonical_reports_identical(&report_1, &report_n, &ctx);
+            assert_eq!(
+                fleet_1.makespan_s.to_bits(),
+                fleet_n.makespan_s.to_bits(),
+                "makespan drifted [{ctx}]"
+            );
+        }
+    }
+    // Faulted fleets: host_jobs x chaos profile on 4 devices. A faulted
+    // device routes itself back to the serial batch path, but the healthy
+    // devices of the same round still run on the pool.
+    for name in ["device-lost", "transient", "mixed"] {
+        let profile = FaultProfile::by_name(name).unwrap();
+        let run = |jobs: usize| {
+            let faults = vec![(1usize, FaultSchedule::seeded(7, &profile))];
+            join_fleet_dyn_chaos(
+                &pts,
+                base.clone().with_host_jobs(jobs),
+                4,
+                ShardStrategy::WorkloadAware,
+                &faults,
+            )
+        };
+        for jobs in [2usize, 4, 8] {
+            match (run(1), run(jobs)) {
+                (Ok((pairs_a, report_a, fleet_a)), Ok((pairs_b, report_b, fleet_b))) => {
+                    let ctx = format!("{name}, host_jobs={jobs}");
+                    assert_eq!(pairs_a, pairs_b, "pair set drifted [{ctx}]");
+                    assert_canonical_reports_identical(&report_a, &report_b, &ctx);
+                    assert_eq!(
+                        fleet_a.makespan_s.to_bits(),
+                        fleet_b.makespan_s.to_bits(),
+                        "makespan drifted [{ctx}]"
+                    );
+                    assert_eq!(
+                        fleet_a.recovery, fleet_b.recovery,
+                        "recovery accounting drifted [{ctx}]"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "{name}, host_jobs={jobs}: error drifted"
+                ),
+                (a, b) => panic!("{name}, host_jobs={jobs}: outcomes diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
 /// Scaling sanity: with more devices the makespan never grows, and with
 /// enough devices it drops strictly below the single-device response time.
 #[test]

@@ -343,6 +343,95 @@ fn hybrid_join_telemetry_is_strict_json() {
     }
 }
 
+/// Replaces the numeric value of every `host_*`-prefixed field with `0`.
+/// Host-time observations (`host_ns`, `host_workers`, `host_exec_ns`, …)
+/// are the *only* fields allowed to differ across `host_jobs` runs —
+/// everything else in the document must be byte-identical.
+fn mask_host_fields(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    while let Some(hit) = rest.find("\"host_") {
+        let Some(value_start) = rest[hit..].find("\": ").map(|p| hit + p + 3) else {
+            break;
+        };
+        out.push_str(&rest[..value_start]);
+        let tail = &rest[value_start..];
+        let value_len = tail.find([',', '}']).unwrap_or(tail.len());
+        out.push('0');
+        rest = &tail[value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The host-parallel byte-identity invariant: the telemetry document of a
+/// join is byte-for-byte identical for any `host_jobs`, once the values of
+/// `host_*`-prefixed fields (the explicitly host-dependent wall-clock and
+/// worker-count observations) are masked. The executor's documented total
+/// order — events appear exactly where the serial plan-order execution
+/// would record them, with run-global indices restored at splice time —
+/// means event kinds, order, counts, and every model-side value must not
+/// move when the inside of the join runs on threads.
+#[test]
+fn telemetry_documents_are_byte_identical_across_host_jobs() {
+    let pts: Vec<[f32; 2]> = (0..200)
+        .map(|i| [0.03 * (i % 20) as f32, 0.05 * (i / 20) as f32])
+        .collect();
+    let doc_at = |jobs: usize| {
+        let mut config = SelfJoinConfig::new(0.08)
+            .with_balancing(Balancing::WorkQueue)
+            .with_host_jobs(jobs);
+        // Several batches plus overflow splits, so the batch layer both
+        // has pool work and exercises the split/retry splice path.
+        config.batching.batch_result_capacity = 64;
+        let sink = JsonTelemetry::new("host-jobs");
+        simjoin::SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_telemetry(&sink)
+            .run()
+            .unwrap();
+        mask_host_fields(&sink.to_json())
+    };
+    let base = doc_at(1);
+    assert_strict_json(&base, "masked host-jobs telemetry");
+    assert!(
+        base.contains("\"name\": \"batch\""),
+        "expected batch events in:\n{base}"
+    );
+    for jobs in [2usize, 4, 8] {
+        assert_eq!(
+            base,
+            doc_at(jobs),
+            "single-device telemetry drifted at host_jobs={jobs}"
+        );
+    }
+    // The fleet path: per-device event streams are spliced in device order
+    // and must land byte-identically too.
+    let fleet_doc_at = |jobs: usize| {
+        let mut config = SelfJoinConfig::new(0.08)
+            .with_balancing(Balancing::WorkQueue)
+            .with_host_jobs(jobs);
+        config.batching.batch_result_capacity = 64;
+        let sink = JsonTelemetry::new("host-jobs-fleet");
+        let fleet = warpsim::DeviceFleet::homogeneous(3, config.gpu);
+        simjoin::SelfJoin::new(&pts, config)
+            .unwrap()
+            .with_telemetry(&sink)
+            .run_on_fleet(&fleet, ShardStrategy::WorkloadAware)
+            .unwrap();
+        mask_host_fields(&sink.to_json())
+    };
+    let fleet_base = fleet_doc_at(1);
+    assert_strict_json(&fleet_base, "masked host-jobs fleet telemetry");
+    for jobs in [2usize, 4, 8] {
+        assert_eq!(
+            fleet_base,
+            fleet_doc_at(jobs),
+            "fleet telemetry drifted at host_jobs={jobs}"
+        );
+    }
+}
+
 /// Every telemetry artifact recorded under `results/` must round-trip
 /// through the strict parser. Skips silently when no artifacts exist (the
 /// experiment driver hasn't been run in this checkout).
