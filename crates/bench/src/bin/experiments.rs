@@ -40,11 +40,12 @@ use warpsim::StepMode;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--quick] [--scale <factor>] [--eps-stride <n>] [--jobs <n>] [--host-jobs <n>] [--step-mode stepped|runlength] [--devices <n>] [--lose-device <d>] [--sort-backend host|device] [--exec-mode gpu|cpu|hybrid] [--no-telemetry] [EXPERIMENT]...\n\
-         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover, hybrid\n\
-         (chaos, scaling, failover, and hybrid are not part of `all`: chaos exercises the fault-injection plane,\n\
+         experiments: all, table1, fig9, table3, fig10, table4, fig11, table5, fig12, table6, fig13, ablations, chaos, scaling, failover, hybrid, serve\n\
+         (chaos, scaling, failover, hybrid, and serve are not part of `all`: chaos exercises the fault-injection plane,\n\
           scaling shards the join across a simulated multi-device fleet, failover compares reshard\n\
           recovery against CPU degradation after a mid-join device loss, hybrid sweeps the CPU/GPU\n\
-          co-executor's split fraction against the measured auto cut; --lose-device <d> injects a\n\
+          co-executor's split fraction against the measured auto cut, serve replays a churn-and-query\n\
+          request stream through the always-on daemon with and without ε-coalescing; --lose-device <d> injects a\n\
           device-lost fault into every fleet run — requires --devices > d; --exec-mode hybrid routes\n\
           every single-device cell through the co-executor — tables still diff clean;\n\
           --jobs spreads sweep cells across workers, --host-jobs threads the inside of each join —\n\
@@ -138,6 +139,15 @@ fn host_parallel_rows() -> Vec<sj_bench::experiments::HostParallelPoint> {
     Experiments::new(ExperimentScale::quick()).host_parallel_points()
 }
 
+/// Serve-daemon rows recorded into the baseline artifact, pinned to quick
+/// scale: the identical request stream through the coalesced admission
+/// queue and the serial one-launch-per-request baseline. The acceptance
+/// row is the coalesced launch model seconds landing strictly below the
+/// serial row's (asserted inside the sweep, with identical answers).
+fn serve_rows() -> Vec<sj_bench::experiments::ServePoint> {
+    Experiments::new(ExperimentScale::quick()).serve_points()
+}
+
 fn write_baseline(
     scale: ExperimentScale,
     jobs: usize,
@@ -224,6 +234,29 @@ fn write_baseline(
             "    {{\"host_jobs\": {}, \"sim_wall_s\": {:.6}, \"speedup\": {:.2}, \
              \"canonical_model_s\": {:.9}, \"pairs\": {}}}{sep}\n",
             p.host_jobs, p.wall_s, p.speedup, p.model_s, p.pairs
+        ));
+    }
+    json.push_str("  ],\n");
+    let serve = serve_rows();
+    json.push_str("  \"serve\": [\n");
+    for (i, p) in serve.iter().enumerate() {
+        let sep = if i + 1 < serve.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"requests\": {}, \"admitted\": {}, \"launches\": {}, \
+             \"coalesced_requests\": {}, \"cache_hits\": {}, \"incremental_reindexes\": {}, \
+             \"full_rebuilds\": {}, \"execute_model_s\": {:.9}, \"total_p50_s\": {:.9}, \
+             \"total_p99_s\": {:.9}}}{sep}\n",
+            p.mode,
+            p.requests,
+            p.admitted,
+            p.launches,
+            p.coalesced_requests,
+            p.cache_hits,
+            p.incremental_reindexes,
+            p.full_rebuilds,
+            p.execute_model_s,
+            p.total_p50_s,
+            p.total_p99_s
         ));
     }
     json.push_str("  ],\n");
@@ -363,6 +396,7 @@ fn main() {
             "scaling" => drop(exp.scaling()),
             "failover" => drop(exp.failover()),
             "hybrid" => drop(exp.hybrid()),
+            "serve" => drop(exp.serve()),
             _ => usage(),
         }
         timings.push((name, start.elapsed().as_secs_f64()));

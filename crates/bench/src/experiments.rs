@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 use epsgrid::DynPoints;
 use simjoin::{
-    AccessPattern, Balancing, BatchingConfig, ExecMode, HybridPolicy, RecoveryPolicy,
-    SelfJoinConfig, ShardStrategy, SortBackend,
+    AccessPattern, Balancing, BatchingConfig, ExecMode, HybridPolicy, RecoveryPolicy, Reply,
+    Request, SelfJoinConfig, ServeConfig, ServeSession, ShardStrategy, SortBackend,
 };
 use sj_telemetry::{Event, JsonTelemetry, Telemetry};
 use sjdata::DatasetSpec;
@@ -1506,6 +1506,158 @@ impl Experiments {
         out
     }
 
+    /// The serve throughput comparison: the same churn-and-query request
+    /// stream through the always-on daemon in coalesced mode (admission
+    /// queue merges same-ε requests into one launch, barrier-flushed by
+    /// mutations) and in the serial baseline (one launch per request).
+    /// Answers are asserted identical across the two modes — coalescing is
+    /// a scheduling optimization, never a semantic one — and the coalesced
+    /// mode must beat the serial baseline on total launch model seconds.
+    pub fn serve_points(&self) -> Vec<ServePoint> {
+        const ROUNDS: usize = 5;
+        const BURST: usize = 6;
+        let (spec, pts) = self.dataset("Expo2D2M");
+        let eps = selected_eps(&spec);
+        let fixed: Vec<[f32; 2]> = pts.as_fixed::<2>().expect("Expo2D is 2-D");
+        let sink = self.sink.borrow().clone();
+        let mut points = Vec::new();
+        let mut transcripts: Vec<Vec<String>> = Vec::new();
+        for (mode, coalesce) in [("coalesced", true), ("serial", false)] {
+            let telemetry: &dyn Telemetry = match sink.as_ref() {
+                Some(s) => s.as_ref(),
+                None => &sj_telemetry::NULL,
+            };
+            let config = SelfJoinConfig::optimized(eps).with_batching(self.batching);
+            let serve_cfg = ServeConfig {
+                queue_capacity: BURST + 4,
+                coalesce,
+                ..ServeConfig::default()
+            };
+            let mut session = ServeSession::new(fixed.clone(), config, serve_cfg)
+                .expect("dataset indexes at its sweep ε")
+                .with_telemetry(telemetry);
+            let mut responses = Vec::new();
+            for round in 0..ROUNDS {
+                // Churn: one insert near an existing point, one remove.
+                // Mutations barrier-flush the previous round's burst.
+                let seed = fixed[(round * 13) % fixed.len()];
+                responses.extend(session.request(Request::Insert {
+                    point: [seed[0] + 0.01, seed[1] - 0.01],
+                }));
+                responses.extend(session.request(Request::Remove {
+                    point_id: (round % 7) as u32,
+                }));
+                for q in 0..BURST {
+                    let pid = ((round * BURST + q) * 31 % session.num_points()) as u32;
+                    responses.extend(session.request(Request::Query {
+                        point_id: pid,
+                        epsilon: eps,
+                    }));
+                }
+                responses.extend(session.request(Request::Join { epsilon: eps }));
+            }
+            responses.extend(session.request(Request::Flush));
+            let report = session.report();
+            // Latency-independent answer transcript, keyed by request id.
+            let transcript: Vec<String> = responses
+                .iter()
+                .filter_map(|r| match &r.reply {
+                    Reply::Neighbors {
+                        point_id,
+                        neighbors,
+                        ..
+                    } => Some(format!("q{} p{point_id} {neighbors:?}", r.id)),
+                    Reply::JoinSummary { pairs, .. } => Some(format!("j{} {pairs}", r.id)),
+                    _ => None,
+                })
+                .collect();
+            transcripts.push(transcript);
+            if let Some(s) = sink.as_ref() {
+                s.record(
+                    Event::new("bench", "serve_mode")
+                        .str("mode", mode)
+                        .u64("requests", report.requests)
+                        .u64("launches", report.launches)
+                        .u64("coalesced_requests", report.coalesced_requests)
+                        .u64("cache_hits", report.cache_hits)
+                        .f64("execute_model_s", report.execute_model_s)
+                        .f64("total_p50_s", report.total_p50_s)
+                        .f64("total_p99_s", report.total_p99_s),
+                );
+            }
+            points.push(ServePoint {
+                mode,
+                requests: report.requests,
+                admitted: report.queries + report.joins,
+                launches: report.launches,
+                coalesced_requests: report.coalesced_requests,
+                cache_hits: report.cache_hits,
+                incremental_reindexes: report.incremental_reindexes,
+                full_rebuilds: report.full_rebuilds,
+                execute_model_s: report.execute_model_s,
+                total_p50_s: report.total_p50_s,
+                total_p99_s: report.total_p99_s,
+            });
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "serve invariant violated: coalesced and serial modes answered differently"
+        );
+        points
+    }
+
+    /// Serve daemon table (not part of the paper; not in `run_all`): the
+    /// coalesced admission queue vs the serial one-launch-per-request
+    /// baseline on an identical churn-and-query stream. See
+    /// [`Experiments::serve_points`].
+    pub fn serve(&self) -> String {
+        self.begin_experiment("serve");
+        let mut t = Table::new(vec![
+            "mode",
+            "requests",
+            "admitted",
+            "launches",
+            "coalesced",
+            "cache hits",
+            "reindex inc/full",
+            "exec model s",
+            "total p50",
+            "total p99",
+        ]);
+        let points = self.serve_points();
+        for p in &points {
+            t.row(vec![
+                p.mode.to_string(),
+                p.requests.to_string(),
+                p.admitted.to_string(),
+                p.launches.to_string(),
+                p.coalesced_requests.to_string(),
+                p.cache_hits.to_string(),
+                format!("{}/{}", p.incremental_reindexes, p.full_rebuilds),
+                fmt_time(p.execute_model_s),
+                fmt_time(p.total_p50_s),
+                fmt_time(p.total_p99_s),
+            ]);
+        }
+        let (coalesced, serial) = (&points[0], &points[1]);
+        assert!(
+            coalesced.execute_model_s < serial.execute_model_s,
+            "serve acceptance violated: coalesced total {} model s is not below serial {}",
+            coalesced.execute_model_s,
+            serial.execute_model_s
+        );
+        let out = emit(
+            &format!(
+                "Serve — coalesced admission vs serial baseline \
+                 ({:.2}x less launch time)",
+                serial.execute_model_s / coalesced.execute_model_s
+            ),
+            t.render(),
+        );
+        self.end_experiment("serve");
+        out
+    }
+
     pub fn run_all(&self) -> String {
         let mut out = String::new();
         out.push_str(&self.table1());
@@ -1610,6 +1762,33 @@ pub struct HybridPoint {
     pub makespan_s: f64,
     /// Result pairs — identical across every row by the differential check.
     pub pairs: usize,
+}
+
+/// One measured serve-daemon mode ([`Experiments::serve_points`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServePoint {
+    /// Row label: `"coalesced"` or `"serial"`.
+    pub mode: &'static str,
+    /// Requests admitted or answered, including mutations and control ops.
+    pub requests: u64,
+    /// Launch-bearing requests (queries + whole joins).
+    pub admitted: u64,
+    /// Batched kernel launches the session paid for.
+    pub launches: u64,
+    /// Requests that shared a launch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Requests answered from the epoch result cache without a launch.
+    pub cache_hits: u64,
+    /// Mutations absorbed by incremental grid maintenance.
+    pub incremental_reindexes: u64,
+    /// Mutations that escalated to a full grid rebuild.
+    pub full_rebuilds: u64,
+    /// Total launch time across the session, model seconds.
+    pub execute_model_s: f64,
+    /// Median request latency (queue + execute), model seconds.
+    pub total_p50_s: f64,
+    /// Tail request latency, model seconds.
+    pub total_p99_s: f64,
 }
 
 /// The ε each table reports (the paper picks one representative ε per

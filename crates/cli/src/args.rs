@@ -12,7 +12,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["verify", "balanced-queue", "quick", "help"];
+const SWITCHES: &[&str] = &["verify", "balanced-queue", "quick", "help", "no-coalesce"];
 
 impl Parsed {
     /// Parses an argument list.

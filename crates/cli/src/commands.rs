@@ -60,6 +60,26 @@ USAGE:
       schedule and the fleet failover path is exercised. The result is
       verified against the SUPER-EGO CPU join; a typed error is also an
       acceptable outcome under injected faults.
+  simjoin serve --input <path> --eps <f> [--script <path>|--listen <addr>]
+                [--pattern full|unicomp|lid] [--balancing none|sort|queue]
+                [--k <n>] [--exec-mode gpu|cpu|hybrid] [--host-jobs <n>]
+                [--queue-capacity <n>] [--no-coalesce] [--rebuild-limit <f>]
+                [--output <telemetry.json>]
+      Run the always-on serve daemon over the dataset: a line-delimited
+      strict-JSON request loop answering exact ε-neighborhood queries
+      ({\"op\": \"query\", \"point_id\": i, \"eps\": e}), whole self-joins
+      ({\"op\": \"join\", \"eps\": e}), and streaming inserts/removes
+      ({\"op\": \"insert\", \"point\": [..]} / {\"op\": \"remove\",
+      \"point_id\": i}), plus flush, stats and shutdown. The ε-grid is
+      maintained incrementally across churn (bit-identical to a fresh
+      build); queued same-ε requests are coalesced into one launch and
+      admission is bounded by --queue-capacity (typed rejections, never
+      unbounded buffering). --no-coalesce is the serial baseline: one
+      launch per request. Requests come from --script, a single --listen
+      TCP connection, or stdin; EOF implies shutdown. Latencies are model
+      seconds; the sj-telemetry/v1 document (serve.request /
+      serve.coalesce / serve.reindex events) lands at --output (default
+      serve_telemetry.json).
   simjoin soak [--iterations <n>] [--seed <base>] [--dataset <name>]
                [--n <count>] [--eps <f>] [--recovery reshard|degrade]
                [--exec-mode gpu|hybrid] [--quick] [--output <telemetry.json>]
@@ -88,6 +108,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "profile" => profile(&parsed),
         "chaos" => chaos(&parsed),
         "soak" => soak(&parsed),
+        "serve" => serve(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
@@ -125,6 +146,18 @@ fn generate(parsed: &Parsed) -> Result<(), String> {
 fn load(parsed: &Parsed) -> Result<DynPoints, String> {
     let input = parsed.required("input")?;
     dataio::read_path(Path::new(input)).map_err(|e| format!("reading {input}: {e}"))
+}
+
+/// Unified ε validation for every CLI entry point: the same typed check
+/// (and the same message) the serve protocol and the library constructors
+/// apply, surfaced before any dataset is loaded into a grid.
+fn check_eps(eps: f32) -> Result<f32, String> {
+    simjoin::validate_epsilon(eps).map_err(|e| format!("flag --eps is invalid: {e}"))
+}
+
+/// `--eps`, required and validated.
+fn eps_flag(parsed: &Parsed) -> Result<f32, String> {
+    check_eps(parsed.required_parse("eps")?)
 }
 
 fn pattern_flag(parsed: &Parsed) -> Result<AccessPattern, String> {
@@ -265,7 +298,7 @@ fn print_recovery(rec: &simjoin::FleetRecoveryReport) {
 
 fn with_fixed<R>(
     points: &DynPoints,
-    f: impl Fn(&dyn JoinRunner) -> Result<R, String>,
+    mut f: impl FnMut(&dyn JoinRunner) -> Result<R, String>,
 ) -> Result<R, String> {
     macro_rules! dims {
         ($($n:literal),*) => {
@@ -367,6 +400,18 @@ trait JoinRunner {
     ) -> Result<ChaosOutcome, String>;
     fn superego_pairs(&self, eps: f32) -> Vec<(u32, u32)>;
     fn stats(&self, eps: f32) -> Result<(f64, usize, f64), String>;
+    /// Runs the serve request loop: feed `lines` through a
+    /// [`simjoin::ServeSession`], writing each response line to `out`.
+    /// EOF without an explicit shutdown injects one, so the queue always
+    /// drains and every admitted request is answered.
+    fn serve(
+        &self,
+        config: SelfJoinConfig,
+        serve_cfg: simjoin::ServeConfig,
+        lines: &mut dyn Iterator<Item = std::io::Result<String>>,
+        out: &mut dyn std::io::Write,
+        telemetry: &dyn Telemetry,
+    ) -> Result<simjoin::ServeReport, String>;
 }
 
 struct FixedRunner<const N: usize> {
@@ -543,11 +588,41 @@ impl<const N: usize> JoinRunner for FixedRunner<N> {
         let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
         Ok((join.mean_candidates(), join.grid().num_cells(), cv))
     }
+
+    fn serve(
+        &self,
+        config: SelfJoinConfig,
+        serve_cfg: simjoin::ServeConfig,
+        lines: &mut dyn Iterator<Item = std::io::Result<String>>,
+        out: &mut dyn std::io::Write,
+        telemetry: &dyn Telemetry,
+    ) -> Result<simjoin::ServeReport, String> {
+        let mut session = simjoin::ServeSession::new(self.points.clone(), config, serve_cfg)
+            .map_err(|e| e.to_string())?
+            .with_telemetry(telemetry);
+        let emit = |lines: Vec<String>, out: &mut dyn std::io::Write| -> Result<(), String> {
+            for line in lines {
+                writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())
+        };
+        for line in lines {
+            let line = line.map_err(|e| format!("reading requests: {e}"))?;
+            emit(session.handle_line(&line), out)?;
+            if session.is_shut_down() {
+                break;
+            }
+        }
+        if !session.is_shut_down() {
+            emit(session.handle_line("{\"op\": \"shutdown\"}"), out)?;
+        }
+        Ok(session.report())
+    }
 }
 
 fn join(parsed: &Parsed) -> Result<(), String> {
+    let eps = eps_flag(parsed)?;
     let points = load(parsed)?;
-    let eps: f32 = parsed.required_parse("eps")?;
     let pattern = pattern_flag(parsed)?;
     let balancing = balancing_flag(parsed)?;
     let (auto_k, k) = match parsed.optional("k") {
@@ -707,8 +782,8 @@ fn join(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn profile(parsed: &Parsed) -> Result<(), String> {
+    let eps = eps_flag(parsed)?;
     let points = load(parsed)?;
-    let eps: f32 = parsed.required_parse("eps")?;
     let pattern = pattern_flag(parsed)?;
     let balancing = balancing_flag(parsed)?;
     let (auto_k, k) = match parsed.optional("k") {
@@ -783,8 +858,8 @@ fn profile(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn chaos(parsed: &Parsed) -> Result<(), String> {
+    let eps = eps_flag(parsed)?;
     let points = load(parsed)?;
-    let eps: f32 = parsed.required_parse("eps")?;
     let pattern = pattern_flag(parsed)?;
     let balancing = balancing_flag(parsed)?;
     let k: u32 = parsed.parse_or("k", 1)?;
@@ -951,7 +1026,7 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
         .ok_or_else(|| format!("unknown dataset `{dataset}` (see `simjoin datasets`)"))?;
     let n: usize = parsed.parse_or("n", if parsed.switch("quick") { 400 } else { 800 })?;
     // Tuned for the default dataset at soak scale; override per dataset.
-    let eps: f32 = parsed.parse_or("eps", 0.5)?;
+    let eps = check_eps(parsed.parse_or("eps", 0.5)?)?;
     let recovery = recovery_flag(parsed)?;
     let exec_mode = exec_mode_flag(parsed)?;
     if exec_mode == simjoin::ExecMode::Cpu {
@@ -1187,9 +1262,111 @@ fn soak(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(parsed: &Parsed) -> Result<(), String> {
+fn serve(parsed: &Parsed) -> Result<(), String> {
+    let eps = eps_flag(parsed)?;
     let points = load(parsed)?;
-    let eps: f32 = parsed.required_parse("eps")?;
+    let pattern = pattern_flag(parsed)?;
+    let balancing = balancing_flag(parsed)?;
+    let k: u32 = parsed.parse_or("k", 1)?;
+    let exec_mode = exec_mode_flag(parsed)?;
+    let mut config = SelfJoinConfig::new(eps)
+        .with_pattern(pattern)
+        .with_balancing(balancing)
+        .with_k(k)
+        .with_exec_mode(exec_mode);
+    host_jobs_flag(parsed, &mut config)?;
+    let queue_capacity: usize =
+        parsed.parse_or("queue-capacity", simjoin::serve::DEFAULT_QUEUE_CAPACITY)?;
+    if queue_capacity == 0 {
+        return Err("--queue-capacity must be at least 1".into());
+    }
+    let rebuild_limit: f64 =
+        parsed.parse_or("rebuild-limit", epsgrid::dynamic::DEFAULT_REBUILD_LIMIT)?;
+    if rebuild_limit.is_nan() || rebuild_limit < 0.0 {
+        return Err("--rebuild-limit must be non-negative".into());
+    }
+    let serve_cfg = simjoin::ServeConfig {
+        queue_capacity,
+        coalesce: !parsed.switch("no-coalesce"),
+        rebuild_limit,
+    };
+    if parsed.optional("script").is_some() && parsed.optional("listen").is_some() {
+        return Err("--script conflicts with --listen (pick one request source)".into());
+    }
+
+    let sink = JsonTelemetry::new(format!(
+        "simjoin serve eps={eps} pattern={pattern:?} balancing={balancing:?} \
+         exec={} queue-capacity={queue_capacity} coalesce={}",
+        exec_mode.label(),
+        serve_cfg.coalesce
+    ));
+    let report = if let Some(addr) = parsed.optional("listen") {
+        // One connection at a time: the session is a state machine over one
+        // dataset, so interleaving clients would interleave their epochs.
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        eprintln!("serve: listening on {addr} (one connection, EOF = shutdown)");
+        let (stream, peer) = listener.accept().map_err(|e| e.to_string())?;
+        eprintln!("serve: client {peer} connected");
+        let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = std::io::BufWriter::new(stream);
+        let mut lines = std::io::BufRead::lines(reader);
+        with_fixed(&points, |runner| {
+            runner.serve(config.clone(), serve_cfg, &mut lines, &mut writer, &sink)
+        })?
+    } else if let Some(script) = parsed.optional("script") {
+        let text = std::fs::read_to_string(script).map_err(|e| format!("reading {script}: {e}"))?;
+        let mut stdout = std::io::stdout();
+        let mut lines = text.lines().map(|l| Ok(l.to_string()));
+        with_fixed(&points, |runner| {
+            runner.serve(config.clone(), serve_cfg, &mut lines, &mut stdout, &sink)
+        })?
+    } else {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        let mut lines = std::io::BufRead::lines(stdin.lock());
+        with_fixed(&points, |runner| {
+            runner.serve(config.clone(), serve_cfg, &mut lines, &mut stdout, &sink)
+        })?
+    };
+
+    eprintln!(
+        "serve summary         : {} request(s) — {} query(ies), {} join(s), \
+         {} insert(s), {} remove(s)",
+        report.requests, report.queries, report.joins, report.inserts, report.removes
+    );
+    eprintln!(
+        "admission             : {} rejected (queue full), {} error(s)",
+        report.rejected, report.errors
+    );
+    eprintln!(
+        "launches              : {} ({} coalesced request(s), {} cache hit(s)), \
+         {:.6} model s total",
+        report.launches, report.coalesced_requests, report.cache_hits, report.execute_model_s
+    );
+    eprintln!(
+        "reindexing            : {} incremental, {} rebuild(s), {} cell(s) requantified",
+        report.incremental_reindexes, report.full_rebuilds, report.requantified_cells
+    );
+    eprintln!(
+        "latency (model)       : total p50 {:.6} s / p99 {:.6} s, queue p50 {:.6} s, \
+         execute p50 {:.6} s",
+        report.total_p50_s, report.total_p99_s, report.queue_p50_s, report.execute_p50_s
+    );
+    let output = parsed.optional("output").unwrap_or("serve_telemetry.json");
+    sink.write_to_file(Path::new(output))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} events ({}) to {output}",
+        sink.len(),
+        sj_telemetry::SCHEMA_VERSION
+    );
+    Ok(())
+}
+
+fn stats(parsed: &Parsed) -> Result<(), String> {
+    let eps = eps_flag(parsed)?;
+    let points = load(parsed)?;
     let (mean_candidates, cells, cv) = with_fixed(&points, |runner| runner.stats(eps))?;
     println!("points               : {}", points.len());
     println!("dims                 : {}", points.dims());
@@ -1628,6 +1805,135 @@ mod tests {
         assert!(dispatch(&argv(&["soak", "--iterations", "0"])).is_err());
         assert!(dispatch(&argv(&["soak", "--dataset", "bogus"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_runs_a_scripted_session_and_writes_telemetry() {
+        let dir = std::env::temp_dir().join(format!("simjoin-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("pts.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "generate",
+            "--dataset",
+            "Expo2D2M",
+            "--n",
+            "300",
+            "--output",
+            &data_s,
+        ]))
+        .unwrap();
+        let script = dir.join("session.jsonl");
+        let script_s = script.to_str().unwrap().to_string();
+        std::fs::write(
+            &script,
+            "{\"op\": \"query\", \"point_id\": 0, \"eps\": 0.5}\n\
+             {\"op\": \"query\", \"point_id\": 1, \"eps\": 0.5}\n\
+             {\"op\": \"insert\", \"point\": [0.1, 0.1]}\n\
+             {\"op\": \"remove\", \"point_id\": 5}\n\
+             {\"op\": \"join\", \"eps\": 0.5}\n\
+             {\"op\": \"stats\"}\n\
+             {\"op\": \"shutdown\"}\n",
+        )
+        .unwrap();
+        let telemetry = dir.join("serve.json");
+        let telemetry_s = telemetry.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "serve",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--script",
+            &script_s,
+            "--output",
+            &telemetry_s,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&telemetry).unwrap();
+        assert!(doc.contains(sj_telemetry::SCHEMA_VERSION));
+        assert!(doc.contains("\"scope\": \"serve\""));
+        assert!(doc.contains("\"name\": \"reindex\""));
+        assert!(doc.contains("\"name\": \"coalesce\""));
+        // The serial baseline accepts the same script.
+        dispatch(&argv(&[
+            "serve",
+            "--input",
+            &data_s,
+            "--eps",
+            "0.5",
+            "--script",
+            &script_s,
+            "--no-coalesce",
+            "--output",
+            &telemetry_s,
+        ]))
+        .unwrap();
+        // Flag validation at the serve boundary.
+        for bad in [
+            vec!["serve", "--input", &data_s, "--eps", "nan"],
+            vec!["serve", "--input", &data_s, "--eps", "-0.5"],
+            vec![
+                "serve",
+                "--input",
+                &data_s,
+                "--eps",
+                "0.5",
+                "--queue-capacity",
+                "0",
+            ],
+            vec![
+                "serve",
+                "--input",
+                &data_s,
+                "--eps",
+                "0.5",
+                "--rebuild-limit",
+                "-1",
+            ],
+            vec![
+                "serve",
+                "--input",
+                &data_s,
+                "--eps",
+                "0.5",
+                "--script",
+                &script_s,
+                "--listen",
+                "127.0.0.1:0",
+            ],
+        ] {
+            assert!(dispatch(&argv(&bad)).is_err(), "{bad:?} should fail");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epsilon_is_validated_uniformly_across_commands() {
+        // No command should get as far as touching the dataset with a bad ε
+        // — the unified check fires first, with the same message everywhere.
+        for cmd in ["join", "stats", "profile", "chaos", "serve"] {
+            for bad_eps in ["nan", "inf", "0", "-1"] {
+                let err = dispatch(&argv(&[
+                    cmd,
+                    "--input",
+                    "nonexistent.csv",
+                    "--eps",
+                    bad_eps,
+                ]))
+                .unwrap_err();
+                assert!(
+                    err.contains("flag --eps is invalid"),
+                    "{cmd} --eps {bad_eps}: {err}"
+                );
+                assert!(
+                    err.contains("finite, strictly positive"),
+                    "{cmd} --eps {bad_eps}: {err}"
+                );
+            }
+        }
+        let err = dispatch(&argv(&["soak", "--eps", "-1"])).unwrap_err();
+        assert!(err.contains("flag --eps is invalid"));
     }
 
     #[test]

@@ -5,6 +5,55 @@ use warpsim::{GpuConfig, IssueOrder, StepMode};
 use crate::batching::BatchingConfig;
 use crate::fallback::CpuFallbackModel;
 
+/// Why an ε value was rejected at a request entry point.
+///
+/// Every front door — [`crate::SelfJoin::new`], the serve protocol, the CLI,
+/// the bench drivers — funnels ε through [`validate_epsilon`] so a NaN,
+/// infinite, or non-positive threshold surfaces as this one typed error
+/// instead of panicking (or wrapping) deep inside the grid geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpsilonError {
+    /// ε is NaN or infinite.
+    NonFinite,
+    /// ε is zero or negative (an empty query radius joins nothing and the
+    /// grid would need infinitely many cells).
+    NotPositive,
+}
+
+impl std::fmt::Display for EpsilonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // One canonical message: the CLI, the serve protocol and the bench
+        // drivers all print this verbatim.
+        match self {
+            EpsilonError::NonFinite => {
+                write!(
+                    f,
+                    "epsilon must be a finite, strictly positive number (got a non-finite value)"
+                )
+            }
+            EpsilonError::NotPositive => {
+                write!(
+                    f,
+                    "epsilon must be a finite, strictly positive number (got a non-positive value)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpsilonError {}
+
+/// Validates a request-supplied ε, returning it unchanged when acceptable.
+pub fn validate_epsilon(epsilon: f32) -> Result<f32, EpsilonError> {
+    if !epsilon.is_finite() {
+        return Err(EpsilonError::NonFinite);
+    }
+    if epsilon <= 0.0 {
+        return Err(EpsilonError::NotPositive);
+    }
+    Ok(epsilon)
+}
+
 /// Bounded recovery behaviour of the resilient executor.
 ///
 /// Every backoff is counted in **model seconds** and accounted into the
@@ -586,6 +635,28 @@ mod tests {
         assert!(!tuned.cpu_last_resort);
         let c = SelfJoinConfig::new(0.5).with_recovery(RecoveryPolicy::degrade());
         assert_eq!(c.recovery, RecoveryPolicy::degrade());
+    }
+
+    #[test]
+    fn epsilon_validation_is_typed() {
+        assert_eq!(validate_epsilon(0.5), Ok(0.5));
+        assert_eq!(validate_epsilon(f32::NAN), Err(EpsilonError::NonFinite));
+        assert_eq!(
+            validate_epsilon(f32::INFINITY),
+            Err(EpsilonError::NonFinite)
+        );
+        assert_eq!(
+            validate_epsilon(f32::NEG_INFINITY),
+            Err(EpsilonError::NonFinite)
+        );
+        assert_eq!(validate_epsilon(0.0), Err(EpsilonError::NotPositive));
+        assert_eq!(validate_epsilon(-1.0), Err(EpsilonError::NotPositive));
+        // Both variants render the one unified message prefix.
+        for e in [EpsilonError::NonFinite, EpsilonError::NotPositive] {
+            assert!(e
+                .to_string()
+                .starts_with("epsilon must be a finite, strictly positive number"));
+        }
     }
 
     #[test]

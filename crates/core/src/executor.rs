@@ -33,6 +33,8 @@ use crate::workload::{expand_cell_order, WorkloadProfile};
 /// Errors from configuring or running a self-join.
 #[derive(Debug)]
 pub enum JoinError {
+    /// The requested ε is NaN, infinite, or not strictly positive.
+    Epsilon(crate::config::EpsilonError),
     /// The grid index could not be built.
     Grid(GridBuildError),
     /// `k` does not partition the warp size.
@@ -54,6 +56,7 @@ pub enum JoinError {
 impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            JoinError::Epsilon(e) => write!(f, "{e}"),
             JoinError::Grid(e) => write!(f, "grid index construction failed: {e}"),
             JoinError::InvalidK(e) => write!(f, "invalid thread granularity: {e}"),
             JoinError::Launch(e) => write!(f, "kernel launch failed: {e}"),
@@ -68,6 +71,7 @@ impl std::fmt::Display for JoinError {
 impl std::error::Error for JoinError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            JoinError::Epsilon(e) => Some(e),
             JoinError::Grid(e) => Some(e),
             JoinError::InvalidK(e) => Some(e),
             JoinError::Launch(e) => Some(e),
@@ -80,6 +84,12 @@ impl std::error::Error for JoinError {
 impl From<GridBuildError> for JoinError {
     fn from(e: GridBuildError) -> Self {
         JoinError::Grid(e)
+    }
+}
+
+impl From<crate::config::EpsilonError> for JoinError {
+    fn from(e: crate::config::EpsilonError) -> Self {
+        JoinError::Epsilon(e)
     }
 }
 
@@ -238,16 +248,66 @@ impl<const N: usize> std::fmt::Debug for SelfJoin<'_, N> {
 impl<'a, const N: usize> SelfJoin<'a, N> {
     /// Indexes `points` and prepares the kernels described by `config`.
     pub fn new(points: &'a [Point<N>], config: SelfJoinConfig) -> Result<Self, JoinError> {
+        crate::config::validate_epsilon(config.epsilon)?;
         CoopGroups::new(config.gpu.warp_size, config.k).map_err(JoinError::InvalidK)?;
         let sw_index = Stopwatch::start();
         let grid = GridIndex::build(points, config.epsilon)?;
-        let resolved = ResolvedPatterns::compute(&grid, config.pattern);
         let index_build_ns = sw_index.elapsed_ns();
+        Self::with_built_grid(points, config, grid, None, index_build_ns)
+    }
+
+    /// Prepares a join over an **already built** index — the serve path's
+    /// amortization seam: a maintained [`epsgrid::DynamicGrid`] hands its
+    /// index (and optionally its incrementally re-quantified per-cell
+    /// workloads) straight to the executor, skipping the per-request index
+    /// build and full workload quantification.
+    ///
+    /// The grid must have been built over exactly `points` at
+    /// `config.epsilon` (bit-equal); mismatches are rejected as
+    /// [`JoinError::Grid`] rather than silently joining against a stale
+    /// index.
+    pub fn with_maintained_index(
+        points: &'a [Point<N>],
+        config: SelfJoinConfig,
+        grid: GridIndex<N>,
+        per_cell_workload: Option<&[u64]>,
+    ) -> Result<Self, JoinError> {
+        crate::config::validate_epsilon(config.epsilon)?;
+        CoopGroups::new(config.gpu.warp_size, config.k).map_err(JoinError::InvalidK)?;
+        if grid.epsilon().to_bits() != config.epsilon.to_bits() {
+            return Err(JoinError::Fleet(format!(
+                "maintained index was built at eps {} but the join requests eps {}",
+                grid.epsilon(),
+                config.epsilon
+            )));
+        }
+        if grid.num_points() != points.len() {
+            return Err(JoinError::Fleet(format!(
+                "maintained index covers {} points but the dataset has {}",
+                grid.num_points(),
+                points.len()
+            )));
+        }
+        Self::with_built_grid(points, config, grid, per_cell_workload, 0)
+    }
+
+    fn with_built_grid(
+        points: &'a [Point<N>],
+        config: SelfJoinConfig,
+        grid: GridIndex<N>,
+        per_cell_workload: Option<&[u64]>,
+        index_build_ns: u64,
+    ) -> Result<Self, JoinError> {
+        let resolved = ResolvedPatterns::compute(&grid, config.pattern);
         let sw_profile = Stopwatch::start();
         let profile = match config.balancing {
             Balancing::None => None,
             Balancing::SortByWorkload | Balancing::WorkQueue => {
-                Some(WorkloadProfile::compute(&grid))
+                // Prefer the maintained per-cell quantification; fall back to
+                // computing from scratch if it does not line up with the grid.
+                per_cell_workload
+                    .and_then(|pc| WorkloadProfile::from_per_cell(&grid, pc))
+                    .or_else(|| Some(WorkloadProfile::compute(&grid)))
             }
         };
         let profile_ns = sw_profile.elapsed_ns();
@@ -391,10 +451,18 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                 (estimate, plan, prepass.map(|pp| pp.stats))
             }
             Balancing::WorkQueue => {
-                let profile = self
-                    .profile
-                    .as_ref()
-                    .expect("WorkQueue always has a profile");
+                // Construction always attaches a profile for WorkQueue, but a
+                // missing one (a constructor slip at a request boundary)
+                // degrades to an on-the-spot quantification instead of
+                // panicking mid-request.
+                let computed;
+                let profile = match self.profile.as_ref() {
+                    Some(p) => p,
+                    None => {
+                        computed = WorkloadProfile::compute(&self.grid);
+                        &computed
+                    }
+                };
                 let order = prepass
                     .as_mut()
                     .and_then(|pp| pp.cell_order(profile.per_cell(), "workqueue_order"))
@@ -749,10 +817,15 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                     .collect();
                 if survivors.is_empty() || rec.reshard_rounds >= c.recovery.max_reshard_rounds {
                     if !c.recovery.cpu_last_resort {
-                        let error = saved_error
-                            .take()
-                            .expect("unexecuted work implies an interruption");
-                        return Err(JoinError::Launch(error));
+                        // Unexecuted work implies an interruption was
+                        // recorded; if that bookkeeping ever slips, surface a
+                        // typed fleet error instead of panicking mid-join.
+                        return Err(match saved_error.take() {
+                            Some(error) => JoinError::Launch(error),
+                            None => JoinError::Fleet(
+                                "work left unexecuted without a recorded interruption".into(),
+                            ),
+                        });
                     }
                     // Exact CPU last resort: one pair segment per remnant
                     // item, so the canonical merge can interleave
@@ -909,6 +982,10 @@ impl<'a, const N: usize> SelfJoin<'a, N> {
                                 {
                                     cut_idx -= 1;
                                 }
+                                // Unreachable-by-construction: the cut loop
+                                // above only steps past items whose `work`
+                                // is `Some`, so everything drained here is
+                                // respawnable.
                                 dev.done
                                     .drain(cut_idx..)
                                     .map(|di| di.work.expect("only respawnable items are stripped"))

@@ -47,12 +47,14 @@ pub mod kernels;
 pub mod patterns;
 pub mod pool;
 pub mod result;
+pub mod serve;
 pub mod workload;
 
 pub use batching::{BatchPlan, BatchingConfig, ResultEstimate};
 pub use brute::brute_force_join;
 pub use config::{
-    AccessPattern, Balancing, ExecMode, RecoveryPolicy, RetryPolicy, SelfJoinConfig, SortBackend,
+    validate_epsilon, AccessPattern, Balancing, EpsilonError, ExecMode, RecoveryPolicy,
+    RetryPolicy, SelfJoinConfig, SortBackend,
 };
 pub use device_prepass::{
     device_cell_order, device_inclusive_prefix, device_sort_by_workload, PrePassReport,
@@ -71,4 +73,7 @@ pub use hybrid::{
     HybridPolicy, HybridReport,
 };
 pub use result::ResultSet;
+pub use serve::{
+    Latency, Reply, Request, Response, ServeConfig, ServeError, ServeReport, ServeSession,
+};
 pub use workload::{expand_cell_order, CellWorkload, WorkloadProfile};

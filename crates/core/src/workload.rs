@@ -77,6 +77,27 @@ impl WorkloadProfile {
         }
     }
 
+    /// Rebuilds a profile from externally maintained per-cell workloads
+    /// (e.g. the incrementally re-quantified counts of
+    /// [`epsgrid::DynamicGrid`]), inheriting each cell's workload to its
+    /// points exactly as [`Self::compute`] does. Returns `None` when the
+    /// slice does not line up with the grid's cell list.
+    pub fn from_per_cell<const N: usize>(grid: &GridIndex<N>, per_cell: &[u64]) -> Option<Self> {
+        if per_cell.len() != grid.num_cells() {
+            return None;
+        }
+        let mut per_point = vec![0u64; grid.num_points()];
+        for (ci, &w) in per_cell.iter().enumerate() {
+            for &pid in grid.cell_points(ci) {
+                per_point[pid as usize] = w;
+            }
+        }
+        Some(Self {
+            per_cell: per_cell.to_vec(),
+            per_point,
+        })
+    }
+
     /// Total workload over the whole dataset (total distance calculations a
     /// FullWindow execution performs).
     pub fn total(&self) -> u64 {

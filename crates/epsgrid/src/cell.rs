@@ -50,11 +50,26 @@ impl std::fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Cap on the total (conceptual) cell count a [`GridShape`] may describe.
+///
+/// The index never materializes empty cells, but linear ids must stay well
+/// inside `u64` so neighbor-window arithmetic cannot overflow, and a grid
+/// this fine has long stopped pruning anything. 2^48 cells is orders of
+/// magnitude beyond every dataset/ε regime in `EXPERIMENTS.md`.
+pub const MAX_TOTAL_CELLS: u128 = 1 << 48;
+
 impl<const N: usize> GridShape<N> {
     /// Builds the grid geometry covering `bounds` with cells of length `epsilon`.
     ///
     /// One cell of padding is added past the maximum corner so that points
     /// lying exactly on the boundary map to a valid cell.
+    ///
+    /// A tiny ε against a huge extent is rejected with
+    /// [`ShapeError::TooManyCells`] instead of silently requesting an absurd
+    /// resolution: the per-dimension count is bounded before the float→int
+    /// cast (a saturating cast followed by `+ 1` would otherwise wrap the
+    /// count to zero), and the product of all dimensions is capped at
+    /// [`MAX_TOTAL_CELLS`].
     pub fn covering(bounds: &Aabb<N>, epsilon: f32) -> Result<Self, ShapeError> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(ShapeError::InvalidEpsilon);
@@ -63,14 +78,21 @@ impl<const N: usize> GridShape<N> {
         let mut total: u128 = 1;
         for (d, out) in cells_per_dim.iter_mut().enumerate() {
             let extent = bounds.max[d] - bounds.min[d];
-            let n = (extent / epsilon).floor() as u64 + 1;
+            let raw = (extent / epsilon).floor();
+            // Bound the count while it is still a float: `raw as u64`
+            // saturates, so `+ 1` after the cast would wrap a huge extent
+            // around to zero cells.
+            if !raw.is_finite() || raw >= u32::MAX as f32 {
+                return Err(ShapeError::TooManyCells);
+            }
+            let n = raw as u64 + 1;
             if n > u32::MAX as u64 {
                 return Err(ShapeError::TooManyCells);
             }
             *out = n as u32;
             total = total.saturating_mul(n as u128);
         }
-        if total > u64::MAX as u128 {
+        if total > MAX_TOTAL_CELLS {
             return Err(ShapeError::TooManyCells);
         }
         Ok(Self {
@@ -214,6 +236,54 @@ mod tests {
             max: [1.0e9f32; 4],
         };
         assert!(GridShape::<4>::covering(&bb, 1.0e-4).is_err());
+    }
+
+    #[test]
+    fn covering_rejects_saturating_per_dim_counts() {
+        // extent/ε overflows f32 → the old `as u64 + 1` wrapped the count to
+        // zero cells in release builds (and panicked in debug). It must be a
+        // typed error instead.
+        let bb = Aabb {
+            min: [0.0f32],
+            max: [f32::MAX],
+        };
+        assert_eq!(
+            GridShape::covering(&bb, 1.0e-30),
+            Err(ShapeError::TooManyCells)
+        );
+        // An extent/ε that is finite but beyond u32 must also be rejected by
+        // the per-dimension bound, not mangled by the saturating cast.
+        let bb = Aabb {
+            min: [0.0f32],
+            max: [1.0e12],
+        };
+        assert_eq!(
+            GridShape::covering(&bb, 1.0e-3),
+            Err(ShapeError::TooManyCells)
+        );
+    }
+
+    #[test]
+    fn covering_caps_total_cells_across_dimensions() {
+        // Each dimension individually fits in u32 (~2^25 cells), but the 3-D
+        // product (~2^75) blows past MAX_TOTAL_CELLS.
+        let bb = Aabb {
+            min: [0.0f32; 3],
+            max: [1.0f32; 3],
+        };
+        let eps = 1.0 / 33_554_432.0; // 2^-25
+        assert_eq!(
+            GridShape::<3>::covering(&bb, eps),
+            Err(ShapeError::TooManyCells)
+        );
+        // The same resolution in one dimension stays comfortably under the
+        // cap and must keep working.
+        let bb1 = Aabb {
+            min: [0.0f32],
+            max: [1.0f32],
+        };
+        let s = GridShape::covering(&bb1, eps).unwrap();
+        assert_eq!(s.cells_per_dim, [33_554_433]);
     }
 
     #[test]

@@ -71,19 +71,23 @@ impl From<ShapeError> for GridBuildError {
 ///
 /// Space complexity is `O(|D|)` — independent of the conceptual grid
 /// resolution — because empty cells are never materialized.
-#[derive(Debug, Clone)]
+/// Equality is field-wise and therefore layout-sensitive: two indexes are
+/// equal only when their cell lists, point orderings and filtered ranges are
+/// bit-identical — exactly the property the incremental maintainer
+/// ([`crate::DynamicGrid`]) is tested against.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridIndex<const N: usize> {
-    shape: GridShape<N>,
-    epsilon: f32,
+    pub(crate) shape: GridShape<N>,
+    pub(crate) epsilon: f32,
     /// Non-empty cells sorted by ascending `linear_id` (paper's `B` + `A`).
-    cells: Vec<NonEmptyCell>,
+    pub(crate) cells: Vec<NonEmptyCell>,
     /// Dataset point indices grouped by cell.
-    point_ids: Vec<u32>,
+    pub(crate) point_ids: Vec<u32>,
     /// For each dataset point, the index into `cells` of its home cell.
-    home_cell: Vec<u32>,
+    pub(crate) home_cell: Vec<u32>,
     /// Per-dimension min/max coordinate of non-empty cells
     /// (the paper's `filteredRanges`).
-    filtered_ranges: [Range<u32>; N],
+    pub(crate) filtered_ranges: [Range<u32>; N],
 }
 
 impl<const N: usize> GridIndex<N> {

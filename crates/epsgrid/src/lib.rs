@@ -35,13 +35,15 @@
 pub mod bounds;
 pub mod cell;
 pub mod distance;
+pub mod dynamic;
 pub mod grid;
 pub mod neighbors;
 pub mod point;
 
 pub use bounds::Aabb;
-pub use cell::{CellCoords, GridShape, LinearCellId};
+pub use cell::{CellCoords, GridShape, LinearCellId, ShapeError, MAX_TOTAL_CELLS};
 pub use distance::{euclidean_dist, euclidean_dist_sq, within_epsilon};
+pub use dynamic::{ChurnError, DynamicGrid, MaintenanceStats};
 pub use grid::{GridBuildError, GridIndex, NonEmptyCell};
 pub use neighbors::{NeighborCellIter, NeighborWindow};
 pub use point::{DynPoints, Point};

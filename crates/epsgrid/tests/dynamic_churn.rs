@@ -1,0 +1,179 @@
+//! Churn property tests for the incrementally maintained ε-grid.
+//!
+//! Random interleavings of insert / remove / query against [`DynamicGrid`]
+//! must keep the maintained index **bit-identical** to a from-scratch
+//! [`GridIndex::build`] over the current point set — same cells, same point
+//! ordering, same filtered ranges, same per-cell workload quantification —
+//! and the ε-pair set read through the index must equal the brute-force
+//! oracle at every query.
+
+use epsgrid::{within_epsilon, DynamicGrid, GridIndex, Point};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert([f32; 2]),
+    Remove(u64),
+    Query,
+}
+
+/// The vendored proptest has no `prop_map`, so ops are generated as raw
+/// `(kind, point, selector)` tuples and decoded here. The kind skew favors
+/// inserts; insert coordinates mostly fall inside the seed's [-50, 50] box
+/// (incremental path) with an outside band forcing geometry rebuilds.
+fn decode_op((kind, p, sel): (u8, [f32; 2], u64)) -> Op {
+    match kind % 6 {
+        0..=2 => Op::Insert(p),
+        3 | 4 => Op::Remove(sel),
+        _ => Op::Query,
+    }
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<(u8, [f32; 2], u64)>> {
+    prop::collection::vec(
+        (
+            0u8..=u8::MAX,
+            prop::array::uniform2(-60.0f32..60.0),
+            0u64..u64::MAX,
+        ),
+        1..max_len,
+    )
+}
+
+fn arb_seed_points(max_len: usize) -> impl Strategy<Value = Vec<Point<2>>> {
+    prop::collection::vec(prop::array::uniform2(-50.0f32..50.0), 2..max_len)
+}
+
+fn fresh_workload(index: &GridIndex<2>) -> Vec<u64> {
+    (0..index.num_cells())
+        .map(|ci| index.window_candidate_count(ci))
+        .collect()
+}
+
+fn grid_pairs(dg: &DynamicGrid<2>) -> Vec<(usize, usize)> {
+    let pts = dg.points();
+    let eps = dg.epsilon();
+    let mut pairs = vec![];
+    for i in 0..pts.len() {
+        dg.index().for_each_candidate_of(i, |j| {
+            if i < j && within_epsilon(&pts[i], &pts[j], eps) {
+                pairs.push((i, j));
+            }
+        });
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+fn oracle_pairs(pts: &[Point<2>], eps: f32) -> Vec<(usize, usize)> {
+    let mut pairs = vec![];
+    for i in 0..pts.len() {
+        for j in i + 1..pts.len() {
+            if within_epsilon(&pts[i], &pts[j], eps) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+fn run_churn(
+    seed: Vec<Point<2>>,
+    eps: f32,
+    ops: Vec<(u8, [f32; 2], u64)>,
+    rebuild_limit: f64,
+) -> Result<(), TestCaseError> {
+    let mut dg = DynamicGrid::new(seed, eps)
+        .unwrap()
+        .with_rebuild_limit(rebuild_limit);
+    for op in ops {
+        match decode_op(op) {
+            Op::Insert(p) => {
+                let id = dg.insert(p).unwrap();
+                prop_assert_eq!(id as usize, dg.len() - 1);
+            }
+            Op::Remove(sel) => {
+                if dg.len() > 1 {
+                    let pid = (sel % dg.len() as u64) as u32;
+                    dg.remove(pid).unwrap();
+                }
+            }
+            Op::Query => {
+                prop_assert_eq!(grid_pairs(&dg), oracle_pairs(dg.points(), eps));
+            }
+        }
+        // Bit-identity with a from-scratch build after *every* mutation, not
+        // just at the end: intermediate corruption must not be masked by a
+        // later escape-hatch rebuild.
+        let fresh = GridIndex::build(dg.points(), eps).unwrap();
+        prop_assert_eq!(dg.index(), &fresh);
+        let expected = fresh_workload(&fresh);
+        prop_assert_eq!(dg.per_cell_workload(), expected.as_slice());
+    }
+    prop_assert_eq!(grid_pairs(&dg), oracle_pairs(dg.points(), eps));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The maintained index stays bit-identical to `GridIndex::build` and
+    /// the oracle pair set under arbitrary churn.
+    #[test]
+    fn churn_preserves_bit_identity(
+        seed in arb_seed_points(30),
+        eps in 0.5f32..40.0,
+        ops in arb_ops(40),
+    ) {
+        run_churn(seed, eps, ops, epsgrid::dynamic::DEFAULT_REBUILD_LIMIT)?;
+    }
+
+    /// Same property with the escape hatch disabled (an enormous limit), so
+    /// long incremental runs cannot hide behind threshold rebuilds.
+    #[test]
+    fn churn_without_escape_hatch_stays_identical(
+        seed in arb_seed_points(20),
+        eps in 0.5f32..40.0,
+        ops in arb_ops(30),
+    ) {
+        run_churn(seed, eps, ops, f64::INFINITY)?;
+    }
+}
+
+/// Deterministic long-run churn mixing every mutation class, kept out of
+/// proptest so a regression bisects to a stable failure.
+#[test]
+fn scripted_churn_sequence_stays_identical() {
+    let seed: Vec<Point<2>> = (0..24)
+        .map(|i| [(i % 6) as f32 * 0.7, (i / 6) as f32 * 0.9])
+        .collect();
+    let eps = 1.1;
+    let mut dg = DynamicGrid::new(seed, eps).unwrap();
+    for step in 0..60u32 {
+        match step % 4 {
+            0 => {
+                let t = step as f32 * 0.13;
+                dg.insert([t % 3.4, (t * 1.7) % 3.5]).unwrap();
+            }
+            1 => {
+                let pid = (step * 7) % dg.len() as u32;
+                dg.remove(pid).unwrap();
+            }
+            2 => {
+                // An out-of-bounds insert: geometry change, rebuild path.
+                dg.insert([4.0 + step as f32 * 0.01, -1.0]).unwrap();
+            }
+            _ => {
+                assert_eq!(grid_pairs(&dg), oracle_pairs(dg.points(), eps));
+            }
+        }
+        let fresh = GridIndex::build(dg.points(), eps).unwrap();
+        assert_eq!(dg.index(), &fresh, "diverged at step {step}");
+        assert_eq!(dg.per_cell_workload(), fresh_workload(&fresh).as_slice());
+    }
+    let stats = dg.stats();
+    assert!(stats.incremental_inserts > 0);
+    assert!(stats.incremental_removes > 0);
+    assert!(stats.full_rebuilds > 0);
+}

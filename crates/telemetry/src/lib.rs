@@ -26,6 +26,10 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub mod json;
+
+pub use json::JsonValue;
+
 /// Version tag embedded in every serialized telemetry document.
 pub const SCHEMA_VERSION: &str = "sj-telemetry/v1";
 

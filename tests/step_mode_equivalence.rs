@@ -170,8 +170,9 @@ fn step_modes_agree_across_batch_plans() {
 
 /// Degenerate datasets and thresholds must be rejected (or answered)
 /// *consistently* by every kernel variant and both step modes: an empty
-/// dataset and ε = 0 are typed grid errors for all of them, never a panic
-/// or a variant-dependent outcome.
+/// dataset is a typed grid error and ε = 0 is the unified typed ε error
+/// (the shared `validate_epsilon` chokepoint fires before index
+/// construction) — never a panic or a variant-dependent outcome.
 #[test]
 fn degenerate_empty_dataset_and_zero_epsilon_are_rejected_everywhere() {
     let empty = epsgrid::DynPoints::new(2);
@@ -200,8 +201,8 @@ fn degenerate_empty_dataset_and_zero_epsilon_are_rejected_everywhere() {
                 )
                 .map(|_| ());
                 assert!(
-                    matches!(zero_eps, Err(simjoin::JoinError::Grid(_))),
-                    "epsilon = 0 must be a typed grid error [{ctx}]"
+                    matches!(zero_eps, Err(simjoin::JoinError::Epsilon(_))),
+                    "epsilon = 0 must be the typed epsilon error [{ctx}]"
                 );
             }
         }
